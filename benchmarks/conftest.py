@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module.  Each module runs the
+corresponding experiment harness at the ``tiny`` scale under pytest-benchmark
+(one round — these are end-to-end simulations, not microbenchmarks) and then
+asserts the qualitative *shape* the paper reports, so a regression in either
+performance or behaviour fails the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import ExperimentResult
+
+
+def run_figure(benchmark, name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment once under the benchmark fixture and return its result."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, scale="tiny", **kwargs), rounds=1, iterations=1
+    )
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"experiment {name} produced no rows"
+    return result
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Fixture wrapping :func:`run_figure` with the benchmark object bound."""
+
+    def _run(name: str, **kwargs) -> ExperimentResult:
+        return run_figure(benchmark, name, **kwargs)
+
+    return _run

@@ -1,0 +1,93 @@
+"""Ablation benchmarks for LearnedFTL's design choices.
+
+The paper fixes several knobs (8 pieces per model, a 2-stripe group budget,
+GC-time training); these benchmarks sweep them on the tiny scale so the effect
+of each choice is visible and regressions in any configuration are caught:
+
+* piece budget (``max_pieces``) — more pieces -> higher model accuracy;
+* training via GC on/off — without GC training only sequential initialization
+  feeds the models, so random-read model hits drop;
+* group stripe limit — a larger budget defers GC;
+* LeaFTL's error bound gamma — larger gamma means fewer segments but more
+  mispredictions (double/triple reads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import FTLConfig
+from repro.experiments.runner import Scale, ScaleSpec, prepare_ssd
+from repro.workloads.fio import FioJob
+
+
+def _run_learnedftl_randread(config: FTLConfig):
+    spec = ScaleSpec.for_scale(Scale.TINY)
+    ssd = prepare_ssd("learnedftl", spec, config=config, warmup="steady")
+    ssd.run(FioJob.randread(spec.read_requests).requests(spec.geometry), threads=spec.threads)
+    return ssd
+
+
+def _run_leaftl_randread(config: FTLConfig):
+    spec = ScaleSpec.for_scale(Scale.TINY)
+    ssd = prepare_ssd("leaftl", spec, config=config, warmup="steady")
+    ssd.run(FioJob.randread(spec.read_requests).requests(spec.geometry), threads=spec.threads)
+    return ssd
+
+
+class TestPieceBudgetAblation:
+    @pytest.mark.parametrize("max_pieces", [1, 8])
+    def test_bench_piece_budget(self, benchmark, max_pieces):
+        ssd = benchmark.pedantic(
+            lambda: _run_learnedftl_randread(FTLConfig(max_pieces=max_pieces)),
+            rounds=1,
+            iterations=1,
+        )
+        assert ssd.stats.single_read_fraction() > 0.3
+
+    def test_more_pieces_do_not_hurt_model_hits(self):
+        few = _run_learnedftl_randread(FTLConfig(max_pieces=1)).stats.model_hit_ratio()
+        many = _run_learnedftl_randread(FTLConfig(max_pieces=8)).stats.model_hit_ratio()
+        assert many >= few - 0.05
+
+
+class TestGCTrainingAblation:
+    def test_bench_training_off(self, benchmark):
+        ssd = benchmark.pedantic(
+            lambda: _run_learnedftl_randread(FTLConfig(train_on_gc=False)),
+            rounds=1,
+            iterations=1,
+        )
+        assert ssd.stats.double_read_fraction() >= 0.0
+
+    def test_gc_training_improves_model_hits(self):
+        without = _run_learnedftl_randread(FTLConfig(train_on_gc=False)).stats.model_hit_ratio()
+        with_gc = _run_learnedftl_randread(FTLConfig(train_on_gc=True)).stats.model_hit_ratio()
+        assert with_gc >= without
+
+
+class TestGroupStripeLimitAblation:
+    @pytest.mark.parametrize("limit", [1, 3])
+    def test_bench_group_stripe_limit(self, benchmark, limit):
+        ssd = benchmark.pedantic(
+            lambda: _run_learnedftl_randread(FTLConfig(group_stripe_limit=limit)),
+            rounds=1,
+            iterations=1,
+        )
+        ssd.verify()
+
+
+class TestLeaftlGammaAblation:
+    @pytest.mark.parametrize("gamma", [0.5, 16.0])
+    def test_bench_gamma(self, benchmark, gamma):
+        ssd = benchmark.pedantic(
+            lambda: _run_leaftl_randread(FTLConfig(leaftl_gamma=gamma)),
+            rounds=1,
+            iterations=1,
+        )
+        assert ssd.stats.host_read_pages > 0
+
+    def test_larger_gamma_means_fewer_segments(self):
+        tight = _run_leaftl_randread(FTLConfig(leaftl_gamma=0.5)).ftl.segment_count()
+        loose = _run_leaftl_randread(FTLConfig(leaftl_gamma=16.0)).ftl.segment_count()
+        assert loose <= tight

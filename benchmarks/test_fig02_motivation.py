@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Figure 2 (TPFTL seq vs rand reads)."""
+
+from __future__ import annotations
+
+
+def test_fig02_random_reads_underperform_sequential(figure_runner):
+    result = figure_runner("fig02")
+    for row in result.rows:
+        assert row["randread_mb_s"] <= row["seqread_mb_s"] * 1.05
+        assert row["randread_cmt_hit"] < 0.3
+
+
+def test_fig02_sequential_hit_ratio_is_high(figure_runner):
+    result = figure_runner("fig02")
+    assert all(row["seqread_cmt_hit"] > 0.5 for row in result.rows)

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Figure 3 (CMT hit ratio vs CMT space)."""
+
+from __future__ import annotations
+
+
+def test_fig03_bigger_cache_cannot_fix_random_reads(figure_runner):
+    result = figure_runner("fig03")
+    hits = [row["randread_cmt_hit"] for row in result.rows]
+    # Monotonically non-decreasing, yet still far from the sequential hit ratio
+    # even at the largest cache (the paper's point).
+    assert all(b >= a - 0.02 for a, b in zip(hits, hits[1:]))
+    assert hits[0] < 0.2
+    final = result.rows[-1]
+    assert final["randread_cmt_hit"] < final["seqread_cmt_hit"]

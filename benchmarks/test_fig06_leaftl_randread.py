@@ -1,0 +1,11 @@
+"""Benchmark + shape check for Figure 6 (LeaFTL vs TPFTL random reads)."""
+
+from __future__ import annotations
+
+
+def test_fig06_leaftl_pays_double_and_triple_reads(figure_runner):
+    result = figure_runner("fig06")
+    rows = {row["ftl"]: row for row in result.rows}
+    assert rows["leaftl"]["normalized_throughput"] <= 1.1
+    assert rows["leaftl"]["double_fraction"] + rows["leaftl"]["triple_fraction"] > 0.3
+    assert rows["tpftl"]["triple_fraction"] == 0.0

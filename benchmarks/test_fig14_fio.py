@@ -1,0 +1,23 @@
+"""Benchmark + shape check for Figure 14 (FIO, all five FTLs)."""
+
+from __future__ import annotations
+
+
+def test_fig14_learnedftl_wins_random_reads(figure_runner):
+    result = figure_runner("fig14")
+    rows = {row["ftl"]: row for row in result.rows}
+    assert rows["learnedftl"]["randread_mb_s"] > rows["dftl"]["randread_mb_s"]
+    assert rows["learnedftl"]["randread_mb_s"] > rows["tpftl"]["randread_mb_s"]
+    assert rows["learnedftl"]["randread_mb_s"] > rows["leaftl"]["randread_mb_s"]
+    # Close to the ideal FTL (paper: ~89% of ideal under random reads).
+    assert rows["learnedftl"]["randread_mb_s"] > 0.6 * rows["ideal"]["randread_mb_s"]
+
+    hit_rows = {
+        (r["ftl"], r["pattern"]): r for r in result.extra_tables["fig14b: CMT and model hit ratios"]
+    }
+    assert hit_rows[("learnedftl", "randread")]["model_hit"] > 0.3
+    assert hit_rows[("tpftl", "randread")]["cmt_hit"] < 0.2
+    assert hit_rows[("ideal", "randread")]["single_read_fraction"] == 1.0
+
+    wa_rows = {(r["ftl"], r["pattern"]): r for r in result.extra_tables["fig14c: write amplification"]}
+    assert wa_rows[("ideal", "randwrite")]["write_amplification"] <= wa_rows[("dftl", "randwrite")]["write_amplification"]

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Figure 15 (controller computation cost)."""
+
+from __future__ import annotations
+
+
+def test_fig15_prediction_is_sub_flash_read(figure_runner):
+    result = figure_runner("fig15")
+    rows = {row["operation"]: row for row in result.rows}
+    # A model prediction is orders of magnitude cheaper than a 40 us flash read.
+    assert rows["prediction"]["measured_us"] < 40.0
+    assert rows["prediction"]["simulated_us"] < 1.0
+    assert rows["sorting"]["simulated_us"] + rows["training"]["simulated_us"] <= 60.0

@@ -1,0 +1,10 @@
+"""Benchmark + shape check for Figure 17 (sorting/training share of GC time)."""
+
+from __future__ import annotations
+
+
+def test_fig17_training_is_a_small_share_of_gc(figure_runner):
+    result = figure_runner("fig17", steps=3)
+    for row in result.rows:
+        assert row["sort_train_pct_of_gc"] < 5.0  # paper reports up to 3.2%
+    assert any(row["gc_events"] > 0 for row in result.rows)

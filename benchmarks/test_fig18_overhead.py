@@ -1,0 +1,11 @@
+"""Benchmark + shape check for Figure 18 (computation overhead on/off)."""
+
+from __future__ import annotations
+
+
+def test_fig18_compute_overhead_is_negligible(figure_runner):
+    result = figure_runner("fig18")
+    for row in result.rows:
+        assert abs(row["overhead_pct"]) < 5.0
+    panels = {row["panel"] for row in result.rows}
+    assert panels == {"a: randwrite", "b: randread", "b: seqread"}

@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Figure 19 (RocksDB db_bench)."""
+
+from __future__ import annotations
+
+
+def test_fig19_learnedftl_speeds_up_readrandom(figure_runner):
+    result = figure_runner("fig19")
+    rows = {row["ftl"]: row for row in result.rows}
+    assert rows["learnedftl"]["readrandom_normalized"] > rows["tpftl"]["readrandom_normalized"]
+    assert rows["learnedftl"]["readrandom_normalized"] > rows["leaftl"]["readrandom_normalized"]
+    assert rows["ideal"]["readrandom_normalized"] >= rows["dftl"]["readrandom_normalized"]
+    hit_rows = {
+        (r["ftl"], r["phase"]): r for r in result.extra_tables["fig19b: CMT and model hit ratios"]
+    }
+    assert hit_rows[("learnedftl", "readrandom")]["model_hit"] > 0.2

@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Figure 20 (Filebench, all FTLs)."""
+
+from __future__ import annotations
+
+
+def test_fig20_learnedftl_wins_every_personality(figure_runner):
+    result = figure_runner("fig20")
+    assert len(result.rows) == 3
+    rows = {row["workload"]: row for row in result.rows}
+    for row in result.rows:
+        assert row["learnedftl_normalized"] >= row["tpftl_normalized"] * 0.95
+        # Against LeaFTL the margin is looser on the write-heavy personalities:
+        # at tiny scale LearnedFTL's whole-group GC pays more write
+        # amplification than it does on the paper's geometry.
+        assert row["learnedftl_normalized"] >= row["leaftl_normalized"] * 0.85
+        assert row["tpftl_normalized"] >= 0.9  # everything is normalized to DFTL
+        assert row["ideal_normalized"] >= 1.0
+    # On the read-heavy webserver personality the paper ordering holds strictly.
+    assert rows["webserver"]["learnedftl_normalized"] >= rows["webserver"]["leaftl_normalized"]

@@ -1,0 +1,22 @@
+"""Benchmark + shape check for Figure 21 (tail latency under four traces)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def test_fig21_learnedftl_cuts_the_tail(figure_runner):
+    result = figure_runner("fig21")
+    by_workload = defaultdict(dict)
+    for row in result.rows:
+        by_workload[row["workload"]][row["ftl"]] = row
+    assert set(by_workload) == {"websearch1", "websearch2", "websearch3", "systor17"}
+    for workload, rows in by_workload.items():
+        assert rows["learnedftl"]["p99_ms"] <= rows["tpftl"]["p99_ms"] * 1.05
+    # On the read-only WebSearch traces LearnedFTL also beats LeaFTL's tail; on
+    # Systor (38% writes) the tiny-scale group-GC bursts make that comparison
+    # noisy, so it is only asserted for the read-dominated traces.
+    for workload in ("websearch1", "websearch2", "websearch3"):
+        rows = by_workload[workload]
+        assert rows["learnedftl"]["p99_ms"] <= rows["leaftl"]["p99_ms"] * 1.05
+        assert rows["learnedftl"]["p999_ms"] <= rows["leaftl"]["p999_ms"] * 1.1

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Figure 22 (energy under four traces)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def test_fig22_learnedftl_saves_energy_on_read_heavy_traces(figure_runner):
+    result = figure_runner("fig22")
+    by_workload = defaultdict(dict)
+    for row in result.rows:
+        by_workload[row["workload"]][row["ftl"]] = row
+    for trace in ("websearch1", "websearch2", "websearch3"):
+        rows = by_workload[trace]
+        assert rows["learnedftl"]["normalized_energy"] <= 1.02
+        assert rows["leaftl"]["normalized_energy"] >= rows["learnedftl"]["normalized_energy"]
+    # Systor is write-heavy; program/erase energy dominates and the tiny-scale
+    # group-GC write amplification pushes LearnedFTL slightly above TPFTL here
+    # (the paper reports parity on its full-size device).
+    assert by_workload["systor17"]["learnedftl"]["normalized_energy"] <= 1.4

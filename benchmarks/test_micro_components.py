@@ -1,0 +1,88 @@
+"""Microbenchmarks of LearnedFTL's core data structures.
+
+These complement the end-to-end figure benchmarks: they measure (with proper
+pytest-benchmark statistics) the per-operation cost of the pieces the paper
+argues are cheap — PLR training, model prediction, bitmap checks, the VPPN
+codec and CMT lookups — so performance regressions in the primitives are caught
+independently of the simulator around them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cmt import PageGroupedCMT
+from repro.core.learned.bitmap import Bitmap
+from repro.core.learned.inplace_model import InPlaceLinearModel
+from repro.core.learned.plr import fit_greedy_plr
+from repro.core.learned.segment import LogStructuredSegmentTable, build_segments
+from repro.nand.address import AddressCodec
+from repro.nand.geometry import SSDGeometry
+
+
+@pytest.fixture(scope="module")
+def entry_mappings():
+    """One full GTD entry worth of sorted (LPN, VPPN) mappings.
+
+    The VPPNs follow the LPNs linearly (the post-GC layout), so the fitted
+    model predicts every mapping exactly — the case the paper's fast path
+    exercises on every read.
+    """
+    rng = random.Random(7)
+    lpns = sorted(rng.sample(range(512), 384))
+    vppns = [10_000 + lpn for lpn in lpns]
+    return lpns, vppns
+
+
+def test_bench_plr_fit_full_entry(benchmark, entry_mappings):
+    lpns, vppns = entry_mappings
+    pieces = benchmark(lambda: fit_greedy_plr(lpns, vppns, gamma=0.5))
+    assert pieces
+
+
+def test_bench_model_training(benchmark, entry_mappings):
+    lpns, vppns = entry_mappings
+    model = InPlaceLinearModel(start_lpn=0, span=512, max_pieces=8)
+    result = benchmark(lambda: model.train(lpns, vppns))
+    assert result.trained_points == len(lpns)
+
+
+def test_bench_model_prediction(benchmark, entry_mappings):
+    lpns, vppns = entry_mappings
+    model = InPlaceLinearModel(start_lpn=0, span=512, max_pieces=8)
+    model.train(lpns, vppns)
+    target = lpns[len(lpns) // 2]
+    value = benchmark(lambda: model.predict(target))
+    assert value is not None
+
+
+def test_bench_bitmap_check(benchmark):
+    bitmap = Bitmap(512)
+    for index in range(0, 512, 2):
+        bitmap.set(index)
+    assert benchmark(lambda: bitmap.test(256)) is True
+
+
+def test_bench_segment_build_and_lookup(benchmark, entry_mappings):
+    lpns, vppns = entry_mappings
+    table = LogStructuredSegmentTable()
+    table.insert_many(build_segments(lpns, vppns, gamma=4.0))
+    target = lpns[10]
+    segment = benchmark(lambda: table.lookup(target))
+    assert segment is not None
+
+
+def test_bench_vppn_round_trip(benchmark):
+    codec = AddressCodec(SSDGeometry.paper())
+    ppn = 5_013_631
+    value = benchmark(lambda: codec.vppn_to_ppn(codec.ppn_to_vppn(ppn)))
+    assert value == ppn
+
+
+def test_bench_cmt_lookup(benchmark):
+    cmt = PageGroupedCMT(capacity_entries=4096, mappings_per_page=512)
+    for lpn in range(4000):
+        cmt.insert(lpn, lpn + 100)
+    assert benchmark(lambda: cmt.lookup(2000)) == 2100

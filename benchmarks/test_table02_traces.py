@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Table II (trace characteristics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table02_traces import PAPER_TABLE_II
+
+
+def test_table02_generators_match_paper_characteristics(figure_runner):
+    result = figure_runner("table02")
+    assert len(result.rows) == 4
+    for row in result.rows:
+        target = PAPER_TABLE_II[row["trace"]]
+        assert row["avg_io_kb"] == pytest.approx(target["avg_io_kb"], rel=0.15)
+        assert row["read_ratio"] == pytest.approx(target["read_ratio"], abs=0.05)

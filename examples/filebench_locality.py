@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Filebench-style file-server workloads: locality vs learned models.
+
+The paper's Figure 7/20 point: a demand-based CMT is great at locality-heavy
+file-server traffic, a purely learned FTL (LeaFTL) is not, and LearnedFTL keeps
+the CMT *and* adds models, so it wins on both locality and the long tail of
+cache misses.  This example runs the three Table I personalities on all five
+FTLs and prints throughput plus the read breakdown.
+
+Run with::
+
+    python examples/filebench_locality.py
+    python examples/filebench_locality.py --workload webserver --operations 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SSD, SSDGeometry
+from repro.analysis import format_table
+from repro.workloads import FILEBENCH_PRESETS, FilebenchWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload",
+        choices=sorted(FILEBENCH_PRESETS) + ["all"],
+        default="all",
+        help="which personality to run",
+    )
+    parser.add_argument("--operations", type=int, default=2_000, help="file operations per run")
+    parser.add_argument("--medium", action="store_true", help="use the ~1 GB geometry")
+    args = parser.parse_args()
+
+    geometry = SSDGeometry.medium() if args.medium else SSDGeometry.small()
+    personalities = sorted(FILEBENCH_PRESETS) if args.workload == "all" else [args.workload]
+
+    for personality in personalities:
+        rows = []
+        for ftl_name in ("dftl", "tpftl", "leaftl", "learnedftl", "ideal"):
+            ssd = SSD.create(ftl_name, geometry)
+            workload = FilebenchWorkload.preset(personality, geometry)
+            ssd.fill_sequential(io_pages=64)
+            ssd.run(workload.preconditioning(), threads=8)
+            ssd.reset_stats()
+
+            ssd.run(workload.requests(args.operations), threads=min(workload.threads, 16))
+            stats = ssd.stats
+            rows.append(
+                {
+                    "ftl": ftl_name,
+                    "throughput_mb_s": round(stats.throughput_mb_s(), 1),
+                    "cmt_hit": round(stats.cmt_hit_ratio(), 3),
+                    "model_hit": round(stats.model_hit_ratio(), 3),
+                    "single_reads": round(stats.single_read_fraction(), 3),
+                    "write_amplification": round(stats.write_amplification(), 2),
+                }
+            )
+            ssd.verify()
+        title = f"filebench {personality} ({FILEBENCH_PRESETS[personality].file_count:,} files in the paper)"
+        print(format_table(rows, title=title))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so legacy (non-PEP-517) editable installs work offline."""
+
+from setuptools import setup
+
+setup()

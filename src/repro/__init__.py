@@ -1,0 +1,63 @@
+"""LearnedFTL (HPCA 2024) reproduction.
+
+A trace/event-driven SSD simulator with five page-level FTL designs — DFTL,
+TPFTL, LeaFTL, LearnedFTL and an ideal full-page-mapping FTL — plus the
+workload generators and experiment harnesses needed to regenerate every figure
+and table of the paper's evaluation.
+
+Quick start::
+
+    from repro import SSD, SSDGeometry
+    from repro.workloads import FioJob
+
+    ssd = SSD.create("learnedftl", SSDGeometry.small())
+    ssd.fill_sequential()
+    result = ssd.run(FioJob.randread(num_requests=5_000).requests(ssd.geometry), threads=4)
+    print(result.stats.summary())
+"""
+
+from repro.core import (
+    DFTL,
+    FTLBase,
+    FTLConfig,
+    IdealFTL,
+    LeaFTL,
+    LearnedFTL,
+    TPFTL,
+)
+from repro.nand import AddressCodec, FlashArray, SSDGeometry, TimingModel
+from repro.ssd import (
+    FTL_REGISTRY,
+    EnergyModel,
+    HostRequest,
+    OpType,
+    RunResult,
+    SSD,
+    SimulationStats,
+    create_ftl,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SSD",
+    "SSDGeometry",
+    "TimingModel",
+    "AddressCodec",
+    "FlashArray",
+    "FTLBase",
+    "FTLConfig",
+    "DFTL",
+    "TPFTL",
+    "LeaFTL",
+    "LearnedFTL",
+    "IdealFTL",
+    "FTL_REGISTRY",
+    "create_ftl",
+    "EnergyModel",
+    "HostRequest",
+    "OpType",
+    "RunResult",
+    "SimulationStats",
+]

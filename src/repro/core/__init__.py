@@ -1,0 +1,56 @@
+"""FTL designs: DFTL, TPFTL, LeaFTL, LearnedFTL and the ideal page-mapping FTL."""
+
+from repro.core.allocation import (
+    GroupAllocator,
+    GroupGCNeeded,
+    StripeMap,
+    StripingAllocator,
+    TranslationPool,
+)
+from repro.core.base import FTLBase, FTLConfig, StripingFTLBase
+from repro.core.cmt import EntryLevelCMT, EvictedPage, PageGroupedCMT
+from repro.core.dftl import DFTL
+from repro.core.idealftl import IdealFTL
+from repro.core.leaftl import LeaFTL
+from repro.core.learned import (
+    Bitmap,
+    InPlaceLinearModel,
+    LearnedSegment,
+    LinearPiece,
+    LogStructuredSegmentTable,
+    build_segments,
+    fit_fixed_pieces,
+    fit_greedy_plr,
+)
+from repro.core.learnedftl import LearnedFTL
+from repro.core.mapping import MappingDirectory, TranslationPageStore
+from repro.core.tpftl import TPFTL
+
+__all__ = [
+    "FTLBase",
+    "FTLConfig",
+    "StripingFTLBase",
+    "DFTL",
+    "TPFTL",
+    "LeaFTL",
+    "LearnedFTL",
+    "IdealFTL",
+    "MappingDirectory",
+    "TranslationPageStore",
+    "EntryLevelCMT",
+    "PageGroupedCMT",
+    "EvictedPage",
+    "StripeMap",
+    "StripingAllocator",
+    "GroupAllocator",
+    "GroupGCNeeded",
+    "TranslationPool",
+    "Bitmap",
+    "LinearPiece",
+    "fit_greedy_plr",
+    "fit_fixed_pieces",
+    "LearnedSegment",
+    "LogStructuredSegmentTable",
+    "build_segments",
+    "InPlaceLinearModel",
+]

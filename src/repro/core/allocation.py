@@ -1,0 +1,598 @@
+"""Physical page allocation strategies.
+
+Three cooperating pieces live here:
+
+* :class:`StripeMap` — describes *stripes*: the set of blocks sharing one block
+  offset across every channel, chip and plane.  Pages inside a stripe are
+  numbered in the device's write-striping order (channel fastest), which is by
+  construction the **virtual PPN order** of Section III-C: filling a stripe
+  front to back yields consecutive VPPNs while spreading programs over all
+  parallel units.
+
+* :class:`StripingAllocator` — the *dynamic allocation* used by DFTL, TPFTL,
+  LeaFTL and the ideal FTL: every write goes to the next chip in round-robin
+  order (FEMU's default greedy allocation), each chip appending into its active
+  block.
+
+* :class:`GroupAllocator` — LearnedFTL's *group-based allocation*
+  (Section III-D): the GTD is split into entry groups, each group is granted
+  whole stripes, and writes belonging to a group fill that group's active
+  stripe in VPPN order.  Hot groups that exhaust their stripes may borrow free
+  pages from cold groups (opportunistic cross-group allocation); crossing the
+  borrow threshold, running out of stripes, or hitting the per-group stripe
+  limit requests a group GC via :class:`GroupGCNeeded`.
+
+Both allocators reserve a small pool of blocks for translation pages, managed
+by :class:`TranslationPool`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nand.address import AddressCodec, FlashAddress
+from repro.nand.errors import AllocationError, ConfigurationError, OutOfSpaceError
+from repro.nand.flash import FlashArray, PageState
+from repro.nand.geometry import SSDGeometry
+
+__all__ = [
+    "StripeMap",
+    "TranslationPool",
+    "StripingAllocator",
+    "GroupAllocator",
+    "GroupGCNeeded",
+]
+
+
+class GroupGCNeeded(AllocationError):
+    """Raised when the group allocator needs the FTL to garbage-collect first."""
+
+    def __init__(self, victim_group: int, message: str = "") -> None:
+        super().__init__(message or f"group {victim_group} requires garbage collection")
+        self.victim_group = victim_group
+
+
+class StripeMap:
+    """Stripe geometry: one block offset across every channel/chip/plane."""
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self.codec = AddressCodec(geometry)
+        self.num_stripes = geometry.blocks_per_plane
+        self.blocks_per_stripe = geometry.num_chips * geometry.planes_per_chip
+        self.pages_per_stripe = self.blocks_per_stripe * geometry.pages_per_block
+
+    def blocks_of(self, stripe: int) -> list[int]:
+        """Flat block indices composing a stripe."""
+        self._check(stripe)
+        g = self.geometry
+        blocks = []
+        for channel in range(g.channels):
+            for chip in range(g.chips_per_channel):
+                for plane in range(g.planes_per_chip):
+                    address = FlashAddress(channel=channel, chip=chip, plane=plane, block=stripe, page=0)
+                    blocks.append(self.codec.block_of(address))
+        return blocks
+
+    def ppn_at(self, stripe: int, index: int) -> int:
+        """PPN of the ``index``-th page of a stripe in VPPN (allocation) order."""
+        self._check(stripe)
+        if not 0 <= index < self.pages_per_stripe:
+            raise AllocationError(
+                f"stripe index {index} out of range [0, {self.pages_per_stripe})"
+            )
+        g = self.geometry
+        channel = index % g.channels
+        rest = index // g.channels
+        chip = rest % g.chips_per_channel
+        rest //= g.chips_per_channel
+        plane = rest % g.planes_per_chip
+        page = rest // g.planes_per_chip
+        return self.codec.encode_ppn(
+            FlashAddress(channel=channel, chip=chip, plane=plane, block=stripe, page=page)
+        )
+
+    def stripe_of_block(self, block: int) -> int:
+        """Stripe id containing a flat block index."""
+        base_ppn = self.codec.block_base_ppn(block)
+        return self.codec.decode_ppn(base_ppn).block
+
+    def _check(self, stripe: int) -> None:
+        if not 0 <= stripe < self.num_stripes:
+            raise AllocationError(f"stripe {stripe} out of range [0, {self.num_stripes})")
+
+
+class TranslationPool:
+    """Free-page management for the blocks reserved for translation pages."""
+
+    def __init__(self, flash: FlashArray, blocks: list[int]) -> None:
+        if not blocks:
+            raise ConfigurationError("translation pool needs at least one block")
+        self.flash = flash
+        self.blocks = list(blocks)
+        self._free_blocks: list[int] = list(blocks)
+        self._active: int | None = None
+        self._cursor = 0
+
+    def allocate(self) -> int:
+        """Return the next free translation-page PPN.
+
+        Raises :class:`OutOfSpaceError` when the pool is exhausted; callers are
+        expected to have run translation GC before that can happen (see
+        :meth:`needs_gc`).
+        """
+        if self._active is None or self._cursor >= self.flash.geometry.pages_per_block:
+            if not self._free_blocks:
+                raise OutOfSpaceError("translation pool exhausted; run translation GC")
+            self._active = self._free_blocks.pop(0)
+            self._cursor = 0
+        ppn = self.flash.codec.block_base_ppn(self._active) + self._cursor
+        self._cursor += 1
+        return ppn
+
+    def free_pages(self) -> int:
+        """Free translation-page slots remaining without GC."""
+        pages_per_block = self.flash.geometry.pages_per_block
+        active_free = 0 if self._active is None else pages_per_block - self._cursor
+        return active_free + len(self._free_blocks) * pages_per_block
+
+    def needs_gc(self, *, slack_pages: int = 8) -> bool:
+        """True when a translation GC should run before more flushes."""
+        return self.free_pages() <= slack_pages
+
+    def victim_block(self) -> int | None:
+        """Written pool block with the fewest valid pages, or ``None``.
+
+        The block currently being appended to is excluded unless it is already
+        full (a full "active" block is just a written block awaiting reuse).
+        """
+        pages_per_block = self.flash.geometry.pages_per_block
+        candidates = []
+        for block in self.blocks:
+            if block in self._free_blocks:
+                continue
+            if block == self._active and self._cursor < pages_per_block:
+                continue
+            if self.flash.block(block).programmed == 0:
+                continue
+            candidates.append(block)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda block: self.flash.block(block).valid_count)
+
+    def release(self, block: int) -> None:
+        """Return an erased block to the pool's free list."""
+        if block not in self.blocks:
+            raise AllocationError(f"block {block} does not belong to the translation pool")
+        self._free_blocks.append(block)
+
+
+def _reserve_translation_blocks(geometry: SSDGeometry, stripe_map: StripeMap) -> tuple[list[int], set[int]]:
+    """Pick whole tail stripes to hold translation pages; returns (blocks, stripe ids)."""
+    needed_pages = max(1, geometry.num_translation_pages) * 4
+    needed_blocks = -(-needed_pages // geometry.pages_per_block)
+    needed_stripes = max(1, -(-needed_blocks // stripe_map.blocks_per_stripe))
+    if needed_stripes >= stripe_map.num_stripes:
+        raise ConfigurationError(
+            "geometry too small: translation pages would consume every stripe"
+        )
+    stripes = set(range(stripe_map.num_stripes - needed_stripes, stripe_map.num_stripes))
+    blocks: list[int] = []
+    for stripe in sorted(stripes):
+        blocks.extend(stripe_map.blocks_of(stripe))
+    return blocks, stripes
+
+
+class StripingAllocator:
+    """Dynamic allocation: round-robin striping across chips (FEMU default)."""
+
+    def __init__(self, geometry: SSDGeometry, flash: FlashArray) -> None:
+        self.geometry = geometry
+        self.flash = flash
+        self.codec = flash.codec
+        self.stripe_map = StripeMap(geometry)
+        translation_blocks, self._translation_stripes = _reserve_translation_blocks(
+            geometry, self.stripe_map
+        )
+        self.translation_pool = TranslationPool(flash, translation_blocks)
+        translation_set = set(translation_blocks)
+        self._free_blocks_per_chip: dict[int, list[int]] = {
+            chip: [] for chip in range(geometry.num_chips)
+        }
+        for block in range(geometry.num_blocks):
+            if block in translation_set:
+                continue
+            self._free_blocks_per_chip[self.codec.chip_of_block(block)].append(block)
+        self._active_block: dict[int, int | None] = {chip: None for chip in range(geometry.num_chips)}
+        self._block_cursor: dict[int, int] = {}
+        # Striping visits chips in channel-fastest order (channel 0 of every
+        # way before channel 1, ...), matching the fastest allocation order of
+        # Hu et al. [13] and the VPPN field order of Section III-C: when the
+        # per-chip active blocks are aligned, back-to-back allocations receive
+        # consecutive virtual PPNs.
+        self._chip_order = [
+            channel * geometry.chips_per_channel + chip
+            for chip in range(geometry.chips_per_channel)
+            for channel in range(geometry.channels)
+        ]
+        self._rr_pointer = 0
+        self.data_block_count = sum(len(blocks) for blocks in self._free_blocks_per_chip.values())
+
+    # ------------------------------------------------------------ data pages
+    def allocate_data(self, count: int = 1) -> list[int]:
+        """Allocate ``count`` data-page PPNs, striping across chips."""
+        ppns = []
+        for _ in range(count):
+            ppns.append(self._allocate_one())
+        return ppns
+
+    def _allocate_one(self) -> int:
+        num_chips = self.geometry.num_chips
+        for attempt in range(num_chips):
+            slot = (self._rr_pointer + attempt) % num_chips
+            chip = self._chip_order[slot]
+            ppn = self._allocate_on_chip(chip)
+            if ppn is not None:
+                self._rr_pointer = (slot + 1) % num_chips
+                return ppn
+        raise OutOfSpaceError("no free data pages on any chip; garbage collection required")
+
+    def _allocate_on_chip(self, chip: int) -> int | None:
+        active = self._active_block[chip]
+        pages_per_block = self.geometry.pages_per_block
+        if active is not None and self._block_cursor.get(active, 0) >= pages_per_block:
+            active = None
+        if active is None:
+            free_list = self._free_blocks_per_chip[chip]
+            if not free_list:
+                self._active_block[chip] = None
+                return None
+            active = free_list.pop(0)
+            self._active_block[chip] = active
+            self._block_cursor[active] = 0
+        cursor = self._block_cursor[active]
+        ppn = self.codec.block_base_ppn(active) + cursor
+        self._block_cursor[active] = cursor + 1
+        return ppn
+
+    # ------------------------------------------------------ pool bookkeeping
+    def allocate_translation(self) -> int:
+        """Allocate one translation-page PPN."""
+        return self.translation_pool.allocate()
+
+    def free_data_blocks(self) -> int:
+        """Number of completely free data blocks remaining."""
+        return sum(len(blocks) for blocks in self._free_blocks_per_chip.values())
+
+    def active_blocks(self) -> set[int]:
+        """Blocks currently being appended to (excluded from GC).
+
+        A chip's active block that is already fully programmed is not returned:
+        it can no longer receive writes and is a legitimate GC victim.
+        """
+        pages_per_block = self.geometry.pages_per_block
+        return {
+            block
+            for block in self._active_block.values()
+            if block is not None and self._block_cursor.get(block, 0) < pages_per_block
+        }
+
+    def release_block(self, block: int) -> None:
+        """Return an erased data block to its chip's free list."""
+        chip = self.codec.chip_of_block(block)
+        self._block_cursor.pop(block, None)
+        if self._active_block.get(chip) == block:
+            self._active_block[chip] = None
+        self._free_blocks_per_chip[chip].append(block)
+
+    def victim_block(self) -> int | None:
+        """Greedy GC victim: written, non-active data block with fewest valid pages."""
+        active = self.active_blocks()
+        translation_blocks = set(self.translation_pool.blocks)
+        best_block: int | None = None
+        best_valid: int | None = None
+        for block in range(self.geometry.num_blocks):
+            if block in translation_blocks or block in active:
+                continue
+            info = self.flash.block(block)
+            if info.programmed == 0:
+                continue
+            if best_valid is None or info.valid_count < best_valid:
+                best_valid = info.valid_count
+                best_block = block
+        return best_block
+
+
+@dataclass
+class GroupState:
+    """Allocation state of one GTD entry group."""
+
+    stripes: list[int] = field(default_factory=list)
+    borrowed_pages: int = 0
+    lenders: set[int] = field(default_factory=set)
+    writes: int = 0
+    gc_hint: bool = False
+
+
+class GroupAllocator:
+    """LearnedFTL's group-based allocation with opportunistic cross-group borrowing."""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        flash: FlashArray,
+        *,
+        group_stripe_limit: int = 2,
+        borrow_threshold_fraction: float = 0.5,
+        gc_reserve_stripes: int = 1,
+    ) -> None:
+        if group_stripe_limit < 1:
+            raise ConfigurationError("group_stripe_limit must be >= 1")
+        if gc_reserve_stripes < 0:
+            raise ConfigurationError("gc_reserve_stripes must be >= 0")
+        self.geometry = geometry
+        self.flash = flash
+        self.codec = flash.codec
+        self.stripe_map = StripeMap(geometry)
+        translation_blocks, translation_stripes = _reserve_translation_blocks(geometry, self.stripe_map)
+        self.translation_pool = TranslationPool(flash, translation_blocks)
+        self.group_stripe_limit = group_stripe_limit
+        self.borrow_threshold_pages = max(
+            1, int(self.stripe_map.pages_per_stripe * borrow_threshold_fraction)
+        )
+        mappings_per_tp = geometry.mappings_per_translation_page
+        self.entries_per_group = max(1, self.stripe_map.pages_per_stripe // mappings_per_tp)
+        self.lpns_per_group = self.entries_per_group * mappings_per_tp
+        self.num_groups = -(-geometry.num_logical_pages // self.lpns_per_group)
+        # On the paper's geometry one group fits exactly in one stripe.  Small or
+        # unusual geometries may need several stripes per group span; the stripe
+        # budget below scales accordingly.
+        self.stripes_per_span = max(
+            1, -(-self.lpns_per_group // self.stripe_map.pages_per_stripe)
+        )
+        self._free_stripes: list[int] = [
+            stripe for stripe in range(self.stripe_map.num_stripes) if stripe not in translation_stripes
+        ]
+        # Keep a few stripes that only GC write-back may consume, so a group GC
+        # always has somewhere to relocate valid pages even under full pressure.
+        self.gc_reserve_stripes = min(
+            max(gc_reserve_stripes, self.stripes_per_span),
+            max(0, len(self._free_stripes) - 1),
+        )
+        self._groups: list[GroupState] = [GroupState() for _ in range(self.num_groups)]
+        self._stripe_owner: dict[int, int] = {}
+        self._stripe_cursor: dict[int, int] = {}
+
+    # ------------------------------------------------------------- geometry
+    def group_of_lpn(self, lpn: int) -> int:
+        """The GTD entry group an LPN belongs to."""
+        return lpn // self.lpns_per_group
+
+    def group_of_tvpn(self, tvpn: int) -> int:
+        """The GTD entry group a translation page (GTD entry) belongs to."""
+        return tvpn // self.entries_per_group
+
+    def tvpns_of_group(self, group: int) -> range:
+        """The GTD entries (translation pages) belonging to a group."""
+        start = group * self.entries_per_group
+        end = min(start + self.entries_per_group, self.geometry.num_translation_pages)
+        return range(start, end)
+
+    def lpn_range_of_group(self, group: int) -> range:
+        """The LPN range covered by a group."""
+        start = group * self.lpns_per_group
+        return range(start, min(start + self.lpns_per_group, self.geometry.num_logical_pages))
+
+    def group_state(self, group: int) -> GroupState:
+        """The mutable allocation state of a group (for tests and GC)."""
+        return self._groups[group]
+
+    def stripes_of_group(self, group: int) -> list[int]:
+        """The stripes currently assigned to a group."""
+        return list(self._groups[group].stripes)
+
+    def owner_of_stripe(self, stripe: int) -> int | None:
+        """The owning group of a stripe, if assigned."""
+        return self._stripe_owner.get(stripe)
+
+    def free_stripe_count(self) -> int:
+        """Stripes not assigned to any group."""
+        return len(self._free_stripes)
+
+    def total_free_pages(self) -> int:
+        """Free (never-programmed-since-erase) data pages across the whole device."""
+        pages_per_stripe = self.stripe_map.pages_per_stripe
+        free = len(self._free_stripes) * pages_per_stripe
+        for stripe in self._stripe_owner:
+            free += pages_per_stripe - self._stripe_cursor.get(stripe, 0)
+        return free
+
+    # ------------------------------------------------------------ allocation
+    def allocate_page(self, group: int) -> tuple[int, int]:
+        """Allocate one data page for a group.
+
+        Returns ``(ppn, owner_group_of_the_stripe)``; the owner differs from
+        ``group`` when the page was borrowed from a cold group's stripe.
+        Raises :class:`GroupGCNeeded` when the FTL must garbage-collect first.
+        """
+        state = self._groups[group]
+        state.writes += 1
+        ppn = self._allocate_from_own_stripes(group)
+        if ppn is not None:
+            return ppn, group
+        # Need a new stripe for this group (leaving the GC reserve untouched).
+        if (
+            len(state.stripes) < self.group_stripe_limit * self.stripes_per_span
+            and len(self._free_stripes) > self.gc_reserve_stripes
+        ):
+            stripe = self._free_stripes.pop(0)
+            self._assign_stripe(group, stripe)
+            return self._take_from_stripe(stripe), group
+        # Either the group hit its stripe limit or no free stripes remain:
+        # opportunistic cross-group allocation into a cold group's stripe.
+        lender = self._pick_lender(exclude=group)
+        if lender is not None:
+            lender_stripe = self._stripe_with_space(lender)
+            if lender_stripe is not None:
+                state.borrowed_pages += 1
+                state.lenders.add(lender)
+                ppn = self._take_from_stripe(lender_stripe)
+                if state.borrowed_pages >= self.borrow_threshold_pages:
+                    # Encroachment threshold reached: hint the FTL to collect this
+                    # group (and, transitively, its lenders) after the current write.
+                    state.gc_hint = True
+                return ppn, lender
+        # No lender available: ask the FTL to collect the most garbage-laden group.
+        victim = self.gc_candidate(exclude_if_empty=True)
+        if victim is None:
+            raise OutOfSpaceError("no free stripes, no lender and nothing to collect")
+        raise GroupGCNeeded(victim)
+
+    def _allocate_from_own_stripes(self, group: int) -> int | None:
+        for stripe in reversed(self._groups[group].stripes):
+            if self._stripe_cursor.get(stripe, 0) < self.stripe_map.pages_per_stripe:
+                return self._take_from_stripe(stripe)
+        return None
+
+    def _take_from_stripe(self, stripe: int) -> int:
+        cursor = self._stripe_cursor.get(stripe, 0)
+        if cursor >= self.stripe_map.pages_per_stripe:
+            raise AllocationError(f"stripe {stripe} is full")
+        self._stripe_cursor[stripe] = cursor + 1
+        return self.stripe_map.ppn_at(stripe, cursor)
+
+    def _assign_stripe(self, group: int, stripe: int) -> None:
+        self._groups[group].stripes.append(stripe)
+        self._stripe_owner[stripe] = group
+        self._stripe_cursor[stripe] = 0
+
+    def _stripe_with_space(self, group: int) -> int | None:
+        for stripe in self._groups[group].stripes:
+            if self._stripe_cursor.get(stripe, 0) < self.stripe_map.pages_per_stripe:
+                return stripe
+        return None
+
+    def _pick_lender(self, exclude: int) -> int | None:
+        best: tuple[int, int] | None = None  # (free_pages, group) maximizing free pages
+        for group, state in enumerate(self._groups):
+            if group == exclude or not state.stripes:
+                continue
+            free_pages = sum(
+                self.stripe_map.pages_per_stripe - self._stripe_cursor.get(stripe, 0)
+                for stripe in state.stripes
+            )
+            if free_pages <= 0:
+                continue
+            if best is None or free_pages > best[0] or (free_pages == best[0] and state.writes < self._groups[best[1]].writes):
+                best = (free_pages, group)
+        return None if best is None else best[1]
+
+    def take_gc_hints(self) -> list[int]:
+        """Groups whose borrow budget overflowed since the last call (and reset them)."""
+        hinted = []
+        for group, state in enumerate(self._groups):
+            if state.gc_hint:
+                state.gc_hint = False
+                state.borrowed_pages = 0
+                hinted.append(group)
+        return hinted
+
+    # ---------------------------------------------------------------- GC API
+    def gc_candidate(self, *, exclude_if_empty: bool = False) -> int | None:
+        """The group with the most invalid data pages (the paper's victim rule)."""
+        best_group: int | None = None
+        best_invalid = -1
+        for group, state in enumerate(self._groups):
+            invalid = 0
+            for stripe in state.stripes:
+                for block in self.stripe_map.blocks_of(stripe):
+                    invalid += self.flash.block(block).invalid_count
+            if exclude_if_empty and invalid == 0:
+                continue
+            if invalid > best_invalid:
+                best_invalid = invalid
+                best_group = group
+        return best_group
+
+    def groups_resident_in_stripes(self, stripes: list[int]) -> set[int]:
+        """Groups owning valid data pages inside the given stripes."""
+        residents: set[int] = set()
+        for stripe in stripes:
+            for block in self.stripe_map.blocks_of(stripe):
+                for ppn in self.codec.block_ppns(block):
+                    info = self.flash.page(ppn)
+                    if info.state is PageState.VALID and info.lpn is not None and not info.is_translation:
+                        residents.add(self.group_of_lpn(info.lpn))
+        return residents
+
+    def begin_fresh_stripes(self, group: int, count: int) -> list[int]:
+        """Take ``count`` free stripes for a group's GC write-back destination."""
+        if len(self._free_stripes) < count:
+            raise OutOfSpaceError(
+                f"group GC needs {count} free stripes but only {len(self._free_stripes)} remain"
+            )
+        stripes = [self._free_stripes.pop(0) for _ in range(count)]
+        return stripes
+
+    def emergency_allocate_page(
+        self, group: int, *, avoid_stripes: set[int] | None = None
+    ) -> tuple[int, int]:
+        """Last-resort GC destination page when no free stripe remains.
+
+        Prefers free pages in stripes the group already owns, then any stripe
+        with space (including other groups' partially-filled GC destinations).
+        ``avoid_stripes`` lists stripes the caller is in the middle of emptying;
+        they are used only when nothing else has space.  Loses the
+        sorted-contiguity property for the affected pages — the model evaluation
+        step simply marks them inaccurate — but keeps the collection making
+        progress.  Returns ``(ppn, owner_group)``.
+        """
+        avoid = avoid_stripes or set()
+        own = [
+            stripe
+            for stripe in self._groups[group].stripes
+            if stripe not in avoid
+            and self._stripe_cursor.get(stripe, 0) < self.stripe_map.pages_per_stripe
+        ]
+        if own:
+            return self._take_from_stripe(own[0]), group
+        for preferred in (True, False):
+            for stripe, owner in self._stripe_owner.items():
+                if preferred and stripe in avoid:
+                    continue
+                if self._stripe_cursor.get(stripe, 0) < self.stripe_map.pages_per_stripe:
+                    return self._take_from_stripe(stripe), owner
+        if self._free_stripes:
+            stripe = self._free_stripes.pop(0)
+            self._assign_stripe(group, stripe)
+            return self._take_from_stripe(stripe), group
+        raise OutOfSpaceError("no free page anywhere for GC write-back")
+
+    def assign_gc_destination(self, group: int, stripes: list[int], pages_written: int) -> None:
+        """Record the fresh stripes a group's GC write-back filled."""
+        for stripe in stripes:
+            self._assign_stripe(group, stripe)
+        remaining = pages_written
+        for stripe in stripes:
+            used = min(remaining, self.stripe_map.pages_per_stripe)
+            self._stripe_cursor[stripe] = used
+            remaining -= used
+
+    def release_stripe(self, stripe: int) -> None:
+        """Return a fully-erased stripe to the free list."""
+        owner = self._stripe_owner.pop(stripe, None)
+        self._stripe_cursor.pop(stripe, None)
+        if owner is not None and stripe in self._groups[owner].stripes:
+            self._groups[owner].stripes.remove(stripe)
+        self._free_stripes.append(stripe)
+
+    def reset_borrow_state(self, group: int) -> None:
+        """Forget a group's borrow bookkeeping after it has been collected."""
+        state = self._groups[group]
+        state.borrowed_pages = 0
+        state.lenders.clear()
+        state.gc_hint = False
+
+    def allocate_translation(self) -> int:
+        """Allocate one translation-page PPN from the reserved pool."""
+        return self.translation_pool.allocate()

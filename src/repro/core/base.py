@@ -1,0 +1,388 @@
+"""Common FTL machinery shared by every mapping scheme in the repository.
+
+:class:`FTLConfig` carries every tunable referenced in the paper's evaluation
+(CMT size ratio, LeaFTL's error bound and buffer size, LearnedFTL's piece
+budget and group parameters, GC thresholds, and the switches that turn the
+controller-computation charges on/off for Figure 18).
+
+:class:`FTLBase` owns the objects every design needs — flash array, address
+codec, authoritative mapping directory, statistics — and defines the
+``read`` / ``write`` entry points the device calls.
+
+:class:`StripingFTLBase` adds the pieces shared by all *dynamic allocation*
+designs (DFTL, TPFTL, LeaFTL and the ideal page-mapping FTL): the striping
+allocator, flash-resident translation pages, greedy garbage collection and the
+write path.  LearnedFTL uses the group allocator and therefore derives directly
+from :class:`FTLBase`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+from repro.core.allocation import StripingAllocator
+from repro.core.mapping import MappingDirectory, TranslationPageStore
+from repro.nand.errors import ConfigurationError
+from repro.nand.flash import FlashArray, PageState
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+from repro.ssd.request import (
+    CommandKind,
+    CommandPurpose,
+    FlashCommand,
+    HostRequest,
+    OpType,
+    ReadOutcome,
+    Stage,
+    Transaction,
+)
+from repro.ssd.stats import GCEvent, SimulationStats
+
+__all__ = ["FTLConfig", "FTLBase", "StripingFTLBase"]
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Tunable parameters for every FTL design.
+
+    Only the fields relevant to a given design are consulted by it; keeping a
+    single configuration object makes experiment sweeps trivial.
+    """
+
+    # Mapping-cache sizing -------------------------------------------------
+    cmt_ratio: float = 0.03
+    """CMT capacity as a fraction of the full page-mapping table (DFTL/TPFTL/LeaFTL)."""
+
+    learnedftl_cmt_ratio: float = 0.015
+    """LearnedFTL's CMT ratio: half of the others so the learned models' memory
+    keeps the total DRAM budget identical (Section IV-A)."""
+
+    min_cmt_entries: int = 64
+    """Lower bound on CMT capacity so tiny test geometries stay functional."""
+
+    # TPFTL ------------------------------------------------------------------
+    prefetch_max_entries: int = 64
+    """Upper bound on TPFTL's workload-adaptive prefetch length."""
+
+    # LeaFTL ------------------------------------------------------------------
+    leaftl_gamma: float = 4.0
+    """LeaFTL's PLR error bound (larger = fewer, more approximate segments)."""
+
+    leaftl_buffer_pages: int = 2048
+    """Mappings buffered before LeaFTL sorts, trains and flushes segments."""
+
+    # LearnedFTL ---------------------------------------------------------------
+    max_pieces: int = 8
+    """Pieces per in-place-update linear model (paper default: 8)."""
+
+    group_stripe_limit: int = 2
+    """Stripes a GTD entry group may hold before GC is requested."""
+
+    borrow_threshold_fraction: float = 0.5
+    """Fraction of a stripe a hot group may borrow before GC of both groups."""
+
+    sequential_init_min_pages: int = 2
+    """Minimum write-request length eligible for sequential initialization."""
+
+    charge_compute: bool = True
+    """Charge sorting/training/prediction time on the simulated timeline."""
+
+    train_on_gc: bool = True
+    """Train models during GC (switching this off isolates sequential init)."""
+
+    # Garbage collection --------------------------------------------------------
+    gc_free_block_fraction: float = 0.03
+    """Greedy GC starts when free data blocks drop below this fraction."""
+
+    gc_target_free_blocks: int = 0
+    """Free blocks greedy GC tries to restore (0 = threshold + one per chip)."""
+
+    def cmt_entries(self, geometry: SSDGeometry, *, learnedftl: bool = False) -> int:
+        """Translate a CMT ratio into an entry budget for a geometry."""
+        ratio = self.learnedftl_cmt_ratio if learnedftl else self.cmt_ratio
+        return max(self.min_cmt_entries, int(geometry.num_logical_pages * ratio))
+
+    def with_cmt_ratio(self, ratio: float) -> "FTLConfig":
+        """Copy of this config with a different CMT ratio (Figure 3 sweep)."""
+        return replace(self, cmt_ratio=ratio)
+
+
+class FTLBase(ABC):
+    """Interface and shared state of every FTL design."""
+
+    name: str = "base"
+    description: str = ""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        *,
+        timing: TimingModel | None = None,
+        config: FTLConfig | None = None,
+        stats: SimulationStats | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing or TimingModel.femu_default()
+        self.config = config or FTLConfig()
+        self.stats = stats or SimulationStats()
+        self.flash = FlashArray(geometry)
+        self.codec = self.flash.codec
+        self.directory = MappingDirectory(geometry)
+
+    # ------------------------------------------------------------ interface
+    def process(self, request: HostRequest, now: float = 0.0) -> Transaction:
+        """Handle one host request and return its flash transaction."""
+        self.stats.record_host_request(request.op is OpType.READ, request.npages)
+        if request.op is OpType.READ:
+            return self.read(request, now)
+        return self.write(request, now)
+
+    @abstractmethod
+    def read(self, request: HostRequest, now: float) -> Transaction:
+        """Translate and serve a host read."""
+
+    @abstractmethod
+    def write(self, request: HostRequest, now: float) -> Transaction:
+        """Allocate, program and persist mappings for a host write."""
+
+    # -------------------------------------------------------------- helpers
+    def data_read_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_READ) -> FlashCommand:
+        """Build (and account in the flash array) a data-page read."""
+        self.flash.read(ppn)
+        return FlashCommand(
+            kind=CommandKind.READ, chip=self.codec.chip_index(ppn), ppn=ppn, purpose=purpose
+        )
+
+    def probe_read_command(self, ppn: int) -> FlashCommand:
+        """Build a read of a possibly-unprogrammed page (LeaFTL misprediction probe)."""
+        info = self.flash.page(ppn)
+        if info.state.value != "free":
+            self.flash.read(ppn)
+        return FlashCommand(
+            kind=CommandKind.READ,
+            chip=self.codec.chip_index(ppn),
+            ppn=ppn,
+            purpose=CommandPurpose.OOB_PROBE,
+        )
+
+    def program_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_WRITE) -> FlashCommand:
+        """Build a program command for an already-programmed PPN."""
+        return FlashCommand(
+            kind=CommandKind.PROGRAM, chip=self.codec.chip_index(ppn), ppn=ppn, purpose=purpose
+        )
+
+    def erase_command(self, block: int, purpose: CommandPurpose = CommandPurpose.GC_ERASE) -> FlashCommand:
+        """Build an erase command for a flat block index."""
+        base = self.codec.block_base_ppn(block)
+        return FlashCommand(
+            kind=CommandKind.ERASE, chip=self.codec.chip_index(base), block=block, purpose=purpose
+        )
+
+    # ------------------------------------------------------------ invariants
+    def verify_integrity(self) -> None:
+        """Assert that every mapped LPN resolves to its newest valid flash copy.
+
+        Used heavily by the test-suite; raises ``AssertionError`` on violation.
+        """
+        for lpn in self.directory.mapped_lpns():
+            ppn = self.directory.require(lpn)
+            info = self.flash.page(ppn)
+            assert info.state.value == "valid", f"lpn {lpn} maps to non-valid ppn {ppn}"
+            assert info.lpn == lpn, f"lpn {lpn} maps to ppn {ppn} holding lpn {info.lpn}"
+            newest = self.flash.latest_version_of(lpn)
+            assert newest is not None and newest[0] == ppn, (
+                f"lpn {lpn} maps to ppn {ppn} but newest copy is {newest}"
+            )
+
+    def memory_report(self) -> dict[str, int]:
+        """Approximate DRAM bytes used by mapping metadata (per design)."""
+        return {}
+
+
+class StripingFTLBase(FTLBase):
+    """Shared implementation for FTLs using dynamic (striping) allocation."""
+
+    #: Whether the design keeps its mapping table in flash translation pages.
+    #: The ideal FTL holds everything in DRAM and sets this to False, which
+    #: removes translation-page writes from the GC path.
+    persists_translation_pages: bool = True
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        *,
+        timing: TimingModel | None = None,
+        config: FTLConfig | None = None,
+        stats: SimulationStats | None = None,
+    ) -> None:
+        super().__init__(geometry, timing=timing, config=config, stats=stats)
+        self.allocator = StripingAllocator(geometry, self.flash)
+        self.translation_store = TranslationPageStore(
+            self.flash, self.directory, self.allocator.allocate_translation
+        )
+        data_blocks = self.allocator.data_block_count
+        threshold = max(
+            self.geometry.num_chips + 1, int(data_blocks * self.config.gc_free_block_fraction)
+        )
+        self._gc_threshold_blocks = threshold
+        self._gc_target_blocks = (
+            self.config.gc_target_free_blocks
+            if self.config.gc_target_free_blocks > 0
+            else threshold + self.geometry.num_chips
+        )
+
+    # ---------------------------------------------------------------- write
+    def write(self, request: HostRequest, now: float) -> Transaction:
+        txn = Transaction(request)
+        # An overwrite makes the previous physical copy stale the moment the
+        # request is accepted; invalidating it before allocation lets the GC
+        # triggered by this very write reclaim that space.
+        for lpn in request.lpns():
+            self.geometry.check_lpn(lpn)
+            old = self.directory.lookup(lpn)
+            if old is not None and self.flash.page(old).state is PageState.VALID:
+                self.flash.invalidate(old)
+        self._maybe_gc(txn, now)
+        program_cmds: list[FlashCommand] = []
+        written: list[tuple[int, int]] = []
+        for lpn in request.lpns():
+            ppn = self.allocator.allocate_data(1)[0]
+            self.directory.update(lpn, ppn)
+            self.flash.program(ppn, lpn)
+            program_cmds.append(self.program_command(ppn))
+            written.append((lpn, ppn))
+        txn.add_stage(program_cmds)
+        self._after_write(written, txn, now)
+        return txn
+
+    def _after_write(self, written: list[tuple[int, int]], txn: Transaction, now: float) -> None:
+        """Hook: persist mapping updates (CMT insertions, buffers, models)."""
+
+    # ----------------------------------------------------------------- read
+    def read(self, request: HostRequest, now: float) -> Transaction:
+        txn = Transaction(request)
+        translation_cmds: list[FlashCommand] = []
+        data_cmds: list[FlashCommand] = []
+        compute_us = 0.0
+        for lpn in request.lpns():
+            ppn, outcome, t_cmds, lookup_compute = self._translate_read(lpn, txn)
+            txn.outcomes.append(outcome)
+            translation_cmds.extend(t_cmds)
+            compute_us += lookup_compute
+            if ppn is not None:
+                data_cmds.append(self.data_read_command(ppn))
+        if translation_cmds or compute_us > 0.0:
+            txn.stages.insert(0, Stage(commands=translation_cmds, compute_us=compute_us))
+        txn.add_stage(data_cmds)
+        return txn
+
+    def _translate_read(
+        self, lpn: int, txn: Transaction
+    ) -> tuple[int | None, ReadOutcome, list[FlashCommand], float]:
+        """Hook: resolve one LPN for a read.
+
+        Returns ``(ppn, outcome, translation_commands, compute_us)``; ``ppn``
+        is ``None`` for unmapped LPNs (served as zero-fill without flash I/O).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- GC
+    def _maybe_gc(self, txn: Transaction, now: float) -> None:
+        """Run greedy GC until the free-block target is met (if below threshold)."""
+        if self.allocator.free_data_blocks() >= self._gc_threshold_blocks:
+            self._maybe_translation_gc(txn)
+            return
+        guard = 0
+        while self.allocator.free_data_blocks() < self._gc_target_blocks:
+            victim = self.allocator.victim_block()
+            if victim is None or self.flash.block(victim).invalid_count == 0:
+                # Nothing reclaimable right now; erasing an all-valid block
+                # would consume as much space as it frees.
+                break
+            self._collect_block(victim, txn, now)
+            guard += 1
+            if guard > self.geometry.num_blocks:
+                raise ConfigurationError("greedy GC failed to make progress")
+        self._maybe_translation_gc(txn)
+
+    def _collect_block(self, victim: int, txn: Transaction, now: float) -> None:
+        """Migrate a victim block's valid pages, erase it and record the event."""
+        read_cmds: list[FlashCommand] = []
+        write_cmds: list[FlashCommand] = []
+        moved: list[tuple[int, int]] = []
+        touched_tvpns: set[int] = set()
+        for ppn in self.flash.valid_ppns_in_block(victim):
+            info = self.flash.page(ppn)
+            lpn = info.lpn
+            read_cmds.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
+            new_ppn = self.allocator.allocate_data(1)[0]
+            self.flash.program(new_ppn, lpn)
+            self.flash.invalidate(ppn)
+            self.directory.update(lpn, new_ppn)
+            write_cmds.append(self.program_command(new_ppn, CommandPurpose.GC_WRITE))
+            moved.append((lpn, new_ppn))
+            touched_tvpns.add(self.directory.tvpn_of(lpn))
+        self.flash.erase(victim)
+        self.allocator.release_block(victim)
+        erase_cmd = self.erase_command(victim)
+        translation_cmds: list[FlashCommand] = []
+        if self.persists_translation_pages:
+            for tvpn in sorted(touched_tvpns):
+                if self.allocator.translation_pool.needs_gc():
+                    translation_cmds.extend(self._collect_translation_block())
+                translation_cmds.extend(
+                    self.translation_store.flush(tvpn, purpose=CommandPurpose.GC_WRITE)
+                )
+        self._after_gc_move(moved)
+        txn.add_stage(read_cmds)
+        txn.add_stage(write_cmds)
+        txn.add_stage([erase_cmd])
+        txn.add_stage(translation_cmds)
+        flash_time = (
+            len(read_cmds) * self.timing.read_us
+            + (len(write_cmds) + len(translation_cmds)) * self.timing.program_us
+            + self.timing.erase_us
+        )
+        self.stats.gc_events.append(
+            GCEvent(
+                time_us=now,
+                blocks_erased=1,
+                pages_moved=len(moved),
+                translation_pages_written=len(touched_tvpns) if self.persists_translation_pages else 0,
+                flash_time_us=flash_time,
+                compute_time_us=0.0,
+            )
+        )
+
+    def _after_gc_move(self, moved: list[tuple[int, int]]) -> None:
+        """Hook: let caches/models observe GC relocations."""
+
+    # -------------------------------------------------- translation-pool GC
+    def _maybe_translation_gc(self, txn: Transaction) -> None:
+        if not self.allocator.translation_pool.needs_gc():
+            return
+        commands = self._collect_translation_block()
+        txn.add_stage(commands)
+
+    def _collect_translation_block(self) -> list[FlashCommand]:
+        pool = self.allocator.translation_pool
+        victim = pool.victim_block()
+        if victim is None:
+            return []
+        commands: list[FlashCommand] = []
+        for ppn in self.flash.valid_ppns_in_block(victim):
+            commands.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
+            _, program_cmd = self.translation_store.relocate(ppn)
+            commands.append(program_cmd)
+        self.flash.erase(victim)
+        pool.release(victim)
+        commands.append(self.erase_command(victim))
+        return commands
+
+    # -------------------------------------------------------------- flushes
+    def _flush_translation_page(self, tvpn: int, txn: Transaction) -> None:
+        """Write back one dirty translation page (with pool-GC protection)."""
+        if self.allocator.translation_pool.needs_gc():
+            txn.add_stage(self._collect_translation_block())
+        txn.add_stage(self.translation_store.flush(tvpn))

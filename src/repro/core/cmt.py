@@ -1,0 +1,228 @@
+"""Cached mapping tables (CMTs).
+
+Two CMT organizations are provided:
+
+* :class:`EntryLevelCMT` — the classic DFTL cache: an LRU over individual
+  LPN->PPN entries.  Each dirty eviction forces a read-modify-write of the
+  victim entry's translation page.
+
+* :class:`PageGroupedCMT` — the TPFTL-style two-level cache: entries are
+  grouped under their translation page, recency is tracked per translation
+  page, and eviction writes back a whole translation page's dirty entries at
+  once.  It also supports the prefetching that TPFTL's workload-adaptive
+  loading policy performs on a miss.
+
+Capacity is expressed in *entries* so experiments can size the cache as a
+percentage of the full mapping table, exactly as the paper does (3 % for
+DFTL/TPFTL/LeaFTL, 1.5 % for LearnedFTL).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.nand.errors import ConfigurationError
+
+__all__ = ["CMTEntry", "EvictedPage", "EntryLevelCMT", "PageGroupedCMT"]
+
+#: In-memory overhead (expressed in mapping-entry units) charged per cached
+#: translation-page node in the two-level CMT.  TPFTL's node header holds the
+#: TVPN, a pointer and LRU links; two 8-byte entries is a fair approximation.
+PAGE_NODE_OVERHEAD_ENTRIES = 2
+
+
+@dataclass
+class CMTEntry:
+    """One cached LPN -> PPN mapping."""
+
+    ppn: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class EvictedPage:
+    """Dirty mappings evicted together, grouped by translation page."""
+
+    tvpn: int
+    dirty_lpns: tuple[int, ...]
+
+
+class EntryLevelCMT:
+    """DFTL's entry-granularity LRU mapping cache."""
+
+    def __init__(self, capacity_entries: int, mappings_per_page: int) -> None:
+        if capacity_entries <= 0:
+            raise ConfigurationError("CMT capacity must be at least one entry")
+        self.capacity_entries = capacity_entries
+        self.mappings_per_page = mappings_per_page
+        self._entries: OrderedDict[int, CMTEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._entries
+
+    def lookup(self, lpn: int) -> int | None:
+        """Return the cached PPN of an LPN (refreshing recency) or ``None``."""
+        entry = self._entries.get(lpn)
+        if entry is None:
+            return None
+        self._entries.move_to_end(lpn)
+        return entry.ppn
+
+    def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:
+        """Insert or update a mapping; returns dirty evictions needed to make room."""
+        evicted: list[EvictedPage] = []
+        if lpn in self._entries:
+            entry = self._entries[lpn]
+            entry.ppn = ppn
+            entry.dirty = entry.dirty or dirty
+            self._entries.move_to_end(lpn)
+            return evicted
+        while len(self._entries) >= self.capacity_entries:
+            victim_lpn, victim = self._entries.popitem(last=False)
+            if victim.dirty:
+                evicted.append(
+                    EvictedPage(
+                        tvpn=victim_lpn // self.mappings_per_page,
+                        dirty_lpns=(victim_lpn,),
+                    )
+                )
+        self._entries[lpn] = CMTEntry(ppn=ppn, dirty=dirty)
+        return evicted
+
+    def flush_all(self) -> list[EvictedPage]:
+        """Return (and clean) every dirty entry grouped by translation page."""
+        grouped: dict[int, list[int]] = {}
+        for lpn, entry in self._entries.items():
+            if entry.dirty:
+                grouped.setdefault(lpn // self.mappings_per_page, []).append(lpn)
+                entry.dirty = False
+        return [EvictedPage(tvpn=tvpn, dirty_lpns=tuple(lpns)) for tvpn, lpns in grouped.items()]
+
+    def memory_entries(self) -> int:
+        """Current occupancy in entry units."""
+        return len(self._entries)
+
+    def hit_capacity(self) -> int:
+        """Configured capacity in entry units."""
+        return self.capacity_entries
+
+
+class PageGroupedCMT:
+    """TPFTL-style two-level (translation page -> entries) mapping cache."""
+
+    def __init__(self, capacity_entries: int, mappings_per_page: int) -> None:
+        if capacity_entries <= 0:
+            raise ConfigurationError("CMT capacity must be at least one entry")
+        self.capacity_entries = capacity_entries
+        self.mappings_per_page = mappings_per_page
+        self._pages: OrderedDict[int, OrderedDict[int, CMTEntry]] = OrderedDict()
+        self._size_entries = 0
+
+    # ------------------------------------------------------------ accounting
+    def __len__(self) -> int:
+        return sum(len(node) for node in self._pages.values())
+
+    def memory_entries(self) -> int:
+        """Occupancy in entry units, including per-node overhead."""
+        return self._size_entries
+
+    def node_count(self) -> int:
+        """Number of cached translation-page nodes."""
+        return len(self._pages)
+
+    def __contains__(self, lpn: int) -> bool:
+        node = self._pages.get(lpn // self.mappings_per_page)
+        return node is not None and lpn in node
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, lpn: int) -> int | None:
+        """Return the cached PPN of an LPN (refreshing recency) or ``None``."""
+        tvpn = lpn // self.mappings_per_page
+        node = self._pages.get(tvpn)
+        if node is None:
+            return None
+        entry = node.get(lpn)
+        if entry is None:
+            return None
+        node.move_to_end(lpn)
+        self._pages.move_to_end(tvpn)
+        return entry.ppn
+
+    # -------------------------------------------------------------- updates
+    def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:
+        """Insert or update one mapping; returns dirty evictions made for room."""
+        return self.insert_many([(lpn, ppn)], dirty=dirty)
+
+    def insert_many(self, mappings: Iterable[tuple[int, int]], *, dirty: bool = False) -> list[EvictedPage]:
+        """Insert a batch of mappings (a miss fetch plus its prefetched neighbours)."""
+        evicted: list[EvictedPage] = []
+        for lpn, ppn in mappings:
+            tvpn = lpn // self.mappings_per_page
+            node = self._pages.get(tvpn)
+            if node is None:
+                node = OrderedDict()
+                self._pages[tvpn] = node
+                self._size_entries += PAGE_NODE_OVERHEAD_ENTRIES
+            existing = node.get(lpn)
+            if existing is None:
+                node[lpn] = CMTEntry(ppn=ppn, dirty=dirty)
+                self._size_entries += 1
+            else:
+                existing.ppn = ppn
+                existing.dirty = existing.dirty or dirty
+                node.move_to_end(lpn)
+            self._pages.move_to_end(tvpn)
+            evicted.extend(self._evict_until_fits(exclude_tvpn=tvpn, exclude_lpn=lpn))
+        return evicted
+
+    def _evict_until_fits(self, *, exclude_tvpn: int, exclude_lpn: int) -> list[EvictedPage]:
+        evicted: list[EvictedPage] = []
+        # First evict whole LRU translation-page nodes (TPFTL's normal policy).
+        while self._size_entries > self.capacity_entries and len(self._pages) > 1:
+            victim_tvpn = next(iter(self._pages))
+            if victim_tvpn == exclude_tvpn:
+                # Re-queue the protected node and try the next-oldest one.
+                self._pages.move_to_end(victim_tvpn)
+                victim_tvpn = next(iter(self._pages))
+                if victim_tvpn == exclude_tvpn:
+                    break
+            node = self._pages.pop(victim_tvpn)
+            self._size_entries -= len(node) + PAGE_NODE_OVERHEAD_ENTRIES
+            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry.dirty)
+            if dirty_lpns:
+                evicted.append(EvictedPage(tvpn=victim_tvpn, dirty_lpns=dirty_lpns))
+        # If a single node alone exceeds the capacity, fall back to evicting its
+        # least-recently-used entries (never the one just inserted).
+        if self._size_entries > self.capacity_entries and len(self._pages) == 1:
+            tvpn, node = next(iter(self._pages.items()))
+            dirty_lpns: list[int] = []
+            while self._size_entries > self.capacity_entries and len(node) > 1:
+                victim_lpn = next(iter(node))
+                if victim_lpn == exclude_lpn:
+                    node.move_to_end(victim_lpn)
+                    victim_lpn = next(iter(node))
+                    if victim_lpn == exclude_lpn:
+                        break
+                entry = node.pop(victim_lpn)
+                self._size_entries -= 1
+                if entry.dirty:
+                    dirty_lpns.append(victim_lpn)
+            if dirty_lpns:
+                evicted.append(EvictedPage(tvpn=tvpn, dirty_lpns=tuple(dirty_lpns)))
+        return evicted
+
+    def flush_all(self) -> list[EvictedPage]:
+        """Return (and clean) every dirty entry grouped by translation page."""
+        flushed: list[EvictedPage] = []
+        for tvpn, node in self._pages.items():
+            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry.dirty)
+            if dirty_lpns:
+                flushed.append(EvictedPage(tvpn=tvpn, dirty_lpns=dirty_lpns))
+                for lpn in dirty_lpns:
+                    node[lpn].dirty = False
+        return flushed

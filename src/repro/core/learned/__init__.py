@@ -1,0 +1,23 @@
+"""Learned-index building blocks shared by LeaFTL and LearnedFTL."""
+
+from repro.core.learned.bitmap import Bitmap
+from repro.core.learned.inplace_model import InPlaceLinearModel, ModelPiece, TrainingResult
+from repro.core.learned.plr import LinearPiece, fit_fixed_pieces, fit_greedy_plr
+from repro.core.learned.segment import (
+    LearnedSegment,
+    LogStructuredSegmentTable,
+    build_segments,
+)
+
+__all__ = [
+    "Bitmap",
+    "LinearPiece",
+    "fit_greedy_plr",
+    "fit_fixed_pieces",
+    "LearnedSegment",
+    "LogStructuredSegmentTable",
+    "build_segments",
+    "InPlaceLinearModel",
+    "ModelPiece",
+    "TrainingResult",
+]

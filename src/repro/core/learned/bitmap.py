@@ -1,0 +1,79 @@
+"""Fixed-size bitmap used as LearnedFTL's bitmap filter (Section III-B).
+
+Each GTD-entry model carries one bit per LPN it covers; the bit says whether
+the model's prediction for that LPN is exact.  The implementation is a plain
+``bytearray`` so the memory accounting matches the paper's 512-bit (64-byte)
+figure per model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Bitmap"]
+
+
+class Bitmap:
+    """A fixed-length bitmap with constant-time set/clear/test."""
+
+    __slots__ = ("_bits", "_size", "_popcount")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("bitmap size must be positive")
+        self._size = size
+        self._bits = bytearray((size + 7) // 8)
+        self._popcount = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit index {index} out of range [0, {self._size})")
+
+    def test(self, index: int) -> bool:
+        """Return True when the bit at ``index`` is set."""
+        self._check(index)
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index``."""
+        self._check(index)
+        byte = index >> 3
+        mask = 1 << (index & 7)
+        if not self._bits[byte] & mask:
+            self._bits[byte] |= mask
+            self._popcount += 1
+
+    def clear(self, index: int) -> None:
+        """Clear the bit at ``index``."""
+        self._check(index)
+        byte = index >> 3
+        mask = 1 << (index & 7)
+        if self._bits[byte] & mask:
+            self._bits[byte] &= ~mask
+            self._popcount -= 1
+
+    def clear_all(self) -> None:
+        """Clear every bit."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self._popcount = 0
+
+    def count(self) -> int:
+        """Number of set bits (the 'length' of the model per Section III-E1)."""
+        return self._popcount
+
+    def iter_set(self) -> Iterator[int]:
+        """Yield the indices of all set bits in increasing order."""
+        for index in range(self._size):
+            if self.test(index):
+                yield index
+
+    def memory_bytes(self) -> int:
+        """Bytes of DRAM consumed by the bitmap."""
+        return len(self._bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitmap(size={self._size}, set={self._popcount})"

@@ -1,0 +1,187 @@
+"""LearnedFTL's in-place-update linear model (Section III-B).
+
+One model is attached to every GTD entry.  It consists of:
+
+* a parameter array of at most ``max_pieces`` linear pieces ``<k, b, off>``,
+  where ``off`` is the offset of the piece's first LPN from the GTD entry's
+  starting LPN, and
+* a bitmap filter with one bit per LPN of the entry, marking whether the model
+  predicts that LPN exactly.
+
+Predictions are only ever attempted for LPNs whose bit is set, so the model
+never produces a misprediction penalty — that is the core difference from
+LeaFTL's approximate segments.  Writes clear the bit of the written LPN; GC and
+sequential initialization retrain/replace pieces and re-evaluate the bitmap.
+
+The memory budget follows the paper: with 8 pieces of three 2-byte fields plus
+a 512-bit bitmap, one model occupies 112–128 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.learned.bitmap import Bitmap
+from repro.core.learned.plr import LinearPiece, fit_fixed_pieces
+
+__all__ = ["ModelPiece", "InPlaceLinearModel", "TrainingResult"]
+
+
+@dataclass(frozen=True)
+class ModelPiece:
+    """One ``<k, b, off>`` entry of the parameter array."""
+
+    slope: float
+    intercept: float
+    offset: int
+
+    def predict(self, offset: int) -> int:
+        """Predict the VPPN of the LPN at ``offset`` from the entry's start."""
+        return int(round(self.slope * (offset - self.offset) + self.intercept))
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of a training pass over one GTD entry."""
+
+    trained_points: int
+    accurate_points: int
+    pieces_used: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of trained mappings the model predicts exactly."""
+        if self.trained_points == 0:
+            return 0.0
+        return self.accurate_points / self.trained_points
+
+
+class InPlaceLinearModel:
+    """Piece-wise linear model with a bitmap filter for one GTD entry."""
+
+    def __init__(self, start_lpn: int, span: int, *, max_pieces: int = 8) -> None:
+        if span <= 0:
+            raise ValueError("span must be positive")
+        if max_pieces <= 0:
+            raise ValueError("max_pieces must be positive")
+        self.start_lpn = start_lpn
+        self.span = span
+        self.max_pieces = max_pieces
+        self.pieces: list[ModelPiece] = []
+        self.bitmap = Bitmap(span)
+
+    # ------------------------------------------------------------ inspection
+    def covers(self, lpn: int) -> bool:
+        """True when the LPN belongs to this model's GTD entry."""
+        return self.start_lpn <= lpn < self.start_lpn + self.span
+
+    def offset_of(self, lpn: int) -> int:
+        """Offset of an LPN from the entry's starting LPN."""
+        if not self.covers(lpn):
+            raise ValueError(f"lpn {lpn} not covered by model starting at {self.start_lpn}")
+        return lpn - self.start_lpn
+
+    def can_predict(self, lpn: int) -> bool:
+        """Bitmap-filter check: is the prediction for this LPN known-exact?"""
+        return self.covers(lpn) and self.bitmap.test(self.offset_of(lpn))
+
+    def trained_length(self) -> int:
+        """Number of LPNs the model currently predicts exactly (``L_old``)."""
+        return self.bitmap.count()
+
+    def memory_bytes(self) -> int:
+        """DRAM bytes: 3 x 2 B per piece slot plus the bitmap."""
+        return self.max_pieces * 6 + self.bitmap.memory_bytes()
+
+    # ------------------------------------------------------------ prediction
+    def predict(self, lpn: int) -> int | None:
+        """Predict the VPPN of an LPN, or ``None`` if its bit is not set."""
+        if not self.can_predict(lpn):
+            return None
+        offset = self.offset_of(lpn)
+        piece = self._piece_for(offset)
+        if piece is None:
+            return None
+        return piece.predict(offset)
+
+    def _piece_for(self, offset: int) -> ModelPiece | None:
+        chosen: ModelPiece | None = None
+        for piece in self.pieces:
+            if piece.offset <= offset:
+                chosen = piece
+            else:
+                break
+        return chosen
+
+    # -------------------------------------------------------------- updates
+    def invalidate(self, lpn: int) -> None:
+        """Clear the bitmap bit of an overwritten LPN (consistency on writes)."""
+        if self.covers(lpn):
+            self.bitmap.clear(self.offset_of(lpn))
+
+    def train(
+        self,
+        lpns: Sequence[int],
+        vppns: Sequence[int],
+        *,
+        verifier: Callable[[int], int | None] | None = None,
+    ) -> TrainingResult:
+        """Fit the parameter array over sorted ``(LPN, VPPN)`` pairs and rebuild the bitmap.
+
+        ``verifier`` maps an LPN to its authoritative VPPN; when provided, bits
+        are set only where the fitted model matches the verifier, which is how
+        the paper's step 4 ("evaluate the model") works.  When omitted, the
+        supplied ``vppns`` are treated as authoritative.
+        """
+        if len(lpns) != len(vppns):
+            raise ValueError("lpns and vppns must have the same length")
+        self.pieces = []
+        self.bitmap.clear_all()
+        if not lpns:
+            return TrainingResult(0, 0, 0)
+        offsets = [self.offset_of(lpn) for lpn in lpns]
+        fitted = fit_fixed_pieces(offsets, list(vppns), max_pieces=self.max_pieces)
+        self.pieces = [_to_model_piece(piece) for piece in fitted]
+        accurate = 0
+        for lpn, vppn in zip(lpns, vppns):
+            truth = verifier(lpn) if verifier is not None else vppn
+            if truth is None:
+                continue
+            offset = self.offset_of(lpn)
+            piece = self._piece_for(offset)
+            if piece is not None and piece.predict(offset) == truth:
+                self.bitmap.set(offset)
+                accurate += 1
+        return TrainingResult(
+            trained_points=len(lpns),
+            accurate_points=accurate,
+            pieces_used=len(self.pieces),
+        )
+
+    def sequential_update(self, lpns: Sequence[int], vppns: Sequence[int]) -> bool:
+        """Sequential initialization (Section III-E1).
+
+        The request's mappings form a ``y = x + b`` run.  If the run is longer
+        than the model's current trained length (``L_old``, the bitmap
+        popcount), the whole model is replaced in place by a single piece
+        covering the run and the bitmap is rebuilt for it.  Returns ``True``
+        when the model was replaced.
+        """
+        if len(lpns) < 2 or len(lpns) != len(vppns):
+            return False
+        for i in range(1, len(lpns)):
+            if lpns[i] != lpns[i - 1] + 1 or vppns[i] != vppns[i - 1] + 1:
+                return False
+        if len(lpns) <= self.trained_length():
+            return False
+        first_offset = self.offset_of(lpns[0])
+        self.pieces = [ModelPiece(slope=1.0, intercept=float(vppns[0]), offset=first_offset)]
+        self.bitmap.clear_all()
+        for lpn in lpns:
+            self.bitmap.set(self.offset_of(lpn))
+        return True
+
+
+def _to_model_piece(piece: LinearPiece) -> ModelPiece:
+    return ModelPiece(slope=piece.slope, intercept=piece.intercept, offset=piece.x_start)

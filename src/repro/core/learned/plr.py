@@ -1,0 +1,200 @@
+"""Greedy piece-wise linear regression (PLR).
+
+Both learned-index FTLs in this repository fit *piece-wise linear* models over
+sorted ``(key, position)`` pairs — here ``(LPN, VPPN)`` pairs:
+
+* LeaFTL fits segments with an error bound ``gamma`` and stores the bound so a
+  misprediction can be corrected by probing the error interval (Section II-C);
+* LearnedFTL fits at most ``max_pieces`` segments per GTD entry and relies on a
+  bitmap filter to mark exactly which LPNs the pieces predict correctly
+  (Section III-B).
+
+The fitting algorithm is the classic one-pass greedy "swing filter" used by
+learned-index papers: a segment is grown while there still exists a line,
+anchored at the segment's first point, whose predictions stay within ``gamma``
+of every point added so far.  Predictions are rounded to the nearest integer
+(PPNs are integers), so ``gamma = 0.5`` yields segments that are exact after
+rounding whenever the data really is piece-wise linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["LinearPiece", "fit_greedy_plr", "fit_fixed_pieces"]
+
+
+@dataclass(frozen=True)
+class LinearPiece:
+    """One linear segment ``y = slope * (x - x_start) + intercept``.
+
+    ``x_start`` is the key of the first point covered by the piece and
+    ``length`` the number of points it was fitted over.  ``max_error`` is the
+    largest absolute rounding error observed over those points.
+    """
+
+    x_start: int
+    slope: float
+    intercept: float
+    length: int
+    max_error: float
+
+    def predict(self, x: int) -> int:
+        """Predict the integer position of key ``x``."""
+        return int(round(self.slope * (x - self.x_start) + self.intercept))
+
+    def covers(self, x: int) -> bool:
+        """True if ``x`` falls inside the key range the piece was fitted over."""
+        return self.x_start <= x < self.x_start + self.length
+
+
+def _close_piece(
+    xs: Sequence[int], ys: Sequence[int], start: int, end: int, slope: float
+) -> LinearPiece:
+    """Build a piece over points ``start..end-1`` using the given slope."""
+    x0 = xs[start]
+    y0 = ys[start]
+    intercept = float(y0)
+    max_error = 0.0
+    for i in range(start, end):
+        predicted = round(slope * (xs[i] - x0) + intercept)
+        max_error = max(max_error, abs(predicted - ys[i]))
+    return LinearPiece(
+        x_start=int(x0),
+        slope=slope,
+        intercept=intercept,
+        length=int(xs[end - 1]) - int(x0) + 1,
+        max_error=max_error,
+    )
+
+
+def fit_greedy_plr(
+    xs: Sequence[int], ys: Sequence[int], *, gamma: float = 0.5
+) -> list[LinearPiece]:
+    """Fit greedy PLR segments over sorted keys ``xs`` with positions ``ys``.
+
+    Every returned piece satisfies ``|round(predict(x)) - y| <= gamma + 0.5``
+    for the points it covers (exactly ``<= gamma`` before rounding, anchored at
+    the first point of the piece).
+
+    Parameters
+    ----------
+    xs, ys:
+        Parallel sequences; ``xs`` must be strictly increasing.
+    gamma:
+        Error bound.  ``0.5`` produces round-to-exact pieces for genuinely
+        linear runs.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if n == 0:
+        return []
+    for i in range(1, n):
+        if xs[i] <= xs[i - 1]:
+            raise ValueError("xs must be strictly increasing")
+
+    pieces: list[LinearPiece] = []
+    start = 0
+    lo = float("-inf")
+    hi = float("inf")
+    for i in range(1, n + 1):
+        if i == n:
+            slope = _pick_slope(lo, hi)
+            pieces.append(_close_piece(xs, ys, start, n, slope))
+            break
+        dx = xs[i] - xs[start]
+        dy_lo = (ys[i] - gamma) - ys[start]
+        dy_hi = (ys[i] + gamma) - ys[start]
+        new_lo = max(lo, dy_lo / dx)
+        new_hi = min(hi, dy_hi / dx)
+        if new_lo > new_hi:
+            slope = _pick_slope(lo, hi)
+            pieces.append(_close_piece(xs, ys, start, i, slope))
+            start = i
+            lo = float("-inf")
+            hi = float("inf")
+        else:
+            lo, hi = new_lo, new_hi
+    return pieces
+
+
+def _pick_slope(lo: float, hi: float) -> float:
+    """Choose a representative slope from the feasible interval."""
+    if lo == float("-inf") and hi == float("inf"):
+        return 1.0  # single-point piece; slope is irrelevant
+    if lo == float("-inf"):
+        return hi
+    if hi == float("inf"):
+        return lo
+    # Prefer a slope of exactly 1.0 when feasible: LPN->VPPN runs written by
+    # the striping allocators are y = x + b, and an exact slope avoids float
+    # rounding artifacts over long segments.
+    if lo <= 1.0 <= hi:
+        return 1.0
+    return (lo + hi) / 2.0
+
+
+def fit_fixed_pieces(
+    xs: Sequence[int],
+    ys: Sequence[int],
+    *,
+    max_pieces: int,
+    gamma: float = 0.5,
+) -> list[LinearPiece]:
+    """Fit at most ``max_pieces`` segments (LearnedFTL's per-GTD-entry budget).
+
+    The first ``max_pieces - 1`` segments come from the greedy PLR; if more
+    would be needed, all remaining points are folded into one final
+    least-squares segment (whose mispredicted LPNs the bitmap filter will mark
+    as inaccurate).
+    """
+    if max_pieces <= 0:
+        raise ValueError("max_pieces must be positive")
+    pieces = fit_greedy_plr(xs, ys, gamma=gamma)
+    if len(pieces) <= max_pieces:
+        return pieces
+    # Count how many points the first max_pieces - 1 greedy segments cover.
+    kept = pieces[: max_pieces - 1]
+    boundary_x = kept[-1].x_start + kept[-1].length if kept else xs[0]
+    split = 0
+    for split, x in enumerate(xs):
+        if x >= boundary_x:
+            break
+    else:
+        split = len(xs)
+    tail_xs = xs[split:]
+    tail_ys = ys[split:]
+    if not tail_xs:
+        return kept
+    kept.append(_least_squares_piece(tail_xs, tail_ys))
+    return kept
+
+
+def _least_squares_piece(xs: Sequence[int], ys: Sequence[int]) -> LinearPiece:
+    """Fit a single least-squares line over the given points."""
+    n = len(xs)
+    x0 = xs[0]
+    if n == 1:
+        return LinearPiece(x_start=int(x0), slope=1.0, intercept=float(ys[0]), length=1, max_error=0.0)
+    rel = [x - x0 for x in xs]
+    mean_x = sum(rel) / n
+    mean_y = sum(ys) / n
+    var = sum((r - mean_x) ** 2 for r in rel)
+    if var == 0:
+        slope = 1.0
+    else:
+        slope = sum((r - mean_x) * (y - mean_y) for r, y in zip(rel, ys)) / var
+    intercept = mean_y - slope * mean_x
+    max_error = 0.0
+    for r, y in zip(rel, ys):
+        predicted = round(slope * r + intercept)
+        max_error = max(max_error, abs(predicted - y))
+    return LinearPiece(
+        x_start=int(x0),
+        slope=slope,
+        intercept=intercept,
+        length=int(xs[-1]) - int(x0) + 1,
+        max_error=max_error,
+    )

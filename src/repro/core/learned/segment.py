@@ -1,0 +1,197 @@
+"""LeaFTL-style learned segments and the log-structured segment table (LSMT).
+
+A learned segment is the four-tuple ``[S, K, L, I]`` from Section II-C of the
+paper: it models ``PPN = K * (LPN - S) + I`` for ``LPN in [S, S + L)``.  A
+segment is *accurate* when every mapping it was trained on is predicted exactly
+after rounding; otherwise it is *approximate* and carries its maximum error so
+that the error interval can be stored in the mispredicted page's OOB area.
+
+Segments cannot be updated in place, so LeaFTL keeps them in a per-translation-
+page **log-structured mapping table**: new segments are inserted into level 0,
+and any older overlapping segment is pushed one level down.  Lookups scan the
+levels newest-first.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.learned.plr import LinearPiece, fit_greedy_plr
+
+__all__ = ["LearnedSegment", "LogStructuredSegmentTable", "build_segments"]
+
+#: DRAM bytes consumed by one learned segment (S, K, L, I at 4 bytes each),
+#: matching LeaFTL's compact encoding.
+SEGMENT_BYTES = 16
+
+
+@dataclass(frozen=True)
+class LearnedSegment:
+    """One LeaFTL learned segment ``[S, K, L, I]``."""
+
+    start_lpn: int
+    slope: float
+    length: int
+    intercept: float
+    max_error: float = 0.0
+
+    @property
+    def is_accurate(self) -> bool:
+        """True when the segment predicted every training mapping exactly."""
+        return self.max_error < 0.5
+
+    @property
+    def end_lpn(self) -> int:
+        """One past the last LPN covered by this segment."""
+        return self.start_lpn + self.length
+
+    def covers(self, lpn: int) -> bool:
+        """True if the LPN falls inside the segment's key range."""
+        return self.start_lpn <= lpn < self.end_lpn
+
+    def predict(self, lpn: int) -> int:
+        """Predict the (virtual) PPN of an LPN inside the segment."""
+        return int(round(self.slope * (lpn - self.start_lpn) + self.intercept))
+
+    def overlaps(self, other: "LearnedSegment") -> bool:
+        """True when the two segments' LPN ranges intersect."""
+        return self.start_lpn < other.end_lpn and other.start_lpn < self.end_lpn
+
+    def memory_bytes(self) -> int:
+        """Bytes of DRAM consumed by this segment."""
+        return SEGMENT_BYTES
+
+    @classmethod
+    def from_piece(cls, piece: LinearPiece) -> "LearnedSegment":
+        """Convert a fitted :class:`LinearPiece` into a learned segment."""
+        return cls(
+            start_lpn=piece.x_start,
+            slope=piece.slope,
+            length=piece.length,
+            intercept=piece.intercept,
+            max_error=piece.max_error,
+        )
+
+
+def build_segments(
+    lpns: Sequence[int], vppns: Sequence[int], *, gamma: float = 0.5
+) -> list[LearnedSegment]:
+    """Train learned segments over sorted ``(LPN, VPPN)`` mappings.
+
+    ``gamma`` is LeaFTL's error bound; larger values produce fewer, longer, but
+    approximate segments (more mispredictions corrected via OOB error
+    intervals).
+    """
+    pieces = fit_greedy_plr(lpns, vppns, gamma=gamma)
+    return [LearnedSegment.from_piece(piece) for piece in pieces]
+
+
+class LogStructuredSegmentTable:
+    """The per-translation-page log-structured segment store of LeaFTL.
+
+    Levels are lists of non-overlapping segments kept sorted by ``start_lpn``.
+    Inserting a segment into level 0 demotes any overlapping resident segment
+    to the next level (recursively), mirroring the LSM-tree flavoured design in
+    the paper.  Lookup returns the newest segment covering an LPN.
+    """
+
+    def __init__(self) -> None:
+        self._levels: list[list[LearnedSegment]] = []
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, segment: LearnedSegment) -> None:
+        """Insert one segment at the top level, demoting overlapping ones."""
+        self._insert_at(segment, 0)
+
+    def insert_many(self, segments: Iterable[LearnedSegment]) -> None:
+        """Insert several segments (e.g. one flush of the training buffer)."""
+        for segment in segments:
+            self.insert(segment)
+
+    def _insert_at(self, segment: LearnedSegment, level: int) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+        bucket = self._levels[level]
+        displaced: list[LearnedSegment] = []
+        kept: list[LearnedSegment] = []
+        for existing in bucket:
+            if existing.overlaps(segment):
+                displaced.append(existing)
+            else:
+                kept.append(existing)
+        index = bisect_right([s.start_lpn for s in kept], segment.start_lpn)
+        kept.insert(index, segment)
+        self._levels[level] = kept
+        for old in displaced:
+            self._insert_at(old, level + 1)
+
+    def compact(self) -> int:
+        """Drop segments that are fully shadowed by newer levels.
+
+        Returns the number of segments removed.  A segment is shadowed when
+        every LPN it covers is covered by some segment in a shallower level.
+        This keeps the table's memory footprint bounded in long runs.
+        """
+        removed = 0
+        covered: list[tuple[int, int]] = []
+        new_levels: list[list[LearnedSegment]] = []
+        for level in self._levels:
+            surviving = []
+            for segment in level:
+                if _fully_covered(segment, covered):
+                    removed += 1
+                else:
+                    surviving.append(segment)
+                    covered.append((segment.start_lpn, segment.end_lpn))
+            new_levels.append(surviving)
+        self._levels = [lvl for lvl in new_levels if lvl]
+        return removed
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, lpn: int) -> LearnedSegment | None:
+        """Return the newest segment covering the LPN, or ``None``."""
+        for level in self._levels:
+            starts = [s.start_lpn for s in level]
+            index = bisect_right(starts, lpn) - 1
+            if index >= 0 and level[index].covers(lpn):
+                return level[index]
+        return None
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def num_levels(self) -> int:
+        """Number of levels currently in use."""
+        return len(self._levels)
+
+    def segments(self) -> list[LearnedSegment]:
+        """All segments, newest level first."""
+        return [segment for level in self._levels for segment in level]
+
+    def segment_count(self) -> int:
+        """Total number of stored segments."""
+        return sum(len(level) for level in self._levels)
+
+    def memory_bytes(self) -> int:
+        """DRAM bytes consumed when the whole table is held in memory."""
+        return self.segment_count() * SEGMENT_BYTES
+
+
+def _fully_covered(segment: LearnedSegment, covered: list[tuple[int, int]]) -> bool:
+    """True when every LPN of ``segment`` falls inside ``covered`` intervals."""
+    remaining = [(segment.start_lpn, segment.end_lpn)]
+    for lo, hi in covered:
+        next_remaining: list[tuple[int, int]] = []
+        for a, b in remaining:
+            if hi <= a or b <= lo:
+                next_remaining.append((a, b))
+                continue
+            if a < lo:
+                next_remaining.append((a, lo))
+            if hi < b:
+                next_remaining.append((hi, b))
+        remaining = next_remaining
+        if not remaining:
+            return True
+    return not remaining

@@ -1,0 +1,510 @@
+"""LearnedFTL: learning-based page-level FTL (the paper's contribution).
+
+LearnedFTL keeps TPFTL's demand-based machinery for locality-friendly traffic
+and adds, to every GTD entry, an **in-place-update linear model** guarded by a
+bitmap filter (Section III-B).  The model predicts the *virtual* PPN of an LPN
+(Section III-C) so it can be trained over the contiguous VPPNs produced by the
+**group-based allocation** strategy (Section III-D).  Models are initialized on
+long sequential writes and (re)trained during group garbage collection
+(Section III-E).
+
+Read path (Figure 1c):
+
+1. check the CMT — a hit is a single flash read;
+2. on a miss, check the bitmap filter of the LPN's GTD-entry model.  A set bit
+   means the model's prediction is exact: predict the VPPN, translate it back
+   to a PPN and read the data — still a single flash read (a *model hit*);
+3. otherwise fall back to TPFTL's double read (translation-page read + data
+   read) and load the mapping (plus prefetched neighbours) into the CMT.
+
+Write path: clear the written LPNs' bitmap bits (consistency), allocate pages
+from the LPN's GTD entry group, persist the mapping through the CMT /
+translation pages as TPFTL does, and run *sequential initialization* over the
+request's contiguous VPPN run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.allocation import GroupAllocator, GroupGCNeeded
+from repro.core.base import FTLBase, FTLConfig
+from repro.core.cmt import EvictedPage, PageGroupedCMT
+from repro.core.learned.inplace_model import InPlaceLinearModel
+from repro.core.mapping import TranslationPageStore
+from repro.nand.errors import ConfigurationError, OutOfSpaceError
+from repro.nand.flash import PageState
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+from repro.ssd.request import (
+    CommandPurpose,
+    FlashCommand,
+    HostRequest,
+    OpType,
+    ReadOutcome,
+    Stage,
+    Transaction,
+)
+from repro.ssd.stats import GCEvent, SimulationStats
+
+__all__ = ["LearnedFTL"]
+
+
+class LearnedFTL(FTLBase):
+    """The paper's learning-based page-level FTL."""
+
+    name = "learnedftl"
+    description = "LearnedFTL: CMT + per-GTD-entry in-place-update linear models."
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        *,
+        timing: TimingModel | None = None,
+        config: FTLConfig | None = None,
+        stats: SimulationStats | None = None,
+    ) -> None:
+        super().__init__(geometry, timing=timing, config=config, stats=stats)
+        self.allocator = GroupAllocator(
+            geometry,
+            self.flash,
+            group_stripe_limit=self.config.group_stripe_limit,
+            borrow_threshold_fraction=self.config.borrow_threshold_fraction,
+        )
+        self.translation_store = TranslationPageStore(
+            self.flash, self.directory, self.allocator.allocate_translation
+        )
+        self.cmt = PageGroupedCMT(
+            capacity_entries=self.config.cmt_entries(geometry, learnedftl=True),
+            mappings_per_page=geometry.mappings_per_translation_page,
+        )
+        mappings_per_tp = geometry.mappings_per_translation_page
+        self.models: list[InPlaceLinearModel] = [
+            InPlaceLinearModel(
+                start_lpn=tvpn * mappings_per_tp,
+                span=mappings_per_tp,
+                max_pieces=self.config.max_pieces,
+            )
+            for tvpn in range(geometry.num_translation_pages)
+        ]
+        self._recent_request_lengths: deque[int] = deque(maxlen=32)
+        self._last_lpn_end: int | None = None
+        self._sequential_streak = 0
+        self._gc_old_stripes: set[int] = set()
+
+    def _observe_request(self, request: HostRequest) -> None:
+        """Track request length and sequentiality for the CMT loading policy."""
+        self._recent_request_lengths.append(request.npages)
+        if self._last_lpn_end is not None and request.lpn == self._last_lpn_end:
+            self._sequential_streak = min(self._sequential_streak + 1, 64)
+        else:
+            self._sequential_streak = 0
+        self._last_lpn_end = request.lpn + request.npages
+
+    # ------------------------------------------------------------------ read
+    def read(self, request: HostRequest, now: float) -> Transaction:
+        self._observe_request(request)
+        txn = Transaction(request)
+        translation_cmds: list[FlashCommand] = []
+        data_cmds: list[FlashCommand] = []
+        compute_us = 0.0
+        for lpn in request.lpns():
+            ppn, outcome, t_cmds, lookup_compute = self._translate_read(lpn, txn)
+            txn.outcomes.append(outcome)
+            translation_cmds.extend(t_cmds)
+            compute_us += lookup_compute
+            if ppn is not None:
+                data_cmds.append(self.data_read_command(ppn))
+        if translation_cmds or compute_us > 0.0:
+            txn.stages.insert(0, Stage(commands=translation_cmds, compute_us=compute_us))
+        txn.add_stage(data_cmds)
+        return txn
+
+    def _translate_read(
+        self, lpn: int, txn: Transaction
+    ) -> tuple[int | None, ReadOutcome, list[FlashCommand], float]:
+        self.stats.cmt_lookups += 1
+        cached = self.cmt.lookup(lpn)
+        if cached is not None:
+            self.stats.cmt_hits += 1
+            return cached, ReadOutcome.CMT_HIT, [], 0.0
+        actual = self.directory.lookup(lpn)
+        if actual is None:
+            return None, ReadOutcome.BUFFER_HIT, [], 0.0
+        compute_us = self.timing.bitmap_check_us if self.config.charge_compute else 0.0
+        tvpn = self.directory.tvpn_of(lpn)
+        model = self.models[tvpn]
+        self.stats.model_lookups += 1
+        if model.can_predict(lpn):
+            vppn = model.predict(lpn)
+            predicted_ppn = self.codec.vppn_to_ppn(vppn) if vppn is not None else None
+            if self.config.charge_compute:
+                compute_us += self.timing.predict_us
+                self.stats.predict_time_us += self.timing.predict_us
+            self.stats.predictions += 1
+            if predicted_ppn == actual:
+                self.stats.model_hits += 1
+                return actual, ReadOutcome.MODEL_HIT, [], compute_us
+            # A set bitmap bit guarantees accuracy by construction; reaching
+            # this branch indicates a consistency bug, so fail loudly in tests
+            # rather than silently fall back.
+            raise ConfigurationError(
+                f"bitmap filter claimed accuracy for lpn {lpn} but model predicted "
+                f"{predicted_ppn}, actual {actual}"
+            )
+        # Bitmap bit clear: classic TPFTL-style double read.
+        commands: list[FlashCommand] = []
+        read_cmd = self.translation_store.read_command(tvpn)
+        if read_cmd is not None:
+            commands.append(read_cmd)
+            outcome = ReadOutcome.DOUBLE_READ
+        else:
+            outcome = ReadOutcome.CMT_HIT
+            self.stats.cmt_hits += 1
+        self._handle_evictions(self._load_with_prefetch(lpn, actual), txn)
+        return actual, outcome, commands, compute_us
+
+    def _prefetch_length(self) -> int:
+        if not self._recent_request_lengths:
+            return 1
+        mean_len = sum(self._recent_request_lengths) / len(self._recent_request_lengths)
+        depth = int(round(mean_len * 2)) + 2 * self._sequential_streak
+        ceiling = min(self.config.prefetch_max_entries, max(1, self.cmt.capacity_entries // 2))
+        return max(1, min(ceiling, depth))
+
+    def _load_with_prefetch(self, lpn: int, ppn: int) -> list[EvictedPage]:
+        depth = self._prefetch_length()
+        tvpn = self.directory.tvpn_of(lpn)
+        tvpn_lpns = self.directory.lpn_range_of_tvpn(tvpn)
+        batch: list[tuple[int, int]] = [(lpn, ppn)]
+        for neighbour in range(lpn + 1, min(lpn + depth, tvpn_lpns.stop)):
+            neighbour_ppn = self.directory.lookup(neighbour)
+            if neighbour_ppn is not None and neighbour not in self.cmt:
+                batch.append((neighbour, neighbour_ppn))
+        return self.cmt.insert_many(batch, dirty=False)
+
+    # ----------------------------------------------------------------- write
+    def write(self, request: HostRequest, now: float) -> Transaction:
+        self._observe_request(request)
+        txn = Transaction(request)
+        # Overwritten physical copies are stale the moment the request is
+        # accepted; invalidating them first lets the group GC triggered by this
+        # very write reclaim their space.
+        for lpn in request.lpns():
+            self.geometry.check_lpn(lpn)
+            old = self.directory.lookup(lpn)
+            if old is not None and self.flash.page(old).state is PageState.VALID:
+                self.flash.invalidate(old)
+        program_cmds: list[FlashCommand] = []
+        written: list[tuple[int, int]] = []
+        for lpn in request.lpns():
+            tvpn = self.directory.tvpn_of(lpn)
+            # Allocation may trigger group GC (which retrains models from the
+            # *current* directory), so the bitmap bit of the overwritten LPN is
+            # cleared only once the new mapping is installed.
+            ppn = self._allocate_for_lpn(lpn, txn, now)
+            self.directory.update(lpn, ppn)
+            self.flash.program(ppn, lpn)
+            self.models[tvpn].invalidate(lpn)
+            program_cmds.append(self.program_command(ppn))
+            written.append((lpn, ppn))
+            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True), txn)
+        txn.add_stage(program_cmds)
+        if len(written) >= self.config.sequential_init_min_pages:
+            self._sequential_initialization(written)
+        for hinted_group in self.allocator.take_gc_hints():
+            self._group_gc(hinted_group, txn, now)
+        self._maybe_translation_gc(txn)
+        return txn
+
+    def _allocate_for_lpn(self, lpn: int, txn: Transaction, now: float) -> int:
+        group = self.allocator.group_of_lpn(lpn)
+        # Proactive GC (Section III-D): once free space falls below a group's
+        # worth plus one stripe of slack, collect groups with invalid pages
+        # while there is still room to relocate their valid pages.  Checked per
+        # page because a single large host write can consume a stripe by itself.
+        threshold = self.allocator.lpns_per_group + self.allocator.stripe_map.pages_per_stripe
+        guard = 0
+        while self.allocator.total_free_pages() < threshold and guard < self.allocator.num_groups:
+            victim = self.allocator.gc_candidate(exclude_if_empty=True)
+            if victim is None:
+                break
+            before = self.allocator.total_free_pages()
+            self._group_gc(victim, txn, now)
+            if self.allocator.total_free_pages() <= before:
+                break
+            guard += 1
+        for _ in range(self.allocator.num_groups + 2):
+            try:
+                ppn, _owner = self.allocator.allocate_page(group)
+                return ppn
+            except GroupGCNeeded as need:
+                self._group_gc(need.victim_group, txn, now)
+        raise ConfigurationError("group allocation failed to converge after repeated GC")
+
+    # ----------------------------------------------- sequential initialization
+    def _sequential_initialization(self, written: list[tuple[int, int]]) -> None:
+        """Section III-E1: update models in place from a sequential write run.
+
+        The *current* directory mapping is consulted rather than the PPN
+        recorded at program time: a group GC triggered midway through a long
+        request may already have relocated the earlier pages, and training on
+        their old locations would plant stale bits in the bitmap filter.
+        """
+        runs: dict[int, list[int]] = {}
+        for lpn, _ppn in written:
+            runs.setdefault(self.directory.tvpn_of(lpn), []).append(lpn)
+        for tvpn, lpns in runs.items():
+            lpns = sorted(set(lpns))
+            vppns = [self.codec.ppn_to_vppn(self.directory.require(lpn)) for lpn in lpns]
+            self.models[tvpn].sequential_update(lpns, vppns)
+
+    # ------------------------------------------------------------------- GC
+    def _group_gc(self, group: int, txn: Transaction, now: float) -> None:
+        """Group-based garbage collection with model training (Section III-E2)."""
+        collected = self._expand_collection_set(group)
+        old_stripes = {
+            member: self.allocator.stripes_of_group(member) for member in collected
+        }
+        # Emergency write-back allocations must stay out of the stripes we are
+        # trying to empty, otherwise they can never be erased.
+        self._gc_old_stripes = {stripe for stripes in old_stripes.values() for stripe in stripes}
+        total_moved = 0
+        total_blocks = 0
+        total_translation_writes = 0
+        compute_us_total = 0.0
+        flash_time_total = 0.0
+        for member in sorted(collected):
+            moved, translation_writes, compute_us, flash_time = self._move_group(member, txn)
+            total_moved += moved
+            total_translation_writes += translation_writes
+            compute_us_total += compute_us
+            flash_time_total += flash_time
+            # Free stripes as soon as they become fully invalid so the next
+            # member's write-back always has a destination.
+            blocks, erase_time = self._release_invalid_stripes(old_stripes, txn)
+            total_blocks += blocks
+            flash_time_total += erase_time
+        for member in collected:
+            self.allocator.reset_borrow_state(member)
+        self._gc_old_stripes = set()
+        self.stats.gc_events.append(
+            GCEvent(
+                time_us=now,
+                blocks_erased=total_blocks,
+                pages_moved=total_moved,
+                translation_pages_written=total_translation_writes,
+                flash_time_us=flash_time_total,
+                compute_time_us=compute_us_total,
+                group=group,
+            )
+        )
+
+    def _expand_collection_set(self, group: int) -> set[int]:
+        """The victim group plus every group with valid pages in its stripes (fixed point)."""
+        collected = {group}
+        collected.update(self.allocator.group_state(group).lenders)
+        for _ in range(self.allocator.num_groups):
+            stripes = [s for g in collected for s in self.allocator.stripes_of_group(g)]
+            residents = self.allocator.groups_resident_in_stripes(stripes)
+            if residents.issubset(collected):
+                break
+            collected |= residents
+        return collected
+
+    def _move_group(self, group: int, txn: Transaction) -> tuple[int, int, float, float]:
+        """Relocate a group's valid pages (sorted by LPN) and retrain its models."""
+        # Only mappings whose physical copy is still valid *and still holds this
+        # LPN* are relocated: a mapping whose copy was invalidated by an
+        # in-flight overwrite (and whose page may even have been erased and
+        # reused already) will be rewritten by that overwrite right after this
+        # GC completes.
+        def _relocatable(lpn: int) -> bool:
+            ppn = self.directory.require(lpn)
+            info = self.flash.page(ppn)
+            return info.state is PageState.VALID and info.lpn == lpn and not info.is_translation
+
+        valid_lpns = sorted(
+            lpn
+            for lpn in self.allocator.lpn_range_of_group(group)
+            if self.directory.is_mapped(lpn) and _relocatable(lpn)
+        )
+        read_cmds: list[FlashCommand] = []
+        write_cmds: list[FlashCommand] = []
+        pages_per_stripe = self.allocator.stripe_map.pages_per_stripe
+        needed_stripes = -(-len(valid_lpns) // pages_per_stripe) if valid_lpns else 0
+        try:
+            new_stripes = (
+                self.allocator.begin_fresh_stripes(group, needed_stripes) if needed_stripes else []
+            )
+        except OutOfSpaceError:
+            # No free stripe at all (heavy cross-group borrowing): fall back to
+            # scattering the write-back into whatever free pages remain.  The
+            # affected models lose accuracy but the collection still progresses.
+            new_stripes = []
+        cursor = 0
+        for lpn in valid_lpns:
+            old_ppn = self.directory.require(lpn)
+            read_cmds.append(self.data_read_command(old_ppn, CommandPurpose.GC_READ))
+            if new_stripes:
+                stripe = new_stripes[cursor // pages_per_stripe]
+                new_ppn = self.allocator.stripe_map.ppn_at(stripe, cursor % pages_per_stripe)
+                cursor += 1
+            else:
+                new_ppn, _owner = self.allocator.emergency_allocate_page(
+                    group, avoid_stripes=self._gc_old_stripes
+                )
+            self.flash.program(new_ppn, lpn)
+            self.flash.invalidate(old_ppn)
+            self.directory.update(lpn, new_ppn)
+            # The relocation changed the LPN's physical location, so any bit set
+            # by an earlier training pass is stale until this entry is retrained.
+            self.models[self.directory.tvpn_of(lpn)].invalidate(lpn)
+            if lpn in self.cmt:
+                self._handle_evictions(self.cmt.insert(lpn, new_ppn, dirty=False), txn)
+            write_cmds.append(self.program_command(new_ppn, CommandPurpose.GC_WRITE))
+        if new_stripes:
+            self.allocator.assign_gc_destination(group, new_stripes, len(valid_lpns))
+        # Per-GTD-entry sorting + training + bitmap evaluation, plus the
+        # translation-page writes for the refreshed mappings.
+        compute_us = 0.0
+        translation_cmds: list[FlashCommand] = []
+        translation_writes = 0
+        for tvpn in self.allocator.tvpns_of_group(group):
+            entry_lpns = self.directory.mapped_lpns_of_tvpn(tvpn)
+            if not entry_lpns:
+                continue
+            if self.config.train_on_gc:
+                vppns = [self.codec.ppn_to_vppn(self.directory.require(lpn)) for lpn in entry_lpns]
+                self.models[tvpn].train(entry_lpns, vppns)
+                if self.config.charge_compute:
+                    compute_us += self.timing.sort_us_per_entry + self.timing.train_us_per_entry
+                self.stats.sort_time_us += self.timing.sort_us_per_entry
+                self.stats.train_time_us += self.timing.train_us_per_entry
+                self.stats.models_trained += 1
+            if self.allocator.translation_pool.needs_gc():
+                translation_cmds.extend(self._collect_translation_block())
+            translation_cmds.extend(
+                self.translation_store.flush(tvpn, purpose=CommandPurpose.GC_WRITE)
+            )
+            translation_writes += 1
+        txn.add_stage(read_cmds)
+        txn.add_stage(write_cmds, compute_us=compute_us)
+        txn.add_stage(translation_cmds)
+        flash_time = (
+            len(read_cmds) * self.timing.read_us
+            + (len(write_cmds) + len(translation_cmds)) * self.timing.program_us
+        )
+        return len(valid_lpns), translation_writes, compute_us, flash_time
+
+    def _release_invalid_stripes(
+        self, old_stripes: dict[int, list[int]], txn: Transaction
+    ) -> tuple[int, float]:
+        """Erase and free every pre-GC stripe that no longer holds valid pages."""
+        erase_cmds: list[FlashCommand] = []
+        blocks_erased = 0
+        for member, stripes in old_stripes.items():
+            remaining: list[int] = []
+            for stripe in stripes:
+                blocks = self.allocator.stripe_map.blocks_of(stripe)
+                written = any(self.flash.block(block).programmed > 0 for block in blocks)
+                fully_invalid = all(self.flash.block(block).valid_count == 0 for block in blocks)
+                if written and fully_invalid:
+                    for block in blocks:
+                        if self.flash.block(block).programmed > 0:
+                            self.flash.erase(block)
+                            erase_cmds.append(self.erase_command(block))
+                            blocks_erased += 1
+                    self.allocator.release_stripe(stripe)
+                else:
+                    remaining.append(stripe)
+            old_stripes[member] = remaining
+        txn.add_stage(erase_cmds)
+        return blocks_erased, blocks_erased * self.timing.erase_us
+
+    # ----------------------------------------------------- translation pool GC
+    def _maybe_translation_gc(self, txn: Transaction) -> None:
+        if not self.allocator.translation_pool.needs_gc():
+            return
+        txn.add_stage(self._collect_translation_block())
+
+    def _collect_translation_block(self) -> list[FlashCommand]:
+        pool = self.allocator.translation_pool
+        victim = pool.victim_block()
+        if victim is None:
+            return []
+        commands: list[FlashCommand] = []
+        for ppn in self.flash.valid_ppns_in_block(victim):
+            commands.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
+            _, program_cmd = self.translation_store.relocate(ppn)
+            commands.append(program_cmd)
+        self.flash.erase(victim)
+        pool.release(victim)
+        commands.append(self.erase_command(victim))
+        return commands
+
+    def _handle_evictions(self, evicted: list[EvictedPage], txn: Transaction) -> None:
+        for page in evicted:
+            if self.allocator.translation_pool.needs_gc():
+                txn.add_stage(self._collect_translation_block())
+            txn.add_stage(self.translation_store.flush(page.tvpn))
+
+    # ------------------------------------------------------ training via rewrite
+    def train_on_rewrite(self, tvpn: int) -> bool:
+        """Model training via the SSD rewrite path (Section III-E3).
+
+        Rewrite periodically re-programs data for retention reasons; LearnedFTL
+        piggybacks model training on it.  The FEMU prototype does not implement
+        rewrite, and neither does the simulator's data path, so this method only
+        retrains the model of one GTD entry from the current mappings — the same
+        computation GC training performs — and returns whether a model was built.
+        """
+        entry_lpns = self.directory.mapped_lpns_of_tvpn(tvpn)
+        if not entry_lpns:
+            return False
+        vppns = [self.codec.ppn_to_vppn(self.directory.require(lpn)) for lpn in entry_lpns]
+        result = self.models[tvpn].train(entry_lpns, vppns)
+        self.stats.models_trained += 1
+        return result.trained_points > 0
+
+    # ------------------------------------------------------------ recovery
+    def rebuild_models_from_flash(self) -> int:
+        """Rebuild every GTD-entry model by scanning valid flash pages.
+
+        Mirrors the paper's power-failure recovery discussion (Section III-B):
+        after GTD reconstruction the models can be re-derived from the mapping
+        information.  Returns the number of models rebuilt.
+        """
+        per_entry: dict[int, list[tuple[int, int]]] = {}
+        for ppn in range(self.geometry.num_physical_pages):
+            info = self.flash.page(ppn)
+            if info.state is PageState.VALID and info.lpn is not None and not info.is_translation:
+                if self.directory.lookup(info.lpn) != ppn:
+                    continue
+                per_entry.setdefault(self.directory.tvpn_of(info.lpn), []).append((info.lpn, ppn))
+        rebuilt = 0
+        for tvpn, pairs in per_entry.items():
+            pairs.sort(key=lambda item: item[0])
+            lpns = [lpn for lpn, _ in pairs]
+            vppns = [self.codec.ppn_to_vppn(ppn) for _, ppn in pairs]
+            self.models[tvpn].train(lpns, vppns)
+            rebuilt += 1
+        return rebuilt
+
+    # ------------------------------------------------------------- reporting
+    def model_accuracy(self) -> float:
+        """Fraction of mapped LPNs whose bitmap bit is set (predictable share)."""
+        mapped = 0
+        predictable = 0
+        for lpn in self.directory.mapped_lpns():
+            mapped += 1
+            if self.models[self.directory.tvpn_of(lpn)].can_predict(lpn):
+                predictable += 1
+        return predictable / mapped if mapped else 0.0
+
+    def memory_report(self) -> dict[str, int]:
+        """Bytes used by the CMT and by all in-place-update models."""
+        return {
+            "cmt_bytes": self.cmt.memory_entries() * 8,
+            "models_bytes": sum(model.memory_bytes() for model in self.models),
+        }

@@ -1,0 +1,231 @@
+"""Page-level mapping directory, translation pages and the GTD.
+
+Every demand-based FTL in the paper keeps the full LPN->PPN page table in
+flash, split across *translation pages* of ``page_size / 8`` entries each, and
+keeps a small in-memory *Global Translation Directory* (GTD) that records where
+each translation page currently lives in flash.
+
+In the simulator the authoritative logical-to-physical map is an in-memory
+dictionary (:class:`MappingDirectory`); what the real device would pay to keep
+the flash-resident table up to date is charged through
+:class:`TranslationPageStore`, which issues real flash reads/programs for
+translation-page fetches and read-modify-write flushes, and tracks which
+translation pages are dirty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.nand.errors import MappingError
+from repro.nand.flash import FlashArray
+from repro.nand.geometry import SSDGeometry
+from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand
+
+__all__ = ["MappingDirectory", "TranslationPageStore"]
+
+
+class MappingDirectory:
+    """Authoritative logical-to-physical map plus translation-page geometry.
+
+    The directory answers "where does this LPN live right now" for every FTL;
+    the FTLs differ only in how much of it they can consult without paying a
+    flash read (CMT entries, learned models, or everything for the ideal FTL).
+    """
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self.mappings_per_page = geometry.mappings_per_translation_page
+        self._map: dict[int, int] = {}
+
+    # --------------------------------------------------------------- lookups
+    def lookup(self, lpn: int) -> int | None:
+        """Return the current PPN of an LPN, or ``None`` if never written."""
+        return self._map.get(lpn)
+
+    def require(self, lpn: int) -> int:
+        """Return the current PPN of an LPN, raising if it was never written."""
+        ppn = self._map.get(lpn)
+        if ppn is None:
+            raise MappingError(f"lpn {lpn} has no mapping")
+        return ppn
+
+    def is_mapped(self, lpn: int) -> bool:
+        """True when the LPN has been written at least once."""
+        return lpn in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def mapped_lpns(self) -> Iterable[int]:
+        """Iterate over all mapped LPNs (unordered)."""
+        return self._map.keys()
+
+    # --------------------------------------------------------------- updates
+    def update(self, lpn: int, ppn: int) -> int | None:
+        """Point an LPN at a new PPN, returning the previous PPN (or ``None``)."""
+        old = self._map.get(lpn)
+        self._map[lpn] = ppn
+        return old
+
+    def remove(self, lpn: int) -> int | None:
+        """Drop the mapping of an LPN (trim); returns the previous PPN."""
+        return self._map.pop(lpn, None)
+
+    # ------------------------------------------------------- translation geo
+    def tvpn_of(self, lpn: int) -> int:
+        """Translation-page (GTD entry) index covering an LPN."""
+        return lpn // self.mappings_per_page
+
+    def lpn_range_of_tvpn(self, tvpn: int) -> range:
+        """The LPN range covered by one translation page."""
+        start = tvpn * self.mappings_per_page
+        return range(start, min(start + self.mappings_per_page, self.geometry.num_logical_pages))
+
+    def mapped_lpns_of_tvpn(self, tvpn: int) -> list[int]:
+        """Mapped LPNs inside one translation page, in increasing order."""
+        return [lpn for lpn in self.lpn_range_of_tvpn(tvpn) if lpn in self._map]
+
+
+@dataclass
+class _TranslationPageState:
+    """Flash-resident state of one translation page."""
+
+    ppn: int | None = None
+    dirty: bool = False
+
+
+class TranslationPageStore:
+    """Flash-resident translation pages and the in-memory GTD.
+
+    The store does not decide *when* to fetch or flush — that is CMT policy —
+    it only produces the flash commands and keeps the GTD coherent.
+
+    Parameters
+    ----------
+    flash:
+        The shared flash array (translation pages are real pages in it).
+    directory:
+        The mapping directory (for translation-page geometry).
+    allocate:
+        Callback returning one free PPN for a translation-page program.  The
+        owning FTL wires this to its allocator's translation pool.
+    """
+
+    def __init__(
+        self,
+        flash: FlashArray,
+        directory: MappingDirectory,
+        allocate: Callable[[], int],
+    ) -> None:
+        self.flash = flash
+        self.directory = directory
+        self._allocate = allocate
+        self._states: dict[int, _TranslationPageState] = {}
+        self.translation_reads = 0
+        self.translation_writes = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _state(self, tvpn: int) -> _TranslationPageState:
+        state = self._states.get(tvpn)
+        if state is None:
+            state = _TranslationPageState()
+            self._states[tvpn] = state
+        return state
+
+    def location_of(self, tvpn: int) -> int | None:
+        """Current flash PPN of a translation page (``None`` if never flushed)."""
+        return self._state(tvpn).ppn
+
+    def is_dirty(self, tvpn: int) -> bool:
+        """True when in-memory mappings of this translation page are newer than flash."""
+        return self._state(tvpn).dirty
+
+    def mark_dirty(self, tvpn: int) -> None:
+        """Record that a mapping belonging to this translation page changed."""
+        self._state(tvpn).dirty = True
+
+    def dirty_tvpns(self) -> list[int]:
+        """All translation pages currently dirty."""
+        return [tvpn for tvpn, state in self._states.items() if state.dirty]
+
+    # ------------------------------------------------------------- commands
+    def read_command(self, tvpn: int) -> FlashCommand | None:
+        """Build the flash read that fetches a translation page.
+
+        Returns ``None`` when the translation page has never been written to
+        flash (a fresh device); the caller then serves the lookup without a
+        flash read, which matches a real device whose mapping table region is
+        known-empty.
+        """
+        ppn = self._state(tvpn).ppn
+        if ppn is None:
+            return None
+        self.flash.read(ppn)
+        self.translation_reads += 1
+        return FlashCommand(
+            kind=CommandKind.READ,
+            chip=self.flash.codec.chip_index(ppn),
+            ppn=ppn,
+            purpose=CommandPurpose.TRANSLATION_READ,
+        )
+
+    def flush(self, tvpn: int, *, purpose: CommandPurpose = CommandPurpose.TRANSLATION_WRITE) -> list[FlashCommand]:
+        """Write back a translation page (read-modify-write).
+
+        Returns the flash commands: a read of the old copy (when one exists and
+        the page is only partially refreshed) followed by a program of the new
+        copy.  The old copy is invalidated.
+        """
+        state = self._state(tvpn)
+        commands: list[FlashCommand] = []
+        old_ppn = state.ppn
+        if old_ppn is not None:
+            self.flash.read(old_ppn)
+            self.translation_reads += 1
+            commands.append(
+                FlashCommand(
+                    kind=CommandKind.READ,
+                    chip=self.flash.codec.chip_index(old_ppn),
+                    ppn=old_ppn,
+                    purpose=CommandPurpose.TRANSLATION_READ,
+                )
+            )
+        new_ppn = self._allocate()
+        self.flash.program(new_ppn, lpn=None, is_translation=True, oob={"tvpn": tvpn})
+        if old_ppn is not None:
+            self.flash.invalidate(old_ppn)
+        state.ppn = new_ppn
+        state.dirty = False
+        self.translation_writes += 1
+        commands.append(
+            FlashCommand(
+                kind=CommandKind.PROGRAM,
+                chip=self.flash.codec.chip_index(new_ppn),
+                ppn=new_ppn,
+                purpose=purpose,
+            )
+        )
+        return commands
+
+    def relocate(self, old_ppn: int) -> tuple[int, FlashCommand]:
+        """Move a live translation page during translation-pool GC.
+
+        Returns the new PPN and the program command (the GC read is issued by
+        the caller).
+        """
+        info = self.flash.read(old_ppn)
+        tvpn = info.oob["tvpn"] if isinstance(info.oob, dict) else None
+        if tvpn is None:
+            raise MappingError(f"ppn {old_ppn} is not a translation page")
+        new_ppn = self._allocate()
+        self.flash.program(new_ppn, lpn=None, is_translation=True, oob={"tvpn": tvpn})
+        self.flash.invalidate(old_ppn)
+        self._state(tvpn).ppn = new_ppn
+        return new_ppn, FlashCommand(
+            kind=CommandKind.PROGRAM,
+            chip=self.flash.codec.chip_index(new_ppn),
+            ppn=new_ppn,
+            purpose=CommandPurpose.GC_WRITE,
+        )

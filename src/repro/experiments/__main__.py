@@ -1,0 +1,76 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig14 --scale tiny
+    python -m repro.experiments all --scale default --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.runner import Scale
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures and tables of the LearnedFTL paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name (e.g. fig14), or 'all' to run every experiment",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=Scale.DEFAULT.value,
+        help="experiment size: tiny (seconds), default (minutes) or full (paper geometry)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write each experiment's rows to <dir>/<name>.csv",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, scale=args.scale)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f} s at scale={args.scale}]")
+        print()
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            (args.csv_dir / f"{name}.csv").write_text(result.csv())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Figure 20: normalized Filebench throughput of every FTL design.
+
+Expected shape (Section IV-D): LearnedFTL outperforms the other flash-resident-
+mapping FTLs by 1.1-2.3x because the CMT still captures locality while the
+learned models absorb the misses; LeaFTL trails TPFTL because its mispredictions
+still cause double reads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.latency import normalize
+from repro.experiments.runner import ALL_FTLS, ExperimentResult, Scale, ScaleSpec, prepare_ssd
+from repro.workloads.filebench import FilebenchWorkload
+
+__all__ = ["run"]
+
+WORKLOADS = ("fileserver", "webserver", "varmail")
+
+
+def run(
+    scale: Scale | str = Scale.DEFAULT, *, ftls: tuple[str, ...] = ALL_FTLS
+) -> ExperimentResult:
+    """Reproduce Figure 20 (normalized Filebench throughput, all FTLs)."""
+    scale = Scale.parse(scale)
+    spec = ScaleSpec.for_scale(scale)
+    operations = max(1_000, spec.read_requests // 4)
+    result = ExperimentResult(
+        name="fig20",
+        description="Filebench throughput of every FTL, normalized to DFTL",
+    )
+    for workload_name in WORKLOADS:
+        throughput: dict[str, float] = {}
+        for ftl_name in ftls:
+            ssd = prepare_ssd(ftl_name, spec, warmup="fill")
+            workload = FilebenchWorkload.preset(workload_name, spec.geometry)
+            ssd.run(workload.preconditioning(), threads=8)
+            ssd.reset_stats()
+            threads = min(workload.threads, spec.threads)
+            ssd.run(workload.requests(operations), threads=threads)
+            throughput[ftl_name] = ssd.stats.throughput_mb_s()
+        normalized = normalize(throughput, baseline="dftl")
+        row: dict[str, object] = {"workload": workload_name}
+        for ftl_name in ftls:
+            row[f"{ftl_name}_normalized"] = round(normalized[ftl_name], 3)
+            row[f"{ftl_name}_mb_s"] = round(throughput[ftl_name], 1)
+        result.rows.append(row)
+    result.notes.append(
+        "Expected shape: learnedftl_normalized >= tpftl_normalized >= leaftl_normalized on "
+        "every personality, with ideal as the upper bound."
+    )
+    return result

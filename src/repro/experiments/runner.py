@@ -1,0 +1,172 @@
+"""Shared machinery for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run(scale=..., **kwargs) -> ExperimentResult``
+and is registered in :data:`repro.experiments.EXPERIMENTS`.  This module
+provides the pieces they share:
+
+* :class:`Scale` — the three experiment sizes.  ``tiny`` is what the pytest
+  benchmarks use (seconds), ``default`` runs on a ~0.5 GB simulated device
+  (tens of seconds per figure) and ``full`` uses the paper's 32 GB geometry
+  (hours; provided for completeness).
+* :func:`prepare_ssd` — create an SSD, warm it to steady state the way
+  Section IV-B describes, and reset the statistics so measurements exclude the
+  warm-up.
+* :class:`ExperimentResult` — rows + rendered table + free-form notes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.report import format_table, rows_to_csv
+from repro.core.base import FTLConfig
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+from repro.ssd.device import SSD
+from repro.workloads.fio import FioJob, warmup_writes
+
+__all__ = ["Scale", "ScaleSpec", "ExperimentResult", "prepare_ssd", "ALL_FTLS", "BASELINE_FTLS"]
+
+#: FTLs compared in the full figures (order matches the paper's legends).
+ALL_FTLS: tuple[str, ...] = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
+
+#: FTLs used by the motivation experiments.
+BASELINE_FTLS: tuple[str, ...] = ("tpftl", "leaftl")
+
+
+class Scale(enum.Enum):
+    """Experiment size."""
+
+    TINY = "tiny"
+    DEFAULT = "default"
+    FULL = "full"
+
+    @classmethod
+    def parse(cls, value: "Scale | str") -> "Scale":
+        """Accept either a :class:`Scale` or its string name."""
+        if isinstance(value, Scale):
+            return value
+        return cls(value)
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Concrete sizing parameters of one scale."""
+
+    geometry: SSDGeometry
+    read_requests: int
+    write_requests: int
+    warmup_overwrite_factor: float
+    threads: int
+
+    @classmethod
+    def for_scale(cls, scale: "Scale | str") -> "ScaleSpec":
+        """Resolve a scale name into geometry and request budgets."""
+        scale = Scale.parse(scale)
+        if scale is Scale.TINY:
+            return cls(
+                geometry=SSDGeometry.small(),
+                read_requests=2_000,
+                write_requests=2_000,
+                warmup_overwrite_factor=1.0,
+                threads=8,
+            )
+        if scale is Scale.DEFAULT:
+            return cls(
+                geometry=SSDGeometry.medium(),
+                read_requests=40_000,
+                write_requests=40_000,
+                warmup_overwrite_factor=2.0,
+                threads=64,
+            )
+        return cls(
+            geometry=SSDGeometry.paper(),
+            read_requests=400_000,
+            write_requests=400_000,
+            warmup_overwrite_factor=6.0,
+            threads=64,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment harness."""
+
+    name: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extra_tables: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Render the main rows as an ASCII table."""
+        return format_table(self.rows, title=f"{self.name}: {self.description}")
+
+    def csv(self) -> str:
+        """Render the main rows as CSV."""
+        return rows_to_csv(self.rows)
+
+    def render(self) -> str:
+        """Render everything (main table, extra tables, notes)."""
+        parts = [self.table()]
+        for title, rows in self.extra_tables.items():
+            parts.append("")
+            parts.append(format_table(rows, title=title))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, key: str, *, index: str | None = None) -> dict[str, Any]:
+        """Return {row-id: value} for one column, keyed by ``index`` (default: first column)."""
+        if not self.rows:
+            return {}
+        index_key = index or next(iter(self.rows[0]))
+        return {row[index_key]: row[key] for row in self.rows}
+
+
+def prepare_ssd(
+    ftl_name: str,
+    spec: ScaleSpec,
+    *,
+    config: FTLConfig | None = None,
+    timing: TimingModel | None = None,
+    warmup: str = "steady",
+    warmup_io_pages: int = 128,
+    seed: int = 7,
+) -> SSD:
+    """Create and precondition an SSD the way the paper's evaluation does.
+
+    ``warmup`` selects the preconditioning style:
+
+    * ``"none"`` — fresh device;
+    * ``"fill"`` — one sequential fill of the logical space;
+    * ``"steady"`` — sequential fill followed by mixed sequential/random
+      overwrites of ``warmup_overwrite_factor`` x the logical space using
+      128-page (512 KB at 4 KB pages) requests, matching Section IV-B's
+      warm-up that lets LeaFTL build its learned index.
+
+    Statistics are reset afterwards so the measured phase starts clean.
+    """
+    ssd = SSD.create(ftl_name, spec.geometry, timing=timing, config=config)
+    if warmup not in ("none", "fill", "steady"):
+        raise ValueError(f"unknown warmup mode {warmup!r}")
+    if warmup in ("fill", "steady"):
+        ssd.fill_sequential(io_pages=warmup_io_pages)
+    if warmup == "steady":
+        stream = warmup_writes(
+            spec.geometry,
+            overwrite_factor=spec.warmup_overwrite_factor,
+            io_pages=warmup_io_pages,
+            seed=seed,
+        )
+        ssd.run(stream, threads=min(8, spec.threads))
+    ssd.reset_stats()
+    return ssd
+
+
+def run_fio(ssd: SSD, job: FioJob, *, threads: int) -> None:
+    """Run a fio job on a prepared SSD (statistics accumulate in ``ssd.stats``)."""
+    ssd.run(job.requests(ssd.geometry), threads=threads)

@@ -1,0 +1,35 @@
+"""NAND flash substrate: geometry, addressing, timing and page-state tracking."""
+
+from repro.nand.address import AddressCodec, FlashAddress
+from repro.nand.errors import (
+    AllocationError,
+    ConfigurationError,
+    FlashStateError,
+    GeometryError,
+    MappingError,
+    OutOfSpaceError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.nand.flash import BlockInfo, FlashArray, PageInfo, PageState
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+
+__all__ = [
+    "AddressCodec",
+    "FlashAddress",
+    "SSDGeometry",
+    "TimingModel",
+    "FlashArray",
+    "PageState",
+    "PageInfo",
+    "BlockInfo",
+    "ReproError",
+    "GeometryError",
+    "FlashStateError",
+    "AllocationError",
+    "OutOfSpaceError",
+    "MappingError",
+    "TraceFormatError",
+    "ConfigurationError",
+]

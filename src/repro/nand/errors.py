@@ -1,0 +1,45 @@
+"""Exception types raised by the NAND substrate and the FTL layers.
+
+All simulator-specific failures derive from :class:`ReproError` so callers can
+distinguish simulation bugs from ordinary Python errors with a single except
+clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Raised when an SSD geometry is inconsistent or an address is out of range."""
+
+
+class FlashStateError(ReproError):
+    """Raised on illegal flash state transitions.
+
+    Examples: programming a page that is not erased, reading a page that has
+    never been programmed, or erasing a block that still holds valid data when
+    ``strict`` erase checking is enabled.
+    """
+
+
+class AllocationError(ReproError):
+    """Raised when the allocator cannot provide a free page or block."""
+
+
+class OutOfSpaceError(AllocationError):
+    """Raised when the device genuinely has no reclaimable space left."""
+
+
+class MappingError(ReproError):
+    """Raised when the mapping layer is asked to translate an unknown LPN."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when a workload trace file cannot be parsed."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an FTL or experiment is configured with invalid parameters."""

@@ -1,0 +1,222 @@
+"""Flash array state: page lifecycle, out-of-band (OOB) metadata, erase counts.
+
+The array tracks *state*, not data bytes.  Each physical page is in one of
+three states (free / valid / invalid) and carries OOB metadata: the logical
+page it holds, a monotonically increasing write version (used by tests to prove
+an FTL always resolves an LPN to its newest copy) and an optional opaque
+payload (LeaFTL stores its error interval there, translation pages record the
+translation-page number they hold).
+
+The array enforces NAND programming rules: a page must be erased before it can
+be programmed again, pages are programmed in order within a block (sequential
+program constraint), and erases operate on whole blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.nand.address import AddressCodec
+from repro.nand.errors import FlashStateError
+from repro.nand.geometry import SSDGeometry
+
+__all__ = ["PageState", "PageInfo", "BlockInfo", "FlashArray"]
+
+
+class PageState(Enum):
+    """Lifecycle state of a physical flash page."""
+
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+@dataclass
+class PageInfo:
+    """OOB metadata of a programmed physical page."""
+
+    state: PageState = PageState.FREE
+    lpn: int | None = None
+    version: int = -1
+    is_translation: bool = False
+    oob: Any = None
+
+
+@dataclass
+class BlockInfo:
+    """Per-erase-block bookkeeping."""
+
+    next_page: int = 0
+    valid_count: int = 0
+    invalid_count: int = 0
+    erase_count: int = 0
+    is_translation: bool = False
+
+    @property
+    def programmed(self) -> int:
+        """Number of pages programmed since the last erase."""
+        return self.next_page
+
+
+class FlashArray:
+    """State of every physical page and erase block in the device.
+
+    The array is purely mechanical: it knows nothing about FTL policy.  It is
+    shared by every FTL design so that correctness invariants (one valid copy
+    per LPN, no program-before-erase) are enforced uniformly.
+    """
+
+    def __init__(self, geometry: SSDGeometry, *, enforce_sequential_program: bool = True) -> None:
+        self.geometry = geometry
+        self.codec = AddressCodec(geometry)
+        self.enforce_sequential_program = enforce_sequential_program
+        self._pages: list[PageInfo] = [PageInfo() for _ in range(geometry.num_physical_pages)]
+        self._blocks: list[BlockInfo] = [BlockInfo() for _ in range(geometry.num_blocks)]
+        self._version_counter = 0
+        self.total_programs = 0
+        self.total_erases = 0
+        self.total_reads = 0
+
+    # ------------------------------------------------------------ inspection
+    def page(self, ppn: int) -> PageInfo:
+        """Return the metadata of a physical page."""
+        self.geometry.check_ppn(ppn)
+        return self._pages[ppn]
+
+    def block(self, block: int) -> BlockInfo:
+        """Return the bookkeeping record of a flat block index."""
+        self.geometry.check_block(block)
+        return self._blocks[block]
+
+    def block_of(self, ppn: int) -> int:
+        """Return the flat block index containing ``ppn``."""
+        return self.codec.block_index(ppn)
+
+    def valid_ppns_in_block(self, block: int) -> list[int]:
+        """Return the PPNs of the valid pages in a block."""
+        return [ppn for ppn in self.codec.block_ppns(block) if self._pages[ppn].state is PageState.VALID]
+
+    def iter_blocks(self) -> Iterator[tuple[int, BlockInfo]]:
+        """Yield ``(block_index, BlockInfo)`` for every erase block."""
+        return enumerate(self._blocks)
+
+    @property
+    def free_page_count(self) -> int:
+        """Total number of pages currently in the FREE state."""
+        return sum(1 for p in self._pages if p.state is PageState.FREE)
+
+    # ------------------------------------------------------------ operations
+    def read(self, ppn: int) -> PageInfo:
+        """Read a programmed page and return its OOB metadata.
+
+        Reading a free page is a simulation bug in every FTL modelled here, so
+        it raises :class:`FlashStateError`.
+        """
+        info = self.page(ppn)
+        if info.state is PageState.FREE:
+            raise FlashStateError(f"read of unprogrammed page ppn={ppn}")
+        self.total_reads += 1
+        return info
+
+    def program(
+        self,
+        ppn: int,
+        lpn: int | None,
+        *,
+        is_translation: bool = False,
+        oob: Any = None,
+    ) -> PageInfo:
+        """Program a free page with the given OOB metadata.
+
+        Returns the updated :class:`PageInfo`.  The write version is assigned
+        from a device-global monotonic counter so tests can identify the most
+        recent copy of an LPN regardless of which FTL produced it.
+        """
+        info = self.page(ppn)
+        if info.state is not PageState.FREE:
+            raise FlashStateError(f"program of non-free page ppn={ppn} (state={info.state})")
+        block_idx = self.block_of(ppn)
+        block = self._blocks[block_idx]
+        page_offset = ppn % self.geometry.pages_per_block
+        if self.enforce_sequential_program and page_offset != block.next_page:
+            raise FlashStateError(
+                f"out-of-order program in block {block_idx}: page offset {page_offset}, "
+                f"expected {block.next_page}"
+            )
+        self._version_counter += 1
+        info.state = PageState.VALID
+        info.lpn = lpn
+        info.version = self._version_counter
+        info.is_translation = is_translation
+        info.oob = oob
+        block.next_page = max(block.next_page, page_offset + 1)
+        block.valid_count += 1
+        block.is_translation = block.is_translation or is_translation
+        self.total_programs += 1
+        return info
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a valid page invalid (its data has been superseded)."""
+        info = self.page(ppn)
+        if info.state is not PageState.VALID:
+            raise FlashStateError(f"invalidate of non-valid page ppn={ppn} (state={info.state})")
+        info.state = PageState.INVALID
+        block = self._blocks[self.block_of(ppn)]
+        block.valid_count -= 1
+        block.invalid_count += 1
+
+    def erase(self, block: int, *, allow_valid: bool = False) -> int:
+        """Erase a block, returning the number of pages reclaimed.
+
+        Erasing a block that still contains valid pages normally indicates an
+        FTL bug (the GC should have migrated them first); pass
+        ``allow_valid=True`` only from code that intentionally drops data, such
+        as a whole-device format.
+        """
+        self.geometry.check_block(block)
+        blk = self._blocks[block]
+        if blk.valid_count > 0 and not allow_valid:
+            raise FlashStateError(
+                f"erase of block {block} with {blk.valid_count} valid pages"
+            )
+        reclaimed = blk.programmed
+        for ppn in self.codec.block_ppns(block):
+            page = self._pages[ppn]
+            page.state = PageState.FREE
+            page.lpn = None
+            page.version = -1
+            page.is_translation = False
+            page.oob = None
+        blk.next_page = 0
+        blk.valid_count = 0
+        blk.invalid_count = 0
+        blk.erase_count += 1
+        blk.is_translation = False
+        self.total_erases += 1
+        return reclaimed
+
+    # -------------------------------------------------------------- analysis
+    def latest_version_of(self, lpn: int) -> tuple[int, int] | None:
+        """Return ``(ppn, version)`` of the newest valid copy of an LPN.
+
+        Linear scan; intended for test-suite verification only.
+        """
+        best: tuple[int, int] | None = None
+        for ppn, info in enumerate(self._pages):
+            if info.state is PageState.VALID and info.lpn == lpn and not info.is_translation:
+                if best is None or info.version > best[1]:
+                    best = (ppn, info.version)
+        return best
+
+    def utilization(self) -> dict[str, int]:
+        """Return page counts by state (for reporting and tests)."""
+        counts = {state: 0 for state in PageState}
+        for info in self._pages:
+            counts[info.state] += 1
+        return {
+            "free": counts[PageState.FREE],
+            "valid": counts[PageState.VALID],
+            "invalid": counts[PageState.INVALID],
+        }

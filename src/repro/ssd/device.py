@@ -1,0 +1,238 @@
+"""The simulated SSD: FTL + flash + timing engine + host thread model.
+
+:class:`SSD` is the main entry point of the library::
+
+    from repro import SSD, SSDGeometry, LearnedFTL
+    from repro.workloads import FioJob
+
+    ssd = SSD.create("learnedftl", SSDGeometry.small())
+    ssd.fill_sequential()                       # precondition
+    result = ssd.run(FioJob.randread(num_requests=10_000), threads=4)
+    print(result.stats.summary())
+
+Two host models are supported:
+
+* **closed loop** (``run``): N threads, each issuing its next request as soon
+  as the previous one completes (fio's ``psync`` engine);
+* **open loop** (``replay``): requests carry arrival timestamps (trace replay);
+  a request is dispatched at ``max(arrival, previous completion of its
+  stream)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.base import FTLBase, FTLConfig
+from repro.core.dftl import DFTL
+from repro.core.idealftl import IdealFTL
+from repro.core.leaftl import LeaFTL
+from repro.core.learnedftl import LearnedFTL
+from repro.core.tpftl import TPFTL
+from repro.nand.errors import ConfigurationError
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+from repro.ssd.energy import EnergyBreakdown, EnergyModel
+from repro.ssd.engine import TimingEngine
+from repro.ssd.request import HostRequest, OpType
+from repro.ssd.stats import SimulationStats
+
+__all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl"]
+
+#: Factory registry mapping design names to classes; ``SSD.create`` and the
+#: experiment harness look designs up here.
+FTL_REGISTRY: dict[str, type[FTLBase]] = {
+    "dftl": DFTL,
+    "tpftl": TPFTL,
+    "leaftl": LeaFTL,
+    "learnedftl": LearnedFTL,
+    "ideal": IdealFTL,
+}
+
+
+def create_ftl(
+    name: str,
+    geometry: SSDGeometry,
+    *,
+    timing: TimingModel | None = None,
+    config: FTLConfig | None = None,
+    stats: SimulationStats | None = None,
+) -> FTLBase:
+    """Instantiate an FTL design by name (``dftl``/``tpftl``/``leaftl``/``learnedftl``/``ideal``)."""
+    try:
+        cls = FTL_REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown FTL {name!r}; choose one of {sorted(FTL_REGISTRY)}"
+        ) from exc
+    return cls(geometry, timing=timing, config=config, stats=stats)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    stats: SimulationStats
+    elapsed_us: float
+    requests: int
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Host throughput over the run in MB/s."""
+        return self.stats.throughput_mb_s()
+
+    @property
+    def iops(self) -> float:
+        """Host requests per simulated second."""
+        return self.stats.iops()
+
+
+class SSD:
+    """A complete simulated SSD bound to one FTL design."""
+
+    def __init__(
+        self,
+        ftl: FTLBase,
+        *,
+        timing: TimingModel | None = None,
+        energy_model: EnergyModel | None = None,
+    ) -> None:
+        self.ftl = ftl
+        self.geometry = ftl.geometry
+        self.timing = timing or ftl.timing
+        self.stats = ftl.stats
+        self.stats.page_size = self.geometry.page_size
+        self.engine = TimingEngine(self.geometry.num_chips, self.timing, self.stats)
+        self.energy_model = energy_model or EnergyModel()
+        self._clock_us = 0.0
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def create(
+        cls,
+        ftl_name: str,
+        geometry: SSDGeometry | None = None,
+        *,
+        timing: TimingModel | None = None,
+        config: FTLConfig | None = None,
+        energy_model: EnergyModel | None = None,
+    ) -> "SSD":
+        """Build an SSD with a named FTL design and (optionally) custom knobs."""
+        geometry = geometry or SSDGeometry.small()
+        timing = timing or TimingModel.femu_default()
+        ftl = create_ftl(ftl_name, geometry, timing=timing, config=config)
+        return cls(ftl, timing=timing, energy_model=energy_model)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time (end of the latest completed request)."""
+        return self._clock_us
+
+    # --------------------------------------------------------------- running
+    def submit(self, request: HostRequest, issue_time_us: float | None = None) -> float:
+        """Process a single host request; returns its completion time."""
+        issue = self._clock_us if issue_time_us is None else issue_time_us
+        txn = self.ftl.process(request, issue)
+        result = self.engine.execute(txn, issue)
+        self.stats.record_latency(request.op is OpType.READ, result.latency_us)
+        self._clock_us = max(self._clock_us, result.finish_us)
+        self.stats.finish_time_us = self._clock_us
+        return result.finish_us
+
+    def run(
+        self,
+        requests: Iterable[HostRequest],
+        *,
+        threads: int = 1,
+        progress: Callable[[int], None] | None = None,
+    ) -> RunResult:
+        """Closed-loop execution: ``threads`` psync workers share the request stream."""
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        start = self._clock_us
+        thread_free = [start] * threads
+        completed = 0
+        iterator: Iterator[HostRequest] = iter(requests)
+        for request in iterator:
+            slot = min(range(threads), key=thread_free.__getitem__)
+            issue = thread_free[slot]
+            txn = self.ftl.process(request, issue)
+            result = self.engine.execute(txn, issue)
+            self.stats.record_latency(request.op is OpType.READ, result.latency_us)
+            thread_free[slot] = result.finish_us
+            completed += 1
+            if progress is not None and completed % 10_000 == 0:
+                progress(completed)
+        self._clock_us = max(self._clock_us, max(thread_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
+    def replay(self, requests: Iterable[HostRequest], *, streams: int = 1) -> RunResult:
+        """Open-loop trace replay honouring per-request arrival timestamps."""
+        if streams <= 0:
+            raise ConfigurationError("streams must be positive")
+        start = self._clock_us
+        stream_free = [start] * streams
+        completed = 0
+        for request in requests:
+            slot = request.stream_id % streams
+            arrival = start + (request.issue_time_us or 0.0)
+            issue = max(arrival, stream_free[slot])
+            txn = self.ftl.process(request, issue)
+            result = self.engine.execute(txn, issue)
+            self.stats.record_latency(request.op is OpType.READ, result.latency_us)
+            stream_free[slot] = result.finish_us
+            completed += 1
+        self._clock_us = max(self._clock_us, max(stream_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
+    # --------------------------------------------------------- preconditioning
+    def fill_sequential(self, *, io_pages: int = 128, fraction: float = 1.0) -> RunResult:
+        """Sequentially write the logical space once (or a fraction of it)."""
+        total = int(self.geometry.num_logical_pages * fraction)
+        requests = (
+            HostRequest(op=OpType.WRITE, lpn=lpn, npages=min(io_pages, total - lpn))
+            for lpn in range(0, total, io_pages)
+        )
+        return self.run(requests, threads=1)
+
+    def overwrite_random(
+        self, *, pages: int, io_pages: int = 1, seed: int = 7, threads: int = 1
+    ) -> RunResult:
+        """Randomly overwrite ``pages`` logical pages (steady-state conditioning)."""
+        import random
+
+        rng = random.Random(seed)
+        limit = self.geometry.num_logical_pages - io_pages
+        requests = (
+            HostRequest(op=OpType.WRITE, lpn=rng.randint(0, max(0, limit)), npages=io_pages)
+            for _ in range(pages // io_pages)
+        )
+        return self.run(requests, threads=threads)
+
+    # ------------------------------------------------------------- analysis
+    def energy(self) -> EnergyBreakdown:
+        """Energy consumed so far according to the device's energy model."""
+        return self.energy_model.evaluate(self.stats)
+
+    def reset_stats(self) -> SimulationStats:
+        """Start a fresh measurement interval (e.g. after warm-up).
+
+        Statistics, the simulated clock and the chip timelines are all reset so
+        throughput and latency reflect only the measured phase; the FTL state
+        (mappings, caches, models, flash contents) is preserved.  Returns the
+        warm-up statistics.
+        """
+        old = self.stats
+        fresh = SimulationStats(page_size=self.geometry.page_size)
+        self.stats = fresh
+        self.ftl.stats = fresh
+        self.engine = TimingEngine(self.geometry.num_chips, self.timing, fresh)
+        self._clock_us = 0.0
+        return old
+
+    def verify(self) -> None:
+        """Run the FTL's integrity check (every LPN resolves to its newest copy)."""
+        self.ftl.verify_integrity()

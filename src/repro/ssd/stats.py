@@ -1,0 +1,267 @@
+"""Statistics collected while driving an FTL.
+
+A single :class:`SimulationStats` instance is shared by the device, the timing
+engine and the FTL.  Everything the paper's figures report is derived from it:
+
+* read classification (single / double / triple reads, CMT hits, model hits)
+  for Figures 6(b), 14(b) and 19(b);
+* flash-command breakdown and write amplification for Figure 14(c);
+* GC invocation timestamps for Figure 16 and GC time breakdown for Figure 17;
+* per-request latencies for the throughput and tail-latency figures
+  (Figures 14(a), 18, 19(a), 20 and 21);
+* controller-computation time for Figures 15, 17 and 18(a);
+* flash-operation energy for Figure 22.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand, ReadOutcome
+
+__all__ = ["GCEvent", "LatencyDigest", "SimulationStats"]
+
+
+@dataclass(frozen=True)
+class GCEvent:
+    """Record of one garbage-collection invocation."""
+
+    time_us: float
+    blocks_erased: int
+    pages_moved: int
+    translation_pages_written: int
+    flash_time_us: float
+    compute_time_us: float
+    group: int | None = None
+
+
+@dataclass
+class LatencyDigest:
+    """Summary statistics over a latency population (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+
+    @classmethod
+    def from_samples(cls, samples: "np.ndarray | list[float]") -> "LatencyDigest":
+        """Build a digest from raw samples; empty input yields an all-zero digest."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(arr.size),
+            mean_us=float(arr.mean()),
+            p50_us=float(np.percentile(arr, 50)),
+            p95_us=float(np.percentile(arr, 95)),
+            p99_us=float(np.percentile(arr, 99)),
+            p999_us=float(np.percentile(arr, 99.9)),
+            max_us=float(arr.max()),
+        )
+
+
+@dataclass
+class SimulationStats:
+    """Mutable counters accumulated over one simulation run."""
+
+    #: Page size in bytes, set by the owning device; used for throughput figures.
+    page_size: int = 4096
+
+    # Host level -----------------------------------------------------------
+    host_read_requests: int = 0
+    host_write_requests: int = 0
+    host_read_pages: int = 0
+    host_write_pages: int = 0
+
+    # Flash command breakdown ----------------------------------------------
+    flash_reads: Counter = field(default_factory=Counter)
+    flash_programs: Counter = field(default_factory=Counter)
+    flash_erases: Counter = field(default_factory=Counter)
+
+    # Read-path classification ----------------------------------------------
+    read_outcomes: Counter = field(default_factory=Counter)
+    cmt_lookups: int = 0
+    cmt_hits: int = 0
+    model_lookups: int = 0
+    model_hits: int = 0
+
+    # GC ---------------------------------------------------------------------
+    gc_events: list[GCEvent] = field(default_factory=list)
+
+    # Controller computation --------------------------------------------------
+    sort_time_us: float = 0.0
+    train_time_us: float = 0.0
+    predict_time_us: float = 0.0
+    predictions: int = 0
+    models_trained: int = 0
+
+    # Latency / time ----------------------------------------------------------
+    read_latencies_us: list[float] = field(default_factory=list)
+    write_latencies_us: list[float] = field(default_factory=list)
+    finish_time_us: float = 0.0
+
+    # ------------------------------------------------------------ recording
+    def record_host_request(self, is_read: bool, npages: int) -> None:
+        """Count one host request of ``npages`` logical pages."""
+        if is_read:
+            self.host_read_requests += 1
+            self.host_read_pages += npages
+        else:
+            self.host_write_requests += 1
+            self.host_write_pages += npages
+
+    def record_command(self, command: FlashCommand) -> None:
+        """Count a flash command by kind and purpose."""
+        if command.kind is CommandKind.READ:
+            self.flash_reads[command.purpose] += 1
+        elif command.kind is CommandKind.PROGRAM:
+            self.flash_programs[command.purpose] += 1
+        else:
+            self.flash_erases[command.purpose] += 1
+
+    def record_outcome(self, outcome: ReadOutcome) -> None:
+        """Record the classification of one host page read."""
+        self.read_outcomes[outcome] += 1
+
+    def record_latency(self, is_read: bool, latency_us: float) -> None:
+        """Record the completion latency of one host request."""
+        if is_read:
+            self.read_latencies_us.append(latency_us)
+        else:
+            self.write_latencies_us.append(latency_us)
+
+    # ------------------------------------------------------------- derived
+    @property
+    def total_flash_reads(self) -> int:
+        """Total NAND read commands issued."""
+        return sum(self.flash_reads.values())
+
+    @property
+    def total_flash_programs(self) -> int:
+        """Total NAND program commands issued."""
+        return sum(self.flash_programs.values())
+
+    @property
+    def total_flash_erases(self) -> int:
+        """Total NAND erase commands issued."""
+        return sum(self.flash_erases.values())
+
+    @property
+    def gc_count(self) -> int:
+        """Number of GC invocations."""
+        return len(self.gc_events)
+
+    @property
+    def gc_pages_moved(self) -> int:
+        """Total valid pages migrated by GC."""
+        return sum(e.pages_moved for e in self.gc_events)
+
+    def write_amplification(self) -> float:
+        """(host + GC + translation) programs divided by host page writes."""
+        if self.host_write_pages == 0:
+            return 0.0
+        return self.total_flash_programs / self.host_write_pages
+
+    def cmt_hit_ratio(self) -> float:
+        """Fraction of mapping lookups served from the cached mapping table."""
+        if self.cmt_lookups == 0:
+            return 0.0
+        return self.cmt_hits / self.cmt_lookups
+
+    def model_hit_ratio(self) -> float:
+        """Fraction of host page reads resolved by an accurate model prediction."""
+        reads = sum(self.read_outcomes.values())
+        if reads == 0:
+            return 0.0
+        return self.read_outcomes[ReadOutcome.MODEL_HIT] / reads
+
+    def outcome_fractions(self) -> dict[str, float]:
+        """Per-outcome fraction of host page reads (single/double/triple breakdown)."""
+        total = sum(self.read_outcomes.values())
+        if total == 0:
+            return {outcome.value: 0.0 for outcome in ReadOutcome}
+        return {outcome.value: self.read_outcomes[outcome] / total for outcome in ReadOutcome}
+
+    def single_read_fraction(self) -> float:
+        """Fraction of host page reads needing exactly one flash read (or none)."""
+        fractions = self.outcome_fractions()
+        return (
+            fractions[ReadOutcome.BUFFER_HIT.value]
+            + fractions[ReadOutcome.CMT_HIT.value]
+            + fractions[ReadOutcome.MODEL_HIT.value]
+        )
+
+    def double_read_fraction(self) -> float:
+        """Fraction of host page reads classified as double reads."""
+        return self.outcome_fractions()[ReadOutcome.DOUBLE_READ.value]
+
+    def triple_read_fraction(self) -> float:
+        """Fraction of host page reads classified as triple reads."""
+        return self.outcome_fractions()[ReadOutcome.TRIPLE_READ.value]
+
+    def read_latency_digest(self) -> LatencyDigest:
+        """Latency digest over host read requests."""
+        return LatencyDigest.from_samples(self.read_latencies_us)
+
+    def write_latency_digest(self) -> LatencyDigest:
+        """Latency digest over host write requests."""
+        return LatencyDigest.from_samples(self.write_latencies_us)
+
+    def all_latency_digest(self) -> LatencyDigest:
+        """Latency digest over all host requests."""
+        return LatencyDigest.from_samples(self.read_latencies_us + self.write_latencies_us)
+
+    def throughput_mb_s(self, page_size: int | None = None) -> float:
+        """Host throughput in MB/s over the simulated run time."""
+        if self.finish_time_us <= 0.0:
+            return 0.0
+        size = self.page_size if page_size is None else page_size
+        total_bytes = (self.host_read_pages + self.host_write_pages) * size
+        seconds = self.finish_time_us / 1_000_000.0
+        return total_bytes / seconds / 1_000_000.0
+
+    def read_throughput_mb_s(self, page_size: int | None = None) -> float:
+        """Host read throughput in MB/s over the simulated run time."""
+        if self.finish_time_us <= 0.0:
+            return 0.0
+        size = self.page_size if page_size is None else page_size
+        seconds = self.finish_time_us / 1_000_000.0
+        return self.host_read_pages * size / seconds / 1_000_000.0
+
+    def iops(self) -> float:
+        """Host requests completed per simulated second."""
+        if self.finish_time_us <= 0.0:
+            return 0.0
+        requests = self.host_read_requests + self.host_write_requests
+        return requests / (self.finish_time_us / 1_000_000.0)
+
+    def compute_time_us(self) -> float:
+        """Total controller computation time charged (sort + train + predict)."""
+        return self.sort_time_us + self.train_time_us + self.predict_time_us
+
+    def summary(self) -> dict[str, float]:
+        """Return a flat dictionary of headline metrics, used by reports and tests."""
+        return {
+            "host_read_pages": float(self.host_read_pages),
+            "host_write_pages": float(self.host_write_pages),
+            "flash_reads": float(self.total_flash_reads),
+            "flash_programs": float(self.total_flash_programs),
+            "flash_erases": float(self.total_flash_erases),
+            "write_amplification": self.write_amplification(),
+            "cmt_hit_ratio": self.cmt_hit_ratio(),
+            "model_hit_ratio": self.model_hit_ratio(),
+            "single_read_fraction": self.single_read_fraction(),
+            "double_read_fraction": self.double_read_fraction(),
+            "triple_read_fraction": self.triple_read_fraction(),
+            "gc_count": float(self.gc_count),
+            "throughput_mb_s": self.throughput_mb_s(),
+            "read_p99_us": self.read_latency_digest().p99_us,
+            "finish_time_us": self.finish_time_us,
+        }

@@ -1,0 +1,53 @@
+"""Workload generators: fio, Filebench, RocksDB (mini-LSM), traces and synthetics."""
+
+from repro.workloads.filebench import FILEBENCH_PRESETS, FilebenchConfig, FilebenchWorkload
+from repro.workloads.fio import FioJob, FioPattern, warmup_writes
+from repro.workloads.rocksdb import DbBench, ExtentAllocator, MiniLSM, SSTable
+from repro.workloads.synthetic import (
+    hotspot_stream,
+    mixed_stream,
+    sequential_stream,
+    strided_reads,
+    zipf_reads,
+)
+from repro.workloads.traces import (
+    TRACE_PRESETS,
+    TraceCharacteristics,
+    TraceRecord,
+    characterize,
+    parse_spc,
+    parse_systor_csv,
+    synthesize_systor,
+    synthesize_websearch,
+    trace_to_requests,
+)
+from repro.workloads.zipf import HotspotGenerator, ZipfGenerator
+
+__all__ = [
+    "FioJob",
+    "FioPattern",
+    "warmup_writes",
+    "FilebenchWorkload",
+    "FilebenchConfig",
+    "FILEBENCH_PRESETS",
+    "MiniLSM",
+    "DbBench",
+    "SSTable",
+    "ExtentAllocator",
+    "TraceRecord",
+    "TraceCharacteristics",
+    "parse_spc",
+    "parse_systor_csv",
+    "synthesize_websearch",
+    "synthesize_systor",
+    "trace_to_requests",
+    "characterize",
+    "TRACE_PRESETS",
+    "ZipfGenerator",
+    "HotspotGenerator",
+    "mixed_stream",
+    "sequential_stream",
+    "strided_reads",
+    "zipf_reads",
+    "hotspot_stream",
+]

@@ -1,0 +1,162 @@
+"""FIO-like synthetic workload generator.
+
+The paper drives its micro-benchmarks with ``fio`` using the psync engine,
+4 KB I/O and up to 64 threads (Section IV-B).  :class:`FioJob` reproduces the
+four access patterns (sequential/random x read/write) as streams of
+:class:`~repro.ssd.request.HostRequest`; the device's closed-loop ``run``
+method supplies the multi-threading.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.nand.geometry import SSDGeometry
+from repro.ssd.request import HostRequest, OpType
+
+__all__ = ["FioPattern", "FioJob"]
+
+
+class FioPattern(enum.Enum):
+    """The four fio access patterns used throughout the evaluation."""
+
+    SEQ_READ = "seqread"
+    RAND_READ = "randread"
+    SEQ_WRITE = "seqwrite"
+    RAND_WRITE = "randwrite"
+
+    @property
+    def is_read(self) -> bool:
+        """True for the two read patterns."""
+        return self in (FioPattern.SEQ_READ, FioPattern.RAND_READ)
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for the two sequential patterns."""
+        return self in (FioPattern.SEQ_READ, FioPattern.SEQ_WRITE)
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """One fio job description.
+
+    Attributes
+    ----------
+    pattern:
+        Access pattern.
+    num_requests:
+        Number of host requests to generate.
+    io_pages:
+        Request size in pages (the paper uses 1 page = 4 KB for measurements
+        and 128 pages = 512 KB for LeaFTL's warm-up writes).
+    seed:
+        RNG seed for the random patterns.
+    span_fraction:
+        Fraction of the logical space the job touches (1.0 = whole device).
+    """
+
+    pattern: FioPattern
+    num_requests: int
+    io_pages: int = 1
+    seed: int = 42
+    span_fraction: float = 1.0
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def seqread(cls, num_requests: int, *, io_pages: int = 1, seed: int = 42) -> "FioJob":
+        """Sequential read job."""
+        return cls(FioPattern.SEQ_READ, num_requests, io_pages=io_pages, seed=seed)
+
+    @classmethod
+    def randread(cls, num_requests: int, *, io_pages: int = 1, seed: int = 42) -> "FioJob":
+        """Random read job."""
+        return cls(FioPattern.RAND_READ, num_requests, io_pages=io_pages, seed=seed)
+
+    @classmethod
+    def seqwrite(cls, num_requests: int, *, io_pages: int = 1, seed: int = 42) -> "FioJob":
+        """Sequential write job."""
+        return cls(FioPattern.SEQ_WRITE, num_requests, io_pages=io_pages, seed=seed)
+
+    @classmethod
+    def randwrite(cls, num_requests: int, *, io_pages: int = 1, seed: int = 42) -> "FioJob":
+        """Random write job."""
+        return cls(FioPattern.RAND_WRITE, num_requests, io_pages=io_pages, seed=seed)
+
+    @classmethod
+    def from_name(cls, name: str, num_requests: int, **kwargs) -> "FioJob":
+        """Build a job from a pattern name (``seqread``/``randread``/...)."""
+        return cls(FioPattern(name), num_requests, **kwargs)
+
+    # ------------------------------------------------------------ generation
+    def requests(self, geometry: SSDGeometry) -> Iterator[HostRequest]:
+        """Yield the job's host requests sized to a device geometry."""
+        span = max(self.io_pages, int(geometry.num_logical_pages * self.span_fraction))
+        span = min(span, geometry.num_logical_pages)
+        op = OpType.READ if self.pattern.is_read else OpType.WRITE
+        if self.pattern.is_sequential:
+            yield from self._sequential(op, span)
+        else:
+            yield from self._random(op, span)
+
+    def _sequential(self, op: OpType, span: int) -> Iterator[HostRequest]:
+        lpn = 0
+        for index in range(self.num_requests):
+            if lpn + self.io_pages > span:
+                lpn = 0
+            yield HostRequest(op=op, lpn=lpn, npages=self.io_pages, stream_id=index)
+            lpn += self.io_pages
+
+    def _random(self, op: OpType, span: int) -> Iterator[HostRequest]:
+        rng = random.Random(self.seed)
+        limit = max(1, span - self.io_pages + 1)
+        for index in range(self.num_requests):
+            lpn = rng.randrange(limit)
+            yield HostRequest(op=op, lpn=lpn, npages=self.io_pages, stream_id=index)
+
+    # ------------------------------------------------------------- reporting
+    def describe(self) -> str:
+        """Human-readable one-line description of the job."""
+        return (
+            f"fio {self.pattern.value}: {self.num_requests} requests x "
+            f"{self.io_pages} page(s), span {self.span_fraction:.0%}"
+        )
+
+
+def warmup_writes(
+    geometry: SSDGeometry,
+    *,
+    overwrite_factor: float = 1.0,
+    io_pages: int = 128,
+    random_fraction: float = 0.5,
+    seed: int = 7,
+) -> Iterator[HostRequest]:
+    """Steady-state preconditioning stream (Section IV-B warm-up).
+
+    The paper warms the SSD up by writing it over several times with a mix of
+    sequential and random writes (512 KB requests so LeaFTL's learned index can
+    be built).  ``overwrite_factor`` expresses how many times the logical space
+    is written in addition to the initial sequential fill performed by
+    :meth:`repro.ssd.device.SSD.fill_sequential`.
+    """
+    rng = random.Random(seed)
+    total_pages = int(geometry.num_logical_pages * overwrite_factor)
+    pages_emitted = 0
+    sequential_cursor = 0
+    span = geometry.num_logical_pages
+    while pages_emitted < total_pages:
+        npages = min(io_pages, span)
+        if rng.random() < random_fraction:
+            lpn = rng.randrange(max(1, span - npages + 1))
+        else:
+            if sequential_cursor + npages > span:
+                sequential_cursor = 0
+            lpn = sequential_cursor
+            sequential_cursor += npages
+        yield HostRequest(op=OpType.WRITE, lpn=lpn, npages=npages)
+        pages_emitted += npages
+
+
+__all__.append("warmup_writes")

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test-suite.
+
+Two geometries are used throughout:
+
+* ``tiny_geometry`` — a few hundred pages with 512-byte pages (64 mappings per
+  translation page, one group per stripe).  Fast enough that dozens of tests
+  can each run full workloads.
+* ``small_geometry`` — the library's :meth:`SSDGeometry.small` preset, used by
+  the heavier integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SSD, SSDGeometry
+from repro.ssd.request import HostRequest, OpType
+
+ALL_FTL_NAMES = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
+
+
+@pytest.fixture
+def tiny_geometry() -> SSDGeometry:
+    """A very small geometry for unit tests that run workloads."""
+    return SSDGeometry.small(
+        channels=2,
+        chips_per_channel=2,
+        planes_per_chip=1,
+        blocks_per_plane=12,
+        pages_per_block=16,
+        page_size=512,
+        op_ratio=0.25,
+    )
+
+
+@pytest.fixture
+def small_geometry() -> SSDGeometry:
+    """The library's default small preset (used by heavier tests)."""
+    return SSDGeometry.small()
+
+
+@pytest.fixture(params=ALL_FTL_NAMES)
+def ftl_name(request) -> str:
+    """Parametrized over every FTL design."""
+    return request.param
+
+
+def make_ssd(ftl_name: str, geometry: SSDGeometry, **kwargs) -> SSD:
+    """Create an SSD for tests (thin wrapper kept for readability)."""
+    return SSD.create(ftl_name, geometry, **kwargs)
+
+
+def random_reads(geometry: SSDGeometry, count: int, *, seed: int = 0, npages: int = 1):
+    """A list of uniformly random read requests."""
+    rng = random.Random(seed)
+    limit = geometry.num_logical_pages - npages
+    return [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit), npages=npages)
+        for _ in range(count)
+    ]
+
+
+def random_writes(geometry: SSDGeometry, count: int, *, seed: int = 1, npages: int = 1):
+    """A list of uniformly random write requests."""
+    rng = random.Random(seed)
+    limit = geometry.num_logical_pages - npages
+    return [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit), npages=npages)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture
+def warmed_ssd_factory(tiny_geometry):
+    """Factory producing a preconditioned SSD for a named FTL."""
+
+    def factory(name: str, *, overwrite_pages: int = 600, **kwargs) -> SSD:
+        ssd = make_ssd(name, tiny_geometry, **kwargs)
+        ssd.fill_sequential(io_pages=16)
+        ssd.overwrite_random(pages=overwrite_pages, io_pages=4, seed=3)
+        ssd.reset_stats()
+        return ssd
+
+    return factory

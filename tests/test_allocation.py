@@ -1,0 +1,282 @@
+"""Tests for the allocation strategies (striping and group-based)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import (
+    GroupAllocator,
+    GroupGCNeeded,
+    StripeMap,
+    StripingAllocator,
+    TranslationPool,
+)
+from repro.nand.errors import AllocationError, OutOfSpaceError
+from repro.nand.flash import FlashArray
+from repro.nand.geometry import SSDGeometry
+
+
+@pytest.fixture
+def geometry() -> SSDGeometry:
+    # 4 chips x 8 blocks x 16 pages, 512 B pages: one stripe (64 pages) holds one
+    # 64-mapping translation page worth of LPNs, like the paper's full geometry.
+    return SSDGeometry(
+        channels=2,
+        chips_per_channel=2,
+        planes_per_chip=1,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_size=512,
+        op_ratio=0.25,
+    )
+
+
+@pytest.fixture
+def flash(geometry) -> FlashArray:
+    return FlashArray(geometry)
+
+
+class TestStripeMap:
+    def test_counts(self, geometry):
+        stripes = StripeMap(geometry)
+        assert stripes.num_stripes == geometry.blocks_per_plane
+        assert stripes.blocks_per_stripe == geometry.num_chips
+        assert stripes.pages_per_stripe == geometry.num_chips * geometry.pages_per_block
+
+    def test_blocks_of_partition_device(self, geometry):
+        stripes = StripeMap(geometry)
+        seen = []
+        for stripe in range(stripes.num_stripes):
+            seen.extend(stripes.blocks_of(stripe))
+        assert sorted(seen) == list(range(geometry.num_blocks))
+
+    def test_ppn_at_produces_contiguous_vppns(self, geometry):
+        stripes = StripeMap(geometry)
+        codec = stripes.codec
+        vppns = [codec.ppn_to_vppn(stripes.ppn_at(2, i)) for i in range(stripes.pages_per_stripe)]
+        assert vppns == list(range(vppns[0], vppns[0] + stripes.pages_per_stripe))
+
+    def test_ppn_at_is_programmable_in_order(self, geometry, flash):
+        """Filling a stripe front-to-back never violates the sequential-program rule."""
+        stripes = StripeMap(geometry)
+        for index in range(stripes.pages_per_stripe):
+            flash.program(stripes.ppn_at(0, index), lpn=index)
+
+    def test_ppn_at_bounds(self, geometry):
+        stripes = StripeMap(geometry)
+        with pytest.raises(AllocationError):
+            stripes.ppn_at(0, stripes.pages_per_stripe)
+        with pytest.raises(AllocationError):
+            stripes.ppn_at(stripes.num_stripes, 0)
+
+    def test_stripe_of_block_round_trip(self, geometry):
+        stripes = StripeMap(geometry)
+        for stripe in range(stripes.num_stripes):
+            for block in stripes.blocks_of(stripe):
+                assert stripes.stripe_of_block(block) == stripe
+
+
+class TestTranslationPool:
+    def test_allocates_sequentially_within_block(self, geometry, flash):
+        pool = TranslationPool(flash, blocks=[0, 1])
+        first = pool.allocate()
+        second = pool.allocate()
+        assert second == first + 1
+
+    def test_exhaustion_raises(self, geometry, flash):
+        pool = TranslationPool(flash, blocks=[0])
+        for _ in range(geometry.pages_per_block):
+            ppn = pool.allocate()
+            flash.program(ppn, lpn=None, is_translation=True, oob={"tvpn": 0})
+        with pytest.raises(OutOfSpaceError):
+            pool.allocate()
+
+    def test_needs_gc_threshold(self, geometry, flash):
+        pool = TranslationPool(flash, blocks=[0])
+        assert not pool.needs_gc(slack_pages=4)
+        for _ in range(geometry.pages_per_block - 2):
+            flash.program(pool.allocate(), lpn=None, is_translation=True, oob={"tvpn": 0})
+        assert pool.needs_gc(slack_pages=4)
+
+    def test_victim_and_release_cycle(self, geometry, flash):
+        pool = TranslationPool(flash, blocks=[0, 1])
+        for _ in range(geometry.pages_per_block):
+            ppn = pool.allocate()
+            flash.program(ppn, lpn=None, is_translation=True, oob={"tvpn": 0})
+            flash.invalidate(ppn)
+        victim = pool.victim_block()
+        assert victim == 0
+        flash.erase(victim)
+        pool.release(victim)
+        assert pool.free_pages() >= geometry.pages_per_block
+
+    def test_release_rejects_foreign_block(self, geometry, flash):
+        pool = TranslationPool(flash, blocks=[0])
+        with pytest.raises(AllocationError):
+            pool.release(5)
+
+    def test_requires_blocks(self, flash):
+        with pytest.raises(Exception):
+            TranslationPool(flash, blocks=[])
+
+
+class TestStripingAllocator:
+    def test_allocations_stripe_across_chips(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        ppns = allocator.allocate_data(geometry.num_chips)
+        chips = [flash.codec.chip_index(ppn) for ppn in ppns]
+        assert len(set(chips)) == geometry.num_chips
+
+    def test_allocated_pages_are_programmable(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        for lpn, ppn in enumerate(allocator.allocate_data(40)):
+            flash.program(ppn, lpn=lpn)
+
+    def test_never_allocates_translation_blocks(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        reserved = set(allocator.translation_pool.blocks)
+        ppns = allocator.allocate_data(100)
+        assert all(flash.codec.block_index(ppn) not in reserved for ppn in ppns)
+
+    def test_free_data_blocks_decreases(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        before = allocator.free_data_blocks()
+        allocator.allocate_data(geometry.pages_per_block * 2)
+        assert allocator.free_data_blocks() < before
+
+    def test_out_of_space(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        capacity = allocator.data_block_count * geometry.pages_per_block
+        allocator.allocate_data(capacity)
+        with pytest.raises(OutOfSpaceError):
+            allocator.allocate_data(1)
+
+    def test_victim_block_prefers_fewest_valid(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        ppns = allocator.allocate_data(geometry.pages_per_block * geometry.num_chips)
+        for lpn, ppn in enumerate(ppns):
+            flash.program(ppn, lpn=lpn)
+        # Invalidate everything in the block holding the first ppn.
+        victim_block = flash.codec.block_index(ppns[0])
+        for ppn in flash.codec.block_ppns(victim_block):
+            flash.invalidate(ppn)
+        assert allocator.victim_block() == victim_block
+
+    def test_release_block_returns_to_pool(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        ppns = allocator.allocate_data(geometry.pages_per_block)
+        block = flash.codec.block_index(ppns[0])
+        for lpn, ppn in enumerate(ppns):
+            flash.program(ppn, lpn=lpn)
+            flash.invalidate(ppn)
+        before = allocator.free_data_blocks()
+        flash.erase(block)
+        allocator.release_block(block)
+        assert allocator.free_data_blocks() == before + 1
+
+    def test_allocate_translation_uses_pool(self, geometry, flash):
+        allocator = StripingAllocator(geometry, flash)
+        ppn = allocator.allocate_translation()
+        assert flash.codec.block_index(ppn) in set(allocator.translation_pool.blocks)
+
+
+class TestGroupAllocator:
+    def test_group_geometry(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        assert allocator.entries_per_group >= 1
+        assert allocator.lpns_per_group == allocator.entries_per_group * geometry.mappings_per_translation_page
+        assert allocator.num_groups * allocator.lpns_per_group >= geometry.num_logical_pages
+
+    def test_group_of_lpn_and_tvpn_consistent(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        for lpn in range(0, geometry.num_logical_pages, 37):
+            tvpn = lpn // geometry.mappings_per_translation_page
+            assert allocator.group_of_lpn(lpn) == allocator.group_of_tvpn(tvpn)
+
+    def test_allocation_fills_stripe_in_vppn_order(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        codec = flash.codec
+        ppns = [allocator.allocate_page(0)[0] for _ in range(10)]
+        vppns = [codec.ppn_to_vppn(ppn) for ppn in ppns]
+        assert vppns == list(range(vppns[0], vppns[0] + 10))
+
+    def test_allocated_pages_programmable(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        for lpn in range(allocator.stripe_map.pages_per_stripe):
+            ppn, _ = allocator.allocate_page(0)
+            flash.program(ppn, lpn=lpn)
+
+    def test_groups_use_distinct_stripes(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        allocator.allocate_page(0)
+        allocator.allocate_page(1)
+        assert set(allocator.stripes_of_group(0)).isdisjoint(allocator.stripes_of_group(1))
+
+    def test_owner_tracking(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        allocator.allocate_page(2)
+        stripe = allocator.stripes_of_group(2)[0]
+        assert allocator.owner_of_stripe(stripe) == 2
+
+    def test_stripe_limit_triggers_borrowing_or_gc(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash, group_stripe_limit=1)
+        pages_per_stripe = allocator.stripe_map.pages_per_stripe
+        # Give group 1 an active stripe with free pages so group 0 can borrow from it.
+        allocator.allocate_page(1)
+        for lpn in range(pages_per_stripe):
+            ppn, owner = allocator.allocate_page(0)
+            flash.program(ppn, lpn=lpn)
+        ppn, owner = allocator.allocate_page(0)
+        assert owner == 1  # borrowed from the cold group
+        assert allocator.group_state(0).borrowed_pages >= 1
+
+    def test_gc_needed_when_nothing_to_borrow(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash, group_stripe_limit=1)
+        pages_per_stripe = allocator.stripe_map.pages_per_stripe
+        lpn = 0
+        with pytest.raises((GroupGCNeeded, OutOfSpaceError)):
+            for _ in range(pages_per_stripe * (allocator.num_groups + 2)):
+                ppn, _ = allocator.allocate_page(0)
+                flash.program(ppn, lpn=lpn)
+                flash.invalidate(ppn)
+                lpn += 1
+
+    def test_gc_candidate_prefers_most_invalid(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        for group in (0, 1):
+            for i in range(8):
+                ppn, _ = allocator.allocate_page(group)
+                flash.program(ppn, lpn=group * allocator.lpns_per_group + i)
+                if group == 1:
+                    flash.invalidate(ppn)
+        assert allocator.gc_candidate() == 1
+
+    def test_release_and_reassign_cycle(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        ppn, _ = allocator.allocate_page(0)
+        flash.program(ppn, lpn=0)
+        flash.invalidate(ppn)
+        old_stripe = allocator.stripes_of_group(0)[0]
+        for block in allocator.stripe_map.blocks_of(old_stripe):
+            if flash.block(block).programmed:
+                flash.erase(block)
+        free_before = allocator.free_stripe_count()
+        allocator.release_stripe(old_stripe)
+        assert allocator.free_stripe_count() == free_before + 1
+        assert allocator.stripes_of_group(0) == []
+        fresh = allocator.begin_fresh_stripes(0, 1)
+        allocator.assign_gc_destination(0, fresh, pages_written=5)
+        assert allocator.stripes_of_group(0) == fresh
+
+    def test_take_gc_hints_resets(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        allocator.group_state(0).gc_hint = True
+        assert allocator.take_gc_hints() == [0]
+        assert allocator.take_gc_hints() == []
+
+    def test_groups_resident_in_stripes(self, geometry, flash):
+        allocator = GroupAllocator(geometry, flash)
+        ppn, _ = allocator.allocate_page(0)
+        flash.program(ppn, lpn=3)
+        stripes = allocator.stripes_of_group(0)
+        assert allocator.groups_resident_in_stripes(stripes) == {0}

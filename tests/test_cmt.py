@@ -1,0 +1,171 @@
+"""Tests for the cached mapping tables (DFTL entry-level, TPFTL page-grouped)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cmt import EntryLevelCMT, PageGroupedCMT
+from repro.nand.errors import ConfigurationError
+
+MAPPINGS_PER_PAGE = 64
+
+
+class TestEntryLevelCMT:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EntryLevelCMT(0, MAPPINGS_PER_PAGE)
+
+    def test_miss_returns_none(self):
+        cmt = EntryLevelCMT(4, MAPPINGS_PER_PAGE)
+        assert cmt.lookup(1) is None
+
+    def test_insert_then_hit(self):
+        cmt = EntryLevelCMT(4, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 100)
+        assert cmt.lookup(1) == 100
+        assert 1 in cmt
+
+    def test_update_existing_entry(self):
+        cmt = EntryLevelCMT(4, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 100)
+        evicted = cmt.insert(1, 200, dirty=True)
+        assert evicted == []
+        assert cmt.lookup(1) == 200
+
+    def test_lru_eviction_order(self):
+        cmt = EntryLevelCMT(2, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10)
+        cmt.insert(2, 20)
+        cmt.lookup(1)          # 2 becomes the LRU entry
+        cmt.insert(3, 30)
+        assert 2 not in cmt
+        assert 1 in cmt and 3 in cmt
+
+    def test_clean_eviction_reports_nothing(self):
+        cmt = EntryLevelCMT(1, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10, dirty=False)
+        evicted = cmt.insert(2, 20)
+        assert evicted == []
+
+    def test_dirty_eviction_groups_by_translation_page(self):
+        cmt = EntryLevelCMT(1, MAPPINGS_PER_PAGE)
+        cmt.insert(MAPPINGS_PER_PAGE + 3, 10, dirty=True)
+        evicted = cmt.insert(5, 20)
+        assert len(evicted) == 1
+        assert evicted[0].tvpn == 1
+        assert evicted[0].dirty_lpns == (MAPPINGS_PER_PAGE + 3,)
+
+    def test_capacity_is_respected(self):
+        cmt = EntryLevelCMT(8, MAPPINGS_PER_PAGE)
+        for lpn in range(50):
+            cmt.insert(lpn, lpn)
+        assert len(cmt) <= 8
+        assert cmt.memory_entries() <= cmt.hit_capacity()
+
+    def test_flush_all_cleans_dirty_entries(self):
+        cmt = EntryLevelCMT(8, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10, dirty=True)
+        cmt.insert(2, 20, dirty=False)
+        flushed = cmt.flush_all()
+        assert len(flushed) == 1
+        assert flushed[0].dirty_lpns == (1,)
+        assert cmt.flush_all() == []
+
+
+class TestPageGroupedCMT:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PageGroupedCMT(0, MAPPINGS_PER_PAGE)
+
+    def test_insert_and_lookup(self):
+        cmt = PageGroupedCMT(16, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 100)
+        assert cmt.lookup(1) == 100
+        assert 1 in cmt
+        assert cmt.node_count() == 1
+
+    def test_entries_grouped_by_translation_page(self):
+        cmt = PageGroupedCMT(32, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10)
+        cmt.insert(2, 20)
+        cmt.insert(MAPPINGS_PER_PAGE + 1, 30)
+        assert cmt.node_count() == 2
+
+    def test_insert_many_batches(self):
+        cmt = PageGroupedCMT(32, MAPPINGS_PER_PAGE)
+        cmt.insert_many([(1, 10), (2, 20), (3, 30)])
+        assert len(cmt) == 3
+
+    def test_eviction_is_node_granular(self):
+        cmt = PageGroupedCMT(8, MAPPINGS_PER_PAGE)
+        for lpn in range(4):
+            cmt.insert(lpn, lpn, dirty=True)                     # node 0
+        for lpn in range(MAPPINGS_PER_PAGE, MAPPINGS_PER_PAGE + 4):
+            cmt.insert(lpn, lpn)                                 # node 1 pushes node 0 out
+        assert 0 not in cmt
+        assert MAPPINGS_PER_PAGE in cmt
+
+    def test_dirty_eviction_reports_whole_page(self):
+        cmt = PageGroupedCMT(8, MAPPINGS_PER_PAGE)
+        for lpn in range(4):
+            cmt.insert(lpn, lpn, dirty=True)
+        evictions = []
+        for lpn in range(MAPPINGS_PER_PAGE, MAPPINGS_PER_PAGE + 6):
+            evictions.extend(cmt.insert(lpn, lpn))
+        assert any(page.tvpn == 0 and len(page.dirty_lpns) == 4 for page in evictions)
+
+    def test_memory_accounting_includes_node_overhead(self):
+        cmt = PageGroupedCMT(32, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10)
+        assert cmt.memory_entries() > 1
+
+    def test_capacity_respected_under_pressure(self):
+        cmt = PageGroupedCMT(16, MAPPINGS_PER_PAGE)
+        for lpn in range(0, 600, 3):
+            cmt.insert(lpn, lpn)
+        assert cmt.memory_entries() <= 16 + MAPPINGS_PER_PAGE  # never far above capacity
+
+    def test_recency_protects_hot_node(self):
+        cmt = PageGroupedCMT(10, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10)
+        for lpn in range(MAPPINGS_PER_PAGE, MAPPINGS_PER_PAGE + 3):
+            cmt.insert(lpn, lpn)
+        cmt.lookup(1)  # touch node 0 so node 1 is the LRU victim
+        for lpn in range(2 * MAPPINGS_PER_PAGE, 2 * MAPPINGS_PER_PAGE + 4):
+            cmt.insert(lpn, lpn)
+        assert 1 in cmt
+
+    def test_flush_all(self):
+        cmt = PageGroupedCMT(16, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10, dirty=True)
+        cmt.insert(MAPPINGS_PER_PAGE + 2, 20, dirty=True)
+        flushed = cmt.flush_all()
+        assert {page.tvpn for page in flushed} == {0, 1}
+        assert cmt.flush_all() == []
+
+    def test_update_marks_dirty_sticky(self):
+        cmt = PageGroupedCMT(16, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10, dirty=True)
+        cmt.insert(1, 20, dirty=False)
+        flushed = cmt.flush_all()
+        assert flushed and flushed[0].dirty_lpns == (1,)
+
+    @given(
+        lpns=st.lists(st.integers(0, 1023), min_size=1, max_size=300),
+        capacity=st.integers(8, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_never_returns_stale_value(self, lpns, capacity):
+        """Property: a hit always returns the most recently inserted PPN for that LPN."""
+        cmt = PageGroupedCMT(capacity, MAPPINGS_PER_PAGE)
+        latest: dict[int, int] = {}
+        for i, lpn in enumerate(lpns):
+            cmt.insert(lpn, i)
+            latest[lpn] = i
+            found = cmt.lookup(lpn)
+            assert found == latest[lpn]
+        for lpn, expected in latest.items():
+            found = cmt.lookup(lpn)
+            assert found is None or found == expected

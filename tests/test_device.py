@@ -1,0 +1,129 @@
+"""Tests for the SSD device façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nand.errors import ConfigurationError
+from repro.ssd.device import FTL_REGISTRY, SSD, create_ftl
+from repro.ssd.request import HostRequest, OpType
+from tests.conftest import ALL_FTL_NAMES, random_reads
+
+
+class TestCreation:
+    def test_registry_contains_all_designs(self):
+        assert set(FTL_REGISTRY) == set(ALL_FTL_NAMES)
+
+    def test_create_by_name(self, tiny_geometry, ftl_name):
+        ssd = SSD.create(ftl_name, tiny_geometry)
+        assert ssd.ftl.name == ftl_name
+        assert ssd.geometry is tiny_geometry
+
+    def test_create_unknown_name(self, tiny_geometry):
+        with pytest.raises(ConfigurationError):
+            create_ftl("nope", tiny_geometry)
+
+    def test_stats_page_size_follows_geometry(self, tiny_geometry):
+        ssd = SSD.create("dftl", tiny_geometry)
+        assert ssd.stats.page_size == tiny_geometry.page_size
+
+
+class TestSubmitAndRun:
+    def test_submit_advances_clock(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        finish = ssd.submit(HostRequest(op=OpType.WRITE, lpn=0))
+        assert finish > 0
+        assert ssd.now_us == finish
+
+    def test_run_returns_request_count(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        result = ssd.run([HostRequest(op=OpType.WRITE, lpn=i) for i in range(20)], threads=2)
+        assert result.requests == 20
+        assert result.elapsed_us > 0
+        assert result.iops > 0
+
+    def test_run_rejects_bad_thread_count(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        with pytest.raises(ConfigurationError):
+            ssd.run([], threads=0)
+
+    def test_more_threads_never_slower_for_reads(self, tiny_geometry):
+        elapsed = {}
+        for threads in (1, 4):
+            ssd = SSD.create("ideal", tiny_geometry)
+            ssd.fill_sequential(io_pages=8)
+            ssd.reset_stats()
+            result = ssd.run(random_reads(tiny_geometry, 200), threads=threads)
+            elapsed[threads] = result.elapsed_us
+        assert elapsed[4] <= elapsed[1]
+
+    def test_latencies_recorded_per_direction(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.run(
+            [HostRequest(op=OpType.WRITE, lpn=0), HostRequest(op=OpType.READ, lpn=0)], threads=1
+        )
+        assert ssd.stats.write_latency_digest().count == 1
+        assert ssd.stats.read_latency_digest().count == 1
+
+
+class TestReplay:
+    def test_replay_honours_arrival_times(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.fill_sequential(io_pages=8)
+        ssd.reset_stats()
+        requests = [
+            HostRequest(op=OpType.READ, lpn=1, issue_time_us=0.0),
+            HostRequest(op=OpType.READ, lpn=2, issue_time_us=100_000.0),
+        ]
+        result = ssd.replay(requests, streams=1)
+        assert result.stats.finish_time_us >= 100_000.0
+
+    def test_replay_multiple_streams(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.fill_sequential(io_pages=8)
+        requests = [
+            HostRequest(op=OpType.READ, lpn=i, issue_time_us=0.0, stream_id=i % 3) for i in range(9)
+        ]
+        result = ssd.replay(requests, streams=3)
+        assert result.requests == 9
+
+
+class TestPreconditioningAndReset:
+    def test_fill_sequential_maps_everything(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.fill_sequential(io_pages=8)
+        assert len(ssd.ftl.directory) == tiny_geometry.num_logical_pages
+
+    def test_fill_fraction(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.fill_sequential(io_pages=8, fraction=0.5)
+        assert len(ssd.ftl.directory) == pytest.approx(tiny_geometry.num_logical_pages // 2, abs=8)
+
+    def test_overwrite_random_counts_pages(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        ssd.fill_sequential(io_pages=8)
+        before = ssd.stats.host_write_pages
+        ssd.overwrite_random(pages=64, io_pages=2)
+        assert ssd.stats.host_write_pages - before == 64
+
+    def test_reset_stats_preserves_ftl_state(self, tiny_geometry):
+        ssd = SSD.create("dftl", tiny_geometry)
+        ssd.fill_sequential(io_pages=8)
+        warm = ssd.reset_stats()
+        assert warm.host_write_pages > 0
+        assert ssd.stats.host_write_pages == 0
+        assert ssd.now_us == 0.0
+        assert len(ssd.ftl.directory) == tiny_geometry.num_logical_pages
+        assert ssd.stats is ssd.ftl.stats
+
+    def test_energy_reflects_activity(self, tiny_geometry):
+        ssd = SSD.create("ideal", tiny_geometry)
+        baseline = ssd.energy().total_uj
+        ssd.fill_sequential(io_pages=8)
+        assert ssd.energy().total_uj > baseline
+
+    def test_verify_passes_on_fresh_and_filled_device(self, tiny_geometry, ftl_name):
+        ssd = SSD.create(ftl_name, tiny_geometry)
+        ssd.verify()
+        ssd.fill_sequential(io_pages=8)
+        ssd.verify()

@@ -1,0 +1,121 @@
+"""Tests for the discrete-event timing engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nand.timing import TimingModel
+from repro.ssd.engine import ChipTimeline, TimingEngine
+from repro.ssd.request import (
+    CommandKind,
+    FlashCommand,
+    HostRequest,
+    OpType,
+    ReadOutcome,
+    Stage,
+    Transaction,
+)
+from repro.ssd.stats import SimulationStats
+
+
+def _read(chip: int) -> FlashCommand:
+    return FlashCommand(kind=CommandKind.READ, chip=chip, ppn=0)
+
+
+def _txn(*stages: Stage) -> Transaction:
+    txn = Transaction(HostRequest(op=OpType.READ, lpn=0))
+    txn.stages.extend(stages)
+    return txn
+
+
+@pytest.fixture
+def engine() -> TimingEngine:
+    return TimingEngine(num_chips=4, timing=TimingModel.femu_default(), stats=SimulationStats())
+
+
+class TestChipTimeline:
+    def test_occupy_serializes_same_chip(self):
+        timeline = ChipTimeline(2)
+        start1, end1 = timeline.occupy(0, 0.0, 40.0)
+        start2, end2 = timeline.occupy(0, 0.0, 40.0)
+        assert (start1, end1) == (0.0, 40.0)
+        assert (start2, end2) == (40.0, 80.0)
+
+    def test_occupy_parallel_on_different_chips(self):
+        timeline = ChipTimeline(2)
+        _, end1 = timeline.occupy(0, 0.0, 40.0)
+        _, end2 = timeline.occupy(1, 0.0, 40.0)
+        assert end1 == end2 == 40.0
+
+    def test_occupy_respects_earliest_start(self):
+        timeline = ChipTimeline(1)
+        start, _ = timeline.occupy(0, 100.0, 10.0)
+        assert start == 100.0
+
+    def test_utilization(self):
+        timeline = ChipTimeline(2)
+        timeline.occupy(0, 0.0, 50.0)
+        assert timeline.utilization(100.0) == pytest.approx(0.25)
+
+    def test_invalid_chip_count(self):
+        with pytest.raises(ValueError):
+            ChipTimeline(0)
+
+
+class TestTimingEngine:
+    def test_single_read_latency(self, engine):
+        result = engine.execute(_txn(Stage(commands=[_read(0)])), issue_time_us=0.0)
+        assert result.latency_us == pytest.approx(40.0)
+
+    def test_parallel_commands_overlap(self, engine):
+        stage = Stage(commands=[_read(0), _read(1), _read(2)])
+        result = engine.execute(_txn(stage), 0.0)
+        assert result.latency_us == pytest.approx(40.0)
+
+    def test_same_chip_commands_serialize(self, engine):
+        stage = Stage(commands=[_read(0), _read(0)])
+        result = engine.execute(_txn(stage), 0.0)
+        assert result.latency_us == pytest.approx(80.0)
+
+    def test_stages_serialize(self, engine):
+        result = engine.execute(
+            _txn(Stage(commands=[_read(0)]), Stage(commands=[_read(1)])), 0.0
+        )
+        # A double read costs two serialized flash reads even on different chips.
+        assert result.latency_us == pytest.approx(80.0)
+
+    def test_compute_us_delays_stage(self, engine):
+        result = engine.execute(_txn(Stage(commands=[_read(0)], compute_us=5.0)), 0.0)
+        assert result.latency_us == pytest.approx(45.0)
+        assert result.compute_time_us == pytest.approx(5.0)
+
+    def test_program_and_erase_latencies(self, engine):
+        program = FlashCommand(kind=CommandKind.PROGRAM, chip=0, ppn=0)
+        erase = FlashCommand(kind=CommandKind.ERASE, chip=0, block=0)
+        result = engine.execute(_txn(Stage(commands=[program]), Stage(commands=[erase])), 0.0)
+        assert result.latency_us == pytest.approx(200.0 + 2000.0)
+
+    def test_issue_time_offsets_everything(self, engine):
+        result = engine.execute(_txn(Stage(commands=[_read(0)])), issue_time_us=1000.0)
+        assert result.start_us == 1000.0
+        assert result.finish_us == pytest.approx(1040.0)
+
+    def test_busy_chip_delays_new_transaction(self, engine):
+        engine.execute(_txn(Stage(commands=[_read(0)])), 0.0)
+        result = engine.execute(_txn(Stage(commands=[_read(0)])), 0.0)
+        assert result.finish_us == pytest.approx(80.0)
+
+    def test_outcomes_recorded_in_stats(self, engine):
+        txn = _txn(Stage(commands=[_read(0)]))
+        txn.outcomes.append(ReadOutcome.DOUBLE_READ)
+        engine.execute(txn, 0.0)
+        assert engine.stats.read_outcomes[ReadOutcome.DOUBLE_READ] == 1
+
+    def test_commands_recorded_in_stats(self, engine):
+        engine.execute(_txn(Stage(commands=[_read(0), _read(1)])), 0.0)
+        assert engine.stats.total_flash_reads == 2
+
+    def test_flash_time_accumulates_all_commands(self, engine):
+        stage = Stage(commands=[_read(0), _read(1)])
+        result = engine.execute(_txn(stage), 0.0)
+        assert result.flash_time_us == pytest.approx(80.0)  # 2 x 40us of chip time

@@ -1,0 +1,207 @@
+"""Tests for the flash array state machine (:mod:`repro.nand.flash`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nand.errors import FlashStateError
+from repro.nand.flash import FlashArray, PageState
+from repro.nand.geometry import SSDGeometry
+
+
+@pytest.fixture
+def geometry() -> SSDGeometry:
+    return SSDGeometry(
+        channels=1, chips_per_channel=2, planes_per_chip=1, blocks_per_plane=4, pages_per_block=8
+    )
+
+
+@pytest.fixture
+def flash(geometry) -> FlashArray:
+    return FlashArray(geometry)
+
+
+class TestProgram:
+    def test_program_marks_valid(self, flash):
+        info = flash.program(0, lpn=10)
+        assert info.state is PageState.VALID
+        assert info.lpn == 10
+        assert flash.page(0).state is PageState.VALID
+
+    def test_versions_increase_monotonically(self, flash):
+        v1 = flash.program(0, lpn=1).version
+        v2 = flash.program(1, lpn=2).version
+        assert v2 > v1
+
+    def test_program_twice_fails(self, flash):
+        flash.program(0, lpn=1)
+        with pytest.raises(FlashStateError):
+            flash.program(0, lpn=2)
+
+    def test_out_of_order_program_rejected(self, flash):
+        flash.program(0, lpn=1)
+        with pytest.raises(FlashStateError):
+            flash.program(2, lpn=2)  # skipping page offset 1 in the block
+
+    def test_out_of_order_allowed_when_disabled(self, geometry):
+        flash = FlashArray(geometry, enforce_sequential_program=False)
+        flash.program(0, lpn=1)
+        flash.program(2, lpn=2)
+        assert flash.page(2).state is PageState.VALID
+
+    def test_program_updates_block_counters(self, flash, geometry):
+        flash.program(0, lpn=1)
+        flash.program(1, lpn=2)
+        block = flash.block(0)
+        assert block.programmed == 2
+        assert block.valid_count == 2
+
+    def test_translation_flag_recorded(self, flash):
+        flash.program(0, lpn=None, is_translation=True, oob={"tvpn": 5})
+        info = flash.page(0)
+        assert info.is_translation
+        assert info.oob == {"tvpn": 5}
+        assert flash.block(0).is_translation
+
+    def test_total_programs_counter(self, flash):
+        flash.program(0, lpn=1)
+        flash.program(1, lpn=2)
+        assert flash.total_programs == 2
+
+
+class TestReadInvalidate:
+    def test_read_returns_oob(self, flash):
+        flash.program(0, lpn=42, oob="extra")
+        info = flash.read(0)
+        assert info.lpn == 42
+        assert info.oob == "extra"
+        assert flash.total_reads == 1
+
+    def test_read_free_page_fails(self, flash):
+        with pytest.raises(FlashStateError):
+            flash.read(5)
+
+    def test_invalidate_then_read_is_allowed(self, flash):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        assert flash.read(0).state is PageState.INVALID
+
+    def test_invalidate_updates_counters(self, flash):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        block = flash.block(0)
+        assert block.valid_count == 0
+        assert block.invalid_count == 1
+
+    def test_invalidate_free_page_fails(self, flash):
+        with pytest.raises(FlashStateError):
+            flash.invalidate(0)
+
+    def test_double_invalidate_fails(self, flash):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        with pytest.raises(FlashStateError):
+            flash.invalidate(0)
+
+
+class TestErase:
+    def test_erase_requires_no_valid_pages(self, flash):
+        flash.program(0, lpn=1)
+        with pytest.raises(FlashStateError):
+            flash.erase(0)
+
+    def test_erase_after_invalidate(self, flash, geometry):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        reclaimed = flash.erase(0)
+        assert reclaimed == 1
+        assert flash.page(0).state is PageState.FREE
+        assert flash.block(0).erase_count == 1
+        assert flash.block(0).next_page == 0
+
+    def test_erase_allows_reprogram_from_page_zero(self, flash):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        flash.erase(0)
+        flash.program(0, lpn=2)
+        assert flash.page(0).lpn == 2
+
+    def test_erase_with_allow_valid(self, flash):
+        flash.program(0, lpn=1)
+        flash.erase(0, allow_valid=True)
+        assert flash.page(0).state is PageState.FREE
+
+    def test_erase_counter(self, flash):
+        flash.program(0, lpn=1)
+        flash.invalidate(0)
+        flash.erase(0)
+        assert flash.total_erases == 1
+
+
+class TestQueries:
+    def test_valid_ppns_in_block(self, flash):
+        flash.program(0, lpn=1)
+        flash.program(1, lpn=2)
+        flash.invalidate(0)
+        assert flash.valid_ppns_in_block(0) == [1]
+
+    def test_latest_version_of_prefers_newest(self, flash, geometry):
+        flash.program(0, lpn=7)
+        flash.invalidate(0)
+        flash.program(1, lpn=7)
+        ppn, _version = flash.latest_version_of(7)
+        assert ppn == 1
+
+    def test_latest_version_ignores_translation_pages(self, flash):
+        flash.program(0, lpn=3)
+        flash.program(1, lpn=3, is_translation=True)
+        ppn, _ = flash.latest_version_of(3)
+        assert ppn == 0
+
+    def test_latest_version_missing(self, flash):
+        assert flash.latest_version_of(99) is None
+
+    def test_utilization_counts(self, flash, geometry):
+        flash.program(0, lpn=1)
+        flash.program(1, lpn=2)
+        flash.invalidate(1)
+        util = flash.utilization()
+        assert util["valid"] == 1
+        assert util["invalid"] == 1
+        assert util["free"] == geometry.num_physical_pages - 2
+
+    def test_free_page_count(self, flash, geometry):
+        assert flash.free_page_count == geometry.num_physical_pages
+        flash.program(0, lpn=1)
+        assert flash.free_page_count == geometry.num_physical_pages - 1
+
+    def test_iter_blocks_covers_all(self, flash, geometry):
+        assert len(list(flash.iter_blocks())) == geometry.num_blocks
+
+
+class TestLifecycleProperty:
+    @given(ops=st.lists(st.integers(0, 2), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_block_counters_never_go_negative(self, geometry, ops):
+        """Random program/invalidate/erase sequences keep counters consistent."""
+        flash = FlashArray(geometry)
+        block = 0
+        cursor = 0
+        valid: list[int] = []
+        for op in ops:
+            if op == 0 and cursor < geometry.pages_per_block:
+                ppn = cursor
+                flash.program(ppn, lpn=ppn)
+                valid.append(ppn)
+                cursor += 1
+            elif op == 1 and valid:
+                flash.invalidate(valid.pop())
+            elif op == 2 and not valid and cursor > 0:
+                flash.erase(block)
+                cursor = 0
+            info = flash.block(block)
+            assert info.valid_count == len(valid)
+            assert 0 <= info.invalid_count <= geometry.pages_per_block
+            assert info.programmed == cursor

@@ -1,0 +1,152 @@
+"""Tests for LearnedFTL's in-place-update linear model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learned.inplace_model import InPlaceLinearModel
+
+
+@pytest.fixture
+def model() -> InPlaceLinearModel:
+    return InPlaceLinearModel(start_lpn=1024, span=512, max_pieces=8)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            InPlaceLinearModel(start_lpn=0, span=0)
+        with pytest.raises(ValueError):
+            InPlaceLinearModel(start_lpn=0, span=8, max_pieces=0)
+
+    def test_covers_its_range_only(self, model):
+        assert model.covers(1024)
+        assert model.covers(1024 + 511)
+        assert not model.covers(1023)
+        assert not model.covers(1024 + 512)
+
+    def test_offset_of(self, model):
+        assert model.offset_of(1030) == 6
+        with pytest.raises(ValueError):
+            model.offset_of(0)
+
+    def test_memory_budget_matches_paper(self):
+        model = InPlaceLinearModel(start_lpn=0, span=512, max_pieces=8)
+        assert model.memory_bytes() <= 128
+
+
+class TestTraining:
+    def test_untrained_model_predicts_nothing(self, model):
+        assert model.predict(1024) is None
+        assert not model.can_predict(1024)
+
+    def test_linear_training_sets_all_bits(self, model):
+        lpns = list(range(1024, 1024 + 100))
+        vppns = [7000 + i for i in range(100)]
+        result = model.train(lpns, vppns)
+        assert result.accuracy == 1.0
+        assert model.trained_length() == 100
+        assert model.predict(1050) == 7026
+
+    def test_empty_training(self, model):
+        result = model.train([], [])
+        assert result.trained_points == 0
+        assert model.trained_length() == 0
+
+    def test_mismatched_lengths_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.train([1024], [1, 2])
+
+    def test_bitmap_only_set_for_exact_predictions(self, model):
+        # Two dense runs plus noisy points: with one piece the noise cannot be exact.
+        lpns = list(range(1024, 1024 + 16))
+        vppns = [2000 + i for i in range(8)] + [9000, 1, 8888, 17, 5555, 42, 7777, 3]
+        model.max_pieces = 1
+        model.pieces = []
+        result = model.train(lpns, vppns)
+        for lpn, vppn in zip(lpns, vppns):
+            if model.can_predict(lpn):
+                assert model.predict(lpn) == vppn
+        assert result.accurate_points == model.trained_length()
+
+    def test_training_respects_piece_budget(self):
+        model = InPlaceLinearModel(start_lpn=0, span=512, max_pieces=4)
+        lpns = list(range(0, 200, 2))
+        vppns = [((i * 37) % 91) * 13 for i in range(100)]
+        model.train(lpns, vppns)
+        assert len(model.pieces) <= 4
+
+    def test_verifier_overrides_training_targets(self, model):
+        lpns = list(range(1024, 1044))
+        vppns = [100 + i for i in range(20)]
+        # The verifier says the device actually stored different VPPNs, so no bit may be set.
+        result = model.train(lpns, vppns, verifier=lambda lpn: 999_999)
+        assert result.accurate_points == 0
+        assert model.trained_length() == 0
+
+    def test_retraining_replaces_previous_model(self, model):
+        lpns = list(range(1024, 1074))
+        model.train(lpns, [100 + i for i in range(50)])
+        model.train(lpns, [900 + i for i in range(50)])
+        assert model.predict(1030) == 906
+
+
+class TestInvalidation:
+    def test_write_clears_single_bit(self, model):
+        lpns = list(range(1024, 1034))
+        model.train(lpns, [50 + i for i in range(10)])
+        model.invalidate(1028)
+        assert not model.can_predict(1028)
+        assert model.can_predict(1029)
+        assert model.trained_length() == 9
+
+    def test_invalidate_outside_range_is_noop(self, model):
+        model.train([1024], [1])
+        model.invalidate(5)
+        assert model.trained_length() == 1
+
+
+class TestSequentialUpdate:
+    def test_replaces_shorter_model(self, model):
+        model.train(list(range(1024, 1029)), [10, 11, 12, 13, 14])
+        lpns = list(range(1100, 1120))
+        vppns = [500 + i for i in range(20)]
+        assert model.sequential_update(lpns, vppns)
+        assert model.trained_length() == 20
+        assert model.predict(1110) == 510
+        # The old region is no longer predictable after the in-place replacement.
+        assert not model.can_predict(1024)
+
+    def test_does_not_replace_longer_model(self, model):
+        lpns = list(range(1024, 1074))
+        model.train(lpns, [10 + i for i in range(50)])
+        assert not model.sequential_update([1200, 1201], [7, 8])
+        assert model.trained_length() == 50
+
+    def test_rejects_non_contiguous_runs(self, model):
+        assert not model.sequential_update([1024, 1026], [5, 6])
+        assert not model.sequential_update([1024, 1025], [5, 9])
+
+    def test_rejects_single_page_runs(self, model):
+        assert not model.sequential_update([1024], [5])
+
+
+class TestBitmapGuarantee:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_set_bits_always_predict_training_value(self, data):
+        """The core LearnedFTL invariant: a set bit implies an exact prediction."""
+        span = 64
+        model = InPlaceLinearModel(start_lpn=0, span=span, max_pieces=4)
+        count = data.draw(st.integers(1, span))
+        lpns = sorted(data.draw(st.sets(st.integers(0, span - 1), min_size=count, max_size=count)))
+        vppns = [data.draw(st.integers(0, 5000)) for _ in lpns]
+        # Keep targets sorted so they are a plausible VPPN sequence.
+        vppns.sort()
+        model.train(lpns, vppns)
+        truth = dict(zip(lpns, vppns))
+        for lpn in lpns:
+            if model.can_predict(lpn):
+                assert model.predict(lpn) == truth[lpn]

@@ -1,0 +1,141 @@
+"""Behavioural tests for LeaFTL (learned segments, model cache, multi-reads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import FTLConfig
+from repro.core.leaftl import LeaFTL
+from repro.ssd.request import HostRequest, OpType, ReadOutcome
+from tests.conftest import make_ssd, random_reads, random_writes
+from repro.workloads.fio import FioJob
+
+
+@pytest.fixture
+def ssd(tiny_geometry):
+    return make_ssd("leaftl", tiny_geometry)
+
+
+class TestWriteAndTraining:
+    def test_recent_writes_served_from_buffer(self, ssd):
+        ssd.ftl.process(HostRequest(op=OpType.WRITE, lpn=10))
+        txn = ssd.ftl.process(HostRequest(op=OpType.READ, lpn=10))
+        assert txn.outcomes == [ReadOutcome.BUFFER_HIT]
+        assert txn.flash_read_count == 1  # data only, no translation read
+
+    def test_buffer_flush_creates_segments(self, ssd):
+        capacity = ssd.ftl._buffer_capacity
+        for lpn in range(capacity + 1):
+            ssd.ftl.process(HostRequest(op=OpType.WRITE, lpn=lpn))
+        assert ssd.ftl.segment_count() > 0
+
+    def test_explicit_flush_clears_buffer(self, ssd):
+        for lpn in range(10):
+            ssd.ftl.process(HostRequest(op=OpType.WRITE, lpn=lpn))
+        ssd.ftl.flush_buffer()
+        assert len(ssd.ftl._buffer) == 0
+        assert ssd.ftl.segment_count() >= 1
+
+    def test_sequential_writes_make_accurate_segments(self, ssd):
+        for start in range(0, 64, 8):
+            ssd.ftl.process(HostRequest(op=OpType.WRITE, lpn=start, npages=8))
+        ssd.ftl.flush_buffer()
+        segments = [
+            seg for table in ssd.ftl._tables.values() for seg in table.segments()
+        ]
+        assert segments
+        assert any(segment.is_accurate for segment in segments)
+
+    def test_training_charges_compute_time(self, ssd):
+        for lpn in range(16):
+            ssd.ftl.process(HostRequest(op=OpType.WRITE, lpn=lpn))
+        ssd.ftl.flush_buffer()
+        assert ssd.ftl.stats.train_time_us > 0
+        assert ssd.ftl.stats.sort_time_us > 0
+
+
+class TestReadPath:
+    def _fill_and_flush(self, ssd, pages=128):
+        ssd.fill_sequential(io_pages=8, fraction=pages / ssd.geometry.num_logical_pages)
+        ssd.ftl.flush_buffer()
+        ssd.reset_stats()
+
+    def test_accurate_cached_model_single_read(self, ssd):
+        self._fill_and_flush(ssd)
+        # Touch the LPN once to bring its translation page's segments into the cache.
+        ssd.ftl.process(HostRequest(op=OpType.READ, lpn=5))
+        txn = ssd.ftl.process(HostRequest(op=OpType.READ, lpn=6))
+        assert txn.outcomes[0] in (ReadOutcome.MODEL_HIT, ReadOutcome.BUFFER_HIT)
+
+    def test_model_cache_miss_costs_translation_read(self, tiny_geometry):
+        # A one-byte model cache forces misses on every translation page switch.
+        config = FTLConfig(min_cmt_entries=1, cmt_ratio=0.000001)
+        ssd = make_ssd("leaftl", tiny_geometry, config=config)
+        ssd.fill_sequential(io_pages=8)
+        ssd.ftl.flush_buffer()
+        ssd.reset_stats()
+        far_apart = [HostRequest(op=OpType.READ, lpn=lpn) for lpn in (0, 200, 10, 300, 50)]
+        ssd.run(far_apart, threads=1)
+        outcomes = ssd.stats.read_outcomes
+        assert outcomes[ReadOutcome.DOUBLE_READ] + outcomes[ReadOutcome.TRIPLE_READ] > 0
+
+    def test_random_writes_cause_double_or_triple_reads(self, ssd, tiny_geometry):
+        ssd.fill_sequential(io_pages=8)
+        ssd.run(random_writes(tiny_geometry, 500, seed=11), threads=1)
+        ssd.ftl.flush_buffer()
+        ssd.reset_stats()
+        ssd.run(random_reads(tiny_geometry, 300, seed=12), threads=1)
+        assert ssd.stats.double_read_fraction() + ssd.stats.triple_read_fraction() > 0.2
+
+    def test_triple_reads_happen_with_cold_cache_and_bad_models(self, tiny_geometry):
+        config = FTLConfig(min_cmt_entries=1, cmt_ratio=0.000001, leaftl_gamma=16.0)
+        ssd = make_ssd("leaftl", tiny_geometry, config=config)
+        ssd.fill_sequential(io_pages=8)
+        ssd.run(random_writes(tiny_geometry, 400, seed=13), threads=1)
+        ssd.ftl.flush_buffer()
+        ssd.reset_stats()
+        ssd.run(random_reads(tiny_geometry, 300, seed=14), threads=1)
+        assert ssd.stats.read_outcomes[ReadOutcome.TRIPLE_READ] > 0
+
+    def test_unmapped_read_served_without_flash(self, ssd):
+        txn = ssd.ftl.process(HostRequest(op=OpType.READ, lpn=100))
+        assert txn.flash_read_count == 0
+
+
+class TestModelCache:
+    def test_cache_respects_byte_budget(self, ssd, tiny_geometry):
+        ssd.fill_sequential(io_pages=8)
+        ssd.ftl.flush_buffer()
+        ssd.run(random_reads(tiny_geometry, 200, seed=3), threads=1)
+        assert ssd.ftl.memory_report()["model_cache_bytes"] <= ssd.ftl._cache_capacity_bytes * 2
+
+    def test_buffer_capacity_scales_with_tiny_devices(self, tiny_geometry):
+        ftl = LeaFTL(tiny_geometry)
+        assert ftl._buffer_capacity <= tiny_geometry.num_logical_pages // 8 + 8
+
+
+class TestCorrectness:
+    def test_integrity_after_mixed_workload(self, warmed_ssd_factory):
+        ssd = warmed_ssd_factory("leaftl")
+        ssd.verify()
+
+    def test_gc_feedback_keeps_reads_correct(self, ssd, tiny_geometry):
+        ssd.fill_sequential(io_pages=8)
+        ssd.run(random_writes(tiny_geometry, 900, seed=21), threads=2)
+        assert ssd.stats.gc_count > 0
+        ssd.verify()
+        # Reads after heavy GC still resolve: every outcome maps to the right data page.
+        ssd.run(random_reads(tiny_geometry, 200, seed=22), threads=2)
+        ssd.verify()
+
+    def test_sequential_read_perf_not_worse_than_dftl(self, tiny_geometry):
+        throughput = {}
+        for name in ("dftl", "leaftl"):
+            ssd = make_ssd(name, tiny_geometry)
+            ssd.fill_sequential(io_pages=8)
+            if name == "leaftl":
+                ssd.ftl.flush_buffer()
+            ssd.reset_stats()
+            ssd.run(FioJob.seqread(300).requests(tiny_geometry), threads=2)
+            throughput[name] = ssd.stats.throughput_mb_s()
+        assert throughput["leaftl"] >= throughput["dftl"] * 0.8

@@ -1,0 +1,147 @@
+"""Tests for greedy piece-wise linear regression (:mod:`repro.core.learned.plr`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learned.plr import LinearPiece, fit_fixed_pieces, fit_greedy_plr
+
+
+class TestLinearPiece:
+    def test_predict_rounds_to_nearest_int(self):
+        piece = LinearPiece(x_start=10, slope=1.5, intercept=100.0, length=5, max_error=0.0)
+        assert piece.predict(12) == 103
+
+    def test_covers(self):
+        piece = LinearPiece(x_start=10, slope=1.0, intercept=0.0, length=5, max_error=0.0)
+        assert piece.covers(10)
+        assert piece.covers(14)
+        assert not piece.covers(15)
+        assert not piece.covers(9)
+
+
+class TestGreedyPLR:
+    def test_empty_input(self):
+        assert fit_greedy_plr([], []) == []
+
+    def test_single_point(self):
+        pieces = fit_greedy_plr([5], [100])
+        assert len(pieces) == 1
+        assert pieces[0].predict(5) == 100
+
+    def test_perfectly_linear_data_one_piece(self):
+        xs = list(range(100))
+        ys = [x + 42 for x in xs]
+        pieces = fit_greedy_plr(xs, ys)
+        assert len(pieces) == 1
+        for x, y in zip(xs, ys):
+            assert pieces[0].predict(x) == y
+
+    def test_two_linear_runs_two_pieces(self):
+        xs = list(range(0, 10)) + list(range(20, 30))
+        ys = [x + 100 for x in range(0, 10)] + [x + 500 for x in range(20, 30)]
+        pieces = fit_greedy_plr(xs, ys)
+        assert len(pieces) == 2
+
+    def test_slope_other_than_one(self):
+        xs = list(range(50))
+        ys = [3 * x + 7 for x in xs]
+        pieces = fit_greedy_plr(xs, ys, gamma=0.5)
+        assert len(pieces) == 1
+        for x, y in zip(xs, ys):
+            assert abs(pieces[0].predict(x) - y) <= 1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_greedy_plr([1, 2], [1])
+
+    def test_rejects_unsorted_keys(self):
+        with pytest.raises(ValueError):
+            fit_greedy_plr([2, 1], [1, 2])
+
+    def test_larger_gamma_fewer_pieces(self):
+        xs = list(range(60))
+        ys = [x + (3 if x % 7 == 0 else 0) for x in xs]
+        tight = fit_greedy_plr(xs, ys, gamma=0.5)
+        loose = fit_greedy_plr(xs, ys, gamma=5.0)
+        assert len(loose) <= len(tight)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound_respected_on_linear_runs(self, data):
+        """Piece-wise linear ground truth is recovered within the error bound."""
+        num_runs = data.draw(st.integers(1, 4))
+        xs: list[int] = []
+        ys: list[int] = []
+        x = 0
+        for _ in range(num_runs):
+            run_len = data.draw(st.integers(1, 20))
+            base = data.draw(st.integers(0, 10_000))
+            x += data.draw(st.integers(1, 5))
+            for i in range(run_len):
+                xs.append(x)
+                ys.append(base + i)
+                x += 1
+        pieces = fit_greedy_plr(xs, ys, gamma=0.5)
+        for x_val, y_val in zip(xs, ys):
+            piece = next(p for p in pieces if p.covers(x_val) or p.x_start <= x_val)
+            # Find the piece actually covering x (last piece whose start <= x).
+            owner = None
+            for candidate in pieces:
+                if candidate.x_start <= x_val:
+                    owner = candidate
+            assert owner is not None
+            assert abs(owner.predict(x_val) - y_val) <= 1
+
+    @given(
+        xs_ys=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 10_000)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pieces_cover_all_keys(self, xs_ys):
+        unique = sorted({x for x, _ in xs_ys})
+        mapping = dict(xs_ys)
+        xs = unique
+        ys = [mapping[x] for x in xs]
+        pieces = fit_greedy_plr(xs, ys, gamma=2.0)
+        assert pieces[0].x_start == xs[0]
+        # Every key is >= the start of some piece (the lookup rule used by the models).
+        for x in xs:
+            assert any(p.x_start <= x for p in pieces)
+
+
+class TestFixedPieces:
+    def test_within_budget_identical_to_greedy(self):
+        xs = list(range(0, 10)) + list(range(20, 30))
+        ys = [x + 1 for x in range(0, 10)] + [x + 90 for x in range(20, 30)]
+        assert len(fit_fixed_pieces(xs, ys, max_pieces=8)) == len(fit_greedy_plr(xs, ys))
+
+    def test_over_budget_is_clamped(self):
+        xs, ys = [], []
+        value = 0
+        for i in range(40):
+            xs.append(i)
+            value += 1 + (i % 3) * 50  # highly non-linear
+            ys.append(value)
+        pieces = fit_fixed_pieces(xs, ys, max_pieces=4)
+        assert len(pieces) <= 4
+
+    def test_clamped_tail_still_covers_last_key(self):
+        xs = list(range(0, 100, 3))
+        ys = [((x * 13) % 97) * 11 for x in xs]
+        pieces = fit_fixed_pieces(xs, ys, max_pieces=3)
+        assert any(p.x_start <= xs[-1] for p in pieces)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            fit_fixed_pieces([1], [1], max_pieces=0)
+
+    def test_single_piece_budget_uses_least_squares(self):
+        xs = list(range(20))
+        ys = [2 * x + 5 for x in xs]
+        pieces = fit_fixed_pieces(xs, ys, max_pieces=1)
+        assert len(pieces) == 1
+        assert pieces[0].predict(10) == pytest.approx(25, abs=1)

@@ -1,0 +1,92 @@
+"""Tests for host requests, flash commands and transactions."""
+
+from __future__ import annotations
+
+from repro.ssd.request import (
+    CommandKind,
+    CommandPurpose,
+    FlashCommand,
+    HostRequest,
+    OpType,
+    ReadOutcome,
+    Stage,
+    Transaction,
+)
+
+
+class TestHostRequest:
+    def test_lpns_range(self):
+        req = HostRequest(op=OpType.READ, lpn=10, npages=4)
+        assert list(req.lpns()) == [10, 11, 12, 13]
+
+    def test_default_is_single_page(self):
+        req = HostRequest(op=OpType.WRITE, lpn=0)
+        assert req.npages == 1
+
+    def test_bytes_reporting(self):
+        req = HostRequest(op=OpType.READ, lpn=0, npages=2)
+        assert req.bytes == 8192
+
+    def test_issue_time_optional(self):
+        assert HostRequest(op=OpType.READ, lpn=0).issue_time_us is None
+        assert HostRequest(op=OpType.READ, lpn=0, issue_time_us=5.0).issue_time_us == 5.0
+
+
+class TestStage:
+    def test_empty_stage(self):
+        assert Stage().is_empty()
+        assert not Stage(compute_us=1.0).is_empty()
+        cmd = FlashCommand(kind=CommandKind.READ, chip=0, ppn=0)
+        assert not Stage(commands=[cmd]).is_empty()
+
+
+class TestTransaction:
+    def _cmd(self, kind=CommandKind.READ, chip=0):
+        return FlashCommand(kind=kind, chip=chip, ppn=0)
+
+    def test_add_stage_skips_empty(self):
+        txn = Transaction(HostRequest(op=OpType.READ, lpn=0))
+        txn.add_stage([])
+        assert txn.stages == []
+
+    def test_add_stage_keeps_compute_only(self):
+        txn = Transaction(HostRequest(op=OpType.READ, lpn=0))
+        txn.add_stage([], compute_us=3.0)
+        assert len(txn.stages) == 1
+        assert txn.stages[0].compute_us == 3.0
+
+    def test_counts(self):
+        txn = Transaction(HostRequest(op=OpType.READ, lpn=0))
+        txn.add_stage([self._cmd(), self._cmd(CommandKind.PROGRAM)])
+        txn.add_stage([self._cmd()])
+        assert txn.flash_read_count == 2
+        assert txn.flash_program_count == 1
+
+    def test_iter_commands_in_stage_order(self):
+        txn = Transaction(HostRequest(op=OpType.READ, lpn=0))
+        first = self._cmd(chip=1)
+        second = self._cmd(chip=2)
+        txn.add_stage([first])
+        txn.add_stage([second])
+        assert list(txn.iter_commands()) == [first, second]
+
+    def test_extend_merges_stages_and_outcomes(self):
+        a = Transaction(HostRequest(op=OpType.READ, lpn=0))
+        a.add_stage([self._cmd()])
+        a.outcomes.append(ReadOutcome.CMT_HIT)
+        b = Transaction(HostRequest(op=OpType.READ, lpn=1))
+        b.add_stage([self._cmd()])
+        b.outcomes.append(ReadOutcome.DOUBLE_READ)
+        a.extend(b)
+        assert len(a.stages) == 2
+        assert a.outcomes == [ReadOutcome.CMT_HIT, ReadOutcome.DOUBLE_READ]
+
+
+class TestEnums:
+    def test_command_purposes_are_distinct(self):
+        values = {purpose.value for purpose in CommandPurpose}
+        assert len(values) == len(list(CommandPurpose))
+
+    def test_read_outcomes_cover_paper_categories(self):
+        names = {outcome.value for outcome in ReadOutcome}
+        assert {"cmt_hit", "model_hit", "double_read", "triple_read"} <= names

@@ -1,0 +1,152 @@
+"""Tests for LeaFTL segments and the log-structured segment table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learned.segment import (
+    LearnedSegment,
+    LogStructuredSegmentTable,
+    build_segments,
+)
+
+
+def _segment(start: int, length: int, base: int, slope: float = 1.0) -> LearnedSegment:
+    return LearnedSegment(start_lpn=start, slope=slope, length=length, intercept=float(base))
+
+
+class TestLearnedSegment:
+    def test_predict_linear(self):
+        seg = _segment(100, 10, 5000)
+        assert seg.predict(100) == 5000
+        assert seg.predict(105) == 5005
+
+    def test_covers_range(self):
+        seg = _segment(100, 10, 0)
+        assert seg.covers(100) and seg.covers(109)
+        assert not seg.covers(110) and not seg.covers(99)
+
+    def test_accuracy_flag(self):
+        assert _segment(0, 4, 0).is_accurate
+        assert not LearnedSegment(start_lpn=0, slope=1.0, length=4, intercept=0.0, max_error=2.0).is_accurate
+
+    def test_overlaps(self):
+        a = _segment(0, 10, 0)
+        b = _segment(5, 10, 0)
+        c = _segment(10, 5, 0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_memory_bytes(self):
+        assert _segment(0, 4, 0).memory_bytes() == 16
+
+
+class TestBuildSegments:
+    def test_linear_mappings_single_accurate_segment(self):
+        lpns = list(range(50))
+        vppns = [1000 + x for x in lpns]
+        segments = build_segments(lpns, vppns)
+        assert len(segments) == 1
+        assert segments[0].is_accurate
+        assert segments[0].predict(25) == 1025
+
+    def test_scattered_mappings_more_segments(self):
+        lpns = [1, 5, 9, 20, 21, 22]
+        vppns = [500, 100, 900, 50, 51, 52]
+        segments = build_segments(lpns, vppns, gamma=0.5)
+        assert len(segments) >= 2
+        # Every LPN must be covered by (at least) the segment starting at or before it.
+        for lpn in lpns:
+            assert any(s.start_lpn <= lpn < s.start_lpn + s.length for s in segments)
+
+    def test_gamma_controls_segment_count(self):
+        lpns = list(range(0, 120, 2))
+        vppns = [x * 2 + (x % 5) for x in lpns]
+        assert len(build_segments(lpns, vppns, gamma=8.0)) <= len(
+            build_segments(lpns, vppns, gamma=0.5)
+        )
+
+
+class TestLSMT:
+    def test_lookup_empty(self):
+        table = LogStructuredSegmentTable()
+        assert table.lookup(5) is None
+
+    def test_insert_and_lookup(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 10, 100))
+        found = table.lookup(3)
+        assert found is not None
+        assert found.predict(3) == 103
+
+    def test_newer_segment_shadows_older(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 10, 100))
+        table.insert(_segment(0, 10, 900))
+        assert table.lookup(5).predict(5) == 905
+        assert table.num_levels >= 2
+
+    def test_non_overlapping_segments_share_level(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 10, 100))
+        table.insert(_segment(20, 10, 200))
+        assert table.num_levels == 1
+        assert table.lookup(25).predict(25) == 205
+
+    def test_lookup_outside_any_segment(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 10, 100))
+        assert table.lookup(50) is None
+
+    def test_partial_overlap_keeps_old_tail_reachable(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 20, 100))     # covers 0-19
+        table.insert(_segment(5, 5, 900))      # covers 5-9, demotes the old one
+        assert table.lookup(7).predict(7) == 902
+        assert table.lookup(15).predict(15) == 115  # still served by the demoted segment
+
+    def test_segment_count_and_memory(self):
+        table = LogStructuredSegmentTable()
+        table.insert_many([_segment(0, 10, 1), _segment(20, 10, 2)])
+        assert table.segment_count() == 2
+        assert table.memory_bytes() == 32
+
+    def test_compact_drops_fully_shadowed_segments(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 10, 100))
+        table.insert(_segment(0, 10, 200))  # fully shadows the first
+        removed = table.compact()
+        assert removed == 1
+        assert table.segment_count() == 1
+        assert table.lookup(4).predict(4) == 204
+
+    def test_compact_keeps_partially_visible_segments(self):
+        table = LogStructuredSegmentTable()
+        table.insert(_segment(0, 20, 100))
+        table.insert(_segment(0, 10, 200))
+        removed = table.compact()
+        assert removed == 0
+        assert table.lookup(15).predict(15) == 115
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 8), st.integers(0, 5000)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_always_returns_newest_covering_segment(self, updates):
+        """Property: the LSMT behaves like a versioned interval map."""
+        table = LogStructuredSegmentTable()
+        reference: dict[int, int] = {}
+        for start, length, base in updates:
+            table.insert(_segment(start, length, base))
+            for lpn in range(start, start + length):
+                reference[lpn] = base + (lpn - start)
+        for lpn, expected in reference.items():
+            found = table.lookup(lpn)
+            assert found is not None
+            assert found.predict(lpn) == expected

@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.ssd.stats`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand, ReadOutcome
+from repro.ssd.stats import GCEvent, LatencyDigest, SimulationStats
+
+
+def _cmd(kind, purpose):
+    return FlashCommand(kind=kind, chip=0, ppn=0, purpose=purpose)
+
+
+class TestCounters:
+    def test_record_host_request(self):
+        stats = SimulationStats()
+        stats.record_host_request(True, 4)
+        stats.record_host_request(False, 2)
+        assert stats.host_read_requests == 1
+        assert stats.host_read_pages == 4
+        assert stats.host_write_requests == 1
+        assert stats.host_write_pages == 2
+
+    def test_record_command_buckets_by_kind(self):
+        stats = SimulationStats()
+        stats.record_command(_cmd(CommandKind.READ, CommandPurpose.DATA_READ))
+        stats.record_command(_cmd(CommandKind.PROGRAM, CommandPurpose.DATA_WRITE))
+        stats.record_command(_cmd(CommandKind.ERASE, CommandPurpose.GC_ERASE))
+        assert stats.total_flash_reads == 1
+        assert stats.total_flash_programs == 1
+        assert stats.total_flash_erases == 1
+
+    def test_purpose_breakdown(self):
+        stats = SimulationStats()
+        stats.record_command(_cmd(CommandKind.READ, CommandPurpose.TRANSLATION_READ))
+        stats.record_command(_cmd(CommandKind.READ, CommandPurpose.DATA_READ))
+        assert stats.flash_reads[CommandPurpose.TRANSLATION_READ] == 1
+        assert stats.flash_reads[CommandPurpose.DATA_READ] == 1
+
+
+class TestRatios:
+    def test_write_amplification(self):
+        stats = SimulationStats()
+        stats.host_write_pages = 10
+        for _ in range(15):
+            stats.record_command(_cmd(CommandKind.PROGRAM, CommandPurpose.DATA_WRITE))
+        assert stats.write_amplification() == pytest.approx(1.5)
+
+    def test_write_amplification_zero_writes(self):
+        assert SimulationStats().write_amplification() == 0.0
+
+    def test_cmt_hit_ratio(self):
+        stats = SimulationStats()
+        stats.cmt_lookups = 10
+        stats.cmt_hits = 4
+        assert stats.cmt_hit_ratio() == pytest.approx(0.4)
+        assert SimulationStats().cmt_hit_ratio() == 0.0
+
+    def test_outcome_fractions_sum_to_one(self):
+        stats = SimulationStats()
+        stats.record_outcome(ReadOutcome.CMT_HIT)
+        stats.record_outcome(ReadOutcome.DOUBLE_READ)
+        stats.record_outcome(ReadOutcome.MODEL_HIT)
+        stats.record_outcome(ReadOutcome.TRIPLE_READ)
+        fractions = stats.outcome_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert stats.single_read_fraction() == pytest.approx(0.5)
+        assert stats.double_read_fraction() == pytest.approx(0.25)
+        assert stats.triple_read_fraction() == pytest.approx(0.25)
+
+    def test_model_hit_ratio(self):
+        stats = SimulationStats()
+        stats.record_outcome(ReadOutcome.MODEL_HIT)
+        stats.record_outcome(ReadOutcome.DOUBLE_READ)
+        assert stats.model_hit_ratio() == pytest.approx(0.5)
+
+    def test_empty_fractions(self):
+        fractions = SimulationStats().outcome_fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+
+class TestThroughputAndLatency:
+    def test_throughput_uses_page_size(self):
+        stats = SimulationStats(page_size=4096)
+        stats.host_read_pages = 1000
+        stats.finish_time_us = 1_000_000  # one second
+        assert stats.throughput_mb_s() == pytest.approx(4.096)
+        assert stats.throughput_mb_s(page_size=8192) == pytest.approx(8.192)
+
+    def test_throughput_zero_time(self):
+        assert SimulationStats().throughput_mb_s() == 0.0
+
+    def test_iops(self):
+        stats = SimulationStats()
+        stats.host_read_requests = 500
+        stats.finish_time_us = 500_000
+        assert stats.iops() == pytest.approx(1000.0)
+
+    def test_latency_digest(self):
+        digest = LatencyDigest.from_samples([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert digest.count == 5
+        assert digest.max_us == 100.0
+        assert digest.p50_us == pytest.approx(3.0)
+        assert digest.p99_us <= digest.p999_us <= digest.max_us
+
+    def test_latency_digest_empty(self):
+        digest = LatencyDigest.from_samples([])
+        assert digest.count == 0
+        assert digest.p99_us == 0.0
+
+    def test_record_latency_split_by_direction(self):
+        stats = SimulationStats()
+        stats.record_latency(True, 10.0)
+        stats.record_latency(False, 20.0)
+        assert stats.read_latency_digest().count == 1
+        assert stats.write_latency_digest().count == 1
+        assert stats.all_latency_digest().count == 2
+
+
+class TestGCAndCompute:
+    def test_gc_event_aggregation(self):
+        stats = SimulationStats()
+        stats.gc_events.append(GCEvent(1.0, 1, 10, 2, 500.0, 5.0))
+        stats.gc_events.append(GCEvent(2.0, 2, 20, 3, 700.0, 7.0))
+        assert stats.gc_count == 2
+        assert stats.gc_pages_moved == 30
+
+    def test_compute_time_sum(self):
+        stats = SimulationStats()
+        stats.sort_time_us = 1.0
+        stats.train_time_us = 2.0
+        stats.predict_time_us = 3.0
+        assert stats.compute_time_us() == pytest.approx(6.0)
+
+    def test_summary_contains_headline_metrics(self):
+        summary = SimulationStats().summary()
+        for key in ("write_amplification", "cmt_hit_ratio", "throughput_mb_s", "gc_count"):
+            assert key in summary

@@ -1,0 +1,153 @@
+"""Tests for trace parsing, synthesis and conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nand.errors import TraceFormatError
+from repro.nand.geometry import SSDGeometry
+from repro.ssd.request import OpType
+from repro.workloads.traces import (
+    TRACE_PRESETS,
+    characterize,
+    parse_spc,
+    parse_systor_csv,
+    synthesize_systor,
+    synthesize_websearch,
+    trace_to_requests,
+)
+
+
+@pytest.fixture
+def geometry() -> SSDGeometry:
+    return SSDGeometry.small()
+
+
+class TestParsers:
+    def test_parse_spc(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text("0,12345,8192,R,0.001\n1,99,4096,W,0.002\n")
+        records = parse_spc(path)
+        assert len(records) == 2
+        assert records[0].offset_bytes == 12345 * 512
+        assert records[0].size_bytes == 8192
+        assert records[0].is_read
+        assert not records[1].is_read
+
+    def test_parse_spc_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text("# header\n\n0,1,512,r,0.0\n")
+        assert len(parse_spc(path)) == 1
+
+    def test_parse_spc_limit(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text("\n".join(f"0,{i},512,R,0.{i}" for i in range(10)))
+        assert len(parse_spc(path, limit=3)) == 3
+
+    def test_parse_spc_malformed(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text("0,oops,512,R,0.0\n")
+        with pytest.raises(TraceFormatError):
+            parse_spc(path)
+        path.write_text("0,1,512\n")
+        with pytest.raises(TraceFormatError):
+            parse_spc(path)
+
+    def test_parse_systor(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "Timestamp,Response,IOType,LUN,Offset,Size\n"
+            "0.1,0.001,R,0,4096,8192\n"
+            "0.2,0.001,W,1,0,4096\n"
+        )
+        records = parse_systor_csv(path)
+        assert len(records) == 2
+        assert records[0].is_read and not records[1].is_read
+        assert records[1].stream_id == 1
+
+    def test_parse_systor_malformed(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0.1,0.001,R,0,xyz,8192\n")
+        with pytest.raises(TraceFormatError):
+            parse_systor_csv(path)
+
+
+class TestSynthesis:
+    def test_websearch_is_read_only(self):
+        records = synthesize_websearch(1, num_ios=2_000)
+        stats = characterize("ws1", records)
+        assert stats.read_ratio == pytest.approx(1.0)
+        assert stats.average_io_kb == pytest.approx(15.5, abs=1.5)
+
+    def test_websearch_variants_differ(self):
+        a = synthesize_websearch(1, num_ios=500)
+        b = synthesize_websearch(2, num_ios=500)
+        assert [r.offset_bytes for r in a] != [r.offset_bytes for r in b]
+
+    def test_websearch_rejects_bad_variant(self):
+        with pytest.raises(TraceFormatError):
+            synthesize_websearch(4)
+
+    def test_systor_mix_matches_table_ii(self):
+        stats = characterize("systor", synthesize_systor(num_ios=4_000))
+        assert stats.read_ratio == pytest.approx(0.616, abs=0.05)
+        assert stats.average_io_kb == pytest.approx(10.25, abs=1.5)
+
+    def test_timestamps_are_monotonic(self):
+        records = synthesize_websearch(1, num_ios=500)
+        times = [r.timestamp_s for r in records]
+        assert times == sorted(times)
+
+    def test_presets_cover_all_four_traces(self):
+        assert set(TRACE_PRESETS) == {"websearch1", "websearch2", "websearch3", "systor17"}
+        for factory in TRACE_PRESETS.values():
+            assert len(factory(100)) == 100
+
+    def test_locality_exists(self):
+        """Most accesses land in a small hot region of the address space."""
+        records = synthesize_websearch(1, num_ios=3_000)
+        offsets = sorted(r.offset_bytes for r in records)
+        span = offsets[-1] - offsets[0] or 1
+        # Count accesses falling in the busiest quarter of the covered range.
+        import collections
+
+        quarter = collections.Counter((r.offset_bytes - offsets[0]) * 4 // (span + 1) for r in records)
+        # A uniform stream would put ~25% in each quarter; the hot region pushes
+        # the busiest quarter well above that (even if it straddles a boundary).
+        assert max(quarter.values()) / len(records) > 0.4
+
+
+class TestConversion:
+    def test_requests_fit_logical_space(self, geometry):
+        records = synthesize_systor(num_ios=1_000)
+        for request in trace_to_requests(records, geometry):
+            assert 0 <= request.lpn < geometry.num_logical_pages
+            assert request.lpn + request.npages <= geometry.num_logical_pages
+            assert request.npages >= 1
+
+    def test_op_types_preserved(self, geometry):
+        records = synthesize_systor(num_ios=500)
+        requests = list(trace_to_requests(records, geometry))
+        reads = sum(1 for r in requests if r.op is OpType.READ)
+        expected = sum(1 for r in records if r.is_read)
+        assert reads == expected
+
+    def test_timing_preserved_and_scaled(self, geometry):
+        records = synthesize_websearch(1, num_ios=100)
+        scaled = list(trace_to_requests(records, geometry, time_scale=0.5))
+        unscaled = list(trace_to_requests(records, geometry, time_scale=1.0))
+        assert scaled[-1].issue_time_us == pytest.approx(unscaled[-1].issue_time_us * 0.5)
+
+    def test_timing_can_be_dropped(self, geometry):
+        records = synthesize_websearch(1, num_ios=10)
+        requests = list(trace_to_requests(records, geometry, preserve_timing=False))
+        assert all(r.issue_time_us is None for r in requests)
+
+    def test_characterize_empty(self):
+        stats = characterize("empty", [])
+        assert stats.num_ios == 0
+        assert stats.read_ratio == 0.0
+
+    def test_characterize_row_shape(self):
+        row = characterize("x", synthesize_systor(num_ios=50)).as_row()
+        assert set(row) == {"trace", "num_ios", "avg_io_kb", "read_ratio"}
