@@ -1,0 +1,119 @@
+"""Simulation-kernel performance smoke benchmark.
+
+Times the two kernel-bound phases every figure regeneration pays — a full
+sequential fill and a 4-thread random-read storm — on the medium (~1 GB)
+geometry for ``dftl`` and ``learnedftl``, and writes the wall-clock seconds and
+simulated-requests-per-second to ``BENCH_kernel.json`` so the kernel's
+performance trajectory is tracked across PRs.
+
+Run either way::
+
+    python benchmarks/perf_smoke.py [--output BENCH_kernel.json]
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py -m bench_perf -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SSD, SSDGeometry
+from repro.ssd.request import HostRequest, OpType
+
+FTL_NAMES = ("dftl", "learnedftl")
+RANDREAD_REQUESTS = 20_000
+RANDREAD_THREADS = 4
+SEED = 42
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _randread_requests(geometry: SSDGeometry, count: int) -> list[HostRequest]:
+    rng = random.Random(SEED)
+    limit = geometry.num_logical_pages - 1
+    return [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit), npages=1)
+        for _ in range(count)
+    ]
+
+
+def bench_ftl(ftl_name: str) -> dict:
+    """Time sequential fill + 4-thread randread for one FTL on the medium geometry."""
+    geometry = SSDGeometry.medium()
+    ssd = SSD.create(ftl_name, geometry)
+
+    t0 = time.perf_counter()
+    fill = ssd.fill_sequential(io_pages=128)
+    fill_seconds = time.perf_counter() - t0
+
+    requests = _randread_requests(geometry, RANDREAD_REQUESTS)
+    t0 = time.perf_counter()
+    read = ssd.run(requests, threads=RANDREAD_THREADS)
+    read_seconds = time.perf_counter() - t0
+
+    total_requests = fill.requests + read.requests
+    total_seconds = fill_seconds + read_seconds
+    return {
+        "ftl": ftl_name,
+        "fill_seconds": round(fill_seconds, 3),
+        "fill_requests": fill.requests,
+        "fill_pages": ssd.stats.host_write_pages,
+        "randread_seconds": round(read_seconds, 3),
+        "randread_requests": read.requests,
+        "total_seconds": round(total_seconds, 3),
+        "requests_per_second": round(total_requests / total_seconds, 1),
+        "randread_requests_per_second": round(read.requests / max(read_seconds, 1e-9), 1),
+    }
+
+
+def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
+    """Run the smoke benchmark for every FTL and write the JSON report."""
+    results = {}
+    for name in FTL_NAMES:
+        results[name] = bench_ftl(name)
+        print(
+            f"[perf_smoke] {name}: fill {results[name]['fill_seconds']}s, "
+            f"randread {results[name]['randread_seconds']}s, "
+            f"{results[name]['requests_per_second']} req/s"
+        )
+    report = {
+        "benchmark": "kernel_perf_smoke",
+        "geometry": "medium",
+        "randread_requests": RANDREAD_REQUESTS,
+        "randread_threads": RANDREAD_THREADS,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[perf_smoke] wrote {output}")
+    return report
+
+
+@pytest.mark.bench_perf
+def test_perf_smoke(tmp_path):
+    """Pytest entry point (opt-in via ``-m bench_perf``): the smoke must complete
+    and simulate at a sane minimum rate on the medium geometry."""
+    report = run_benchmark(output=tmp_path / "BENCH_kernel.json")
+    for name, result in report["results"].items():
+        assert result["requests_per_second"] > 0, name
+        assert result["fill_pages"] > 0, name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

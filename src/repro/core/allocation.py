@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.nand.address import AddressCodec, FlashAddress
 from repro.nand.errors import AllocationError, ConfigurationError, OutOfSpaceError
-from repro.nand.flash import FlashArray, PageState
+from repro.nand.flash import FlashArray
 from repro.nand.geometry import SSDGeometry
 
 __all__ = [
@@ -61,9 +61,17 @@ class StripeMap:
         self.num_stripes = geometry.blocks_per_plane
         self.blocks_per_stripe = geometry.num_chips * geometry.planes_per_chip
         self.pages_per_stripe = self.blocks_per_stripe * geometry.pages_per_block
+        self._blocks_of_cache: list[list[int] | None] = [None] * self.num_stripes
 
     def blocks_of(self, stripe: int) -> list[int]:
-        """Flat block indices composing a stripe."""
+        """Flat block indices composing a stripe.
+
+        The composition is static, so it is computed once per stripe and the
+        cached list is returned afterwards; callers must not mutate it.
+        """
+        cached = self._blocks_of_cache[stripe] if 0 <= stripe < self.num_stripes else None
+        if cached is not None:
+            return cached
         self._check(stripe)
         g = self.geometry
         blocks = []
@@ -72,6 +80,7 @@ class StripeMap:
                 for plane in range(g.planes_per_chip):
                     address = FlashAddress(channel=channel, chip=chip, plane=plane, block=stripe, page=0)
                     blocks.append(self.codec.block_of(address))
+        self._blocks_of_cache[stripe] = blocks
         return blocks
 
     def ppn_at(self, stripe: int, index: int) -> int:
@@ -112,7 +121,13 @@ class TranslationPool:
         self.blocks = list(blocks)
         self._free_blocks: list[int] = list(blocks)
         self._active: int | None = None
+        self._active_base_ppn = 0
         self._cursor = 0
+        self._pages_per_block = flash.geometry.pages_per_block
+        # GC must start while enough free pages remain to relocate every valid
+        # page of the victim block, so the trigger slack scales with the erase
+        # block size (large-block geometries exhaust the pool otherwise).
+        self._gc_slack_pages = max(8, flash.geometry.pages_per_block // 2)
 
     def allocate(self) -> int:
         """Return the next free translation-page PPN.
@@ -125,20 +140,22 @@ class TranslationPool:
             if not self._free_blocks:
                 raise OutOfSpaceError("translation pool exhausted; run translation GC")
             self._active = self._free_blocks.pop(0)
+            self._active_base_ppn = self.flash.codec.block_base_ppn(self._active)
             self._cursor = 0
-        ppn = self.flash.codec.block_base_ppn(self._active) + self._cursor
+        ppn = self._active_base_ppn + self._cursor
         self._cursor += 1
         return ppn
 
     def free_pages(self) -> int:
         """Free translation-page slots remaining without GC."""
-        pages_per_block = self.flash.geometry.pages_per_block
+        pages_per_block = self._pages_per_block
         active_free = 0 if self._active is None else pages_per_block - self._cursor
         return active_free + len(self._free_blocks) * pages_per_block
 
-    def needs_gc(self, *, slack_pages: int = 8) -> bool:
+    def needs_gc(self, *, slack_pages: int | None = None) -> bool:
         """True when a translation GC should run before more flushes."""
-        return self.free_pages() <= slack_pages
+        slack = self._gc_slack_pages if slack_pages is None else slack_pages
+        return self.free_pages() <= slack
 
     def victim_block(self) -> int | None:
         """Written pool block with the fewest valid pages, or ``None``.
@@ -153,12 +170,12 @@ class TranslationPool:
                 continue
             if block == self._active and self._cursor < pages_per_block:
                 continue
-            if self.flash.block(block).programmed == 0:
+            if self.flash.block_programmed(block) == 0:
                 continue
             candidates.append(block)
         if not candidates:
             return None
-        return min(candidates, key=lambda block: self.flash.block(block).valid_count)
+        return min(candidates, key=self.flash.block_valid_count)
 
     def release(self, block: int) -> None:
         """Return an erased block to the pool's free list."""
@@ -221,10 +238,12 @@ class StripingAllocator:
     # ------------------------------------------------------------ data pages
     def allocate_data(self, count: int = 1) -> list[int]:
         """Allocate ``count`` data-page PPNs, striping across chips."""
-        ppns = []
-        for _ in range(count):
-            ppns.append(self._allocate_one())
-        return ppns
+        allocate_one = self.allocate_data_one
+        return [allocate_one() for _ in range(count)]
+
+    def allocate_data_one(self) -> int:
+        """Allocate a single data-page PPN (hot path: no list wrapper)."""
+        return self._allocate_one()
 
     def _allocate_one(self) -> int:
         num_chips = self.geometry.num_chips
@@ -291,14 +310,15 @@ class StripingAllocator:
         translation_blocks = set(self.translation_pool.blocks)
         best_block: int | None = None
         best_valid: int | None = None
+        flash = self.flash
         for block in range(self.geometry.num_blocks):
             if block in translation_blocks or block in active:
                 continue
-            info = self.flash.block(block)
-            if info.programmed == 0:
+            if flash.block_programmed(block) == 0:
                 continue
-            if best_valid is None or info.valid_count < best_valid:
-                best_valid = info.valid_count
+            valid = flash.block_valid_count(block)
+            if best_valid is None or valid < best_valid:
+                best_valid = valid
                 best_block = block
         return best_block
 
@@ -362,6 +382,15 @@ class GroupAllocator:
         self._groups: list[GroupState] = [GroupState() for _ in range(self.num_groups)]
         self._stripe_owner: dict[int, int] = {}
         self._stripe_cursor: dict[int, int] = {}
+        # Incrementally maintained value of the total_free_pages() formula
+        # (free stripes at full capacity plus the unwritten tail of every owned
+        # stripe), so the per-write space check is O(1).
+        self._free_pages_total = len(self._free_stripes) * self.stripe_map.pages_per_stripe
+        # Memoized gc_candidate() results: the victim choice only changes when a
+        # data page is invalidated/erased or the stripe layout changes, so the
+        # scan is keyed on those epochs.
+        self._layout_epoch = 0
+        self._gc_candidate_cache: dict[bool, tuple[tuple[int, int], int | None]] = {}
 
     # ------------------------------------------------------------- geometry
     def group_of_lpn(self, lpn: int) -> int:
@@ -401,11 +430,7 @@ class GroupAllocator:
 
     def total_free_pages(self) -> int:
         """Free (never-programmed-since-erase) data pages across the whole device."""
-        pages_per_stripe = self.stripe_map.pages_per_stripe
-        free = len(self._free_stripes) * pages_per_stripe
-        for stripe in self._stripe_owner:
-            free += pages_per_stripe - self._stripe_cursor.get(stripe, 0)
-        return free
+        return self._free_pages_total
 
     # ------------------------------------------------------------ allocation
     def allocate_page(self, group: int) -> tuple[int, int]:
@@ -426,6 +451,7 @@ class GroupAllocator:
             and len(self._free_stripes) > self.gc_reserve_stripes
         ):
             stripe = self._free_stripes.pop(0)
+            self._free_pages_total -= self.stripe_map.pages_per_stripe
             self._assign_stripe(group, stripe)
             return self._take_from_stripe(stripe), group
         # Either the group hit its stripe limit or no free stripes remain:
@@ -459,12 +485,15 @@ class GroupAllocator:
         if cursor >= self.stripe_map.pages_per_stripe:
             raise AllocationError(f"stripe {stripe} is full")
         self._stripe_cursor[stripe] = cursor + 1
+        self._free_pages_total -= 1
         return self.stripe_map.ppn_at(stripe, cursor)
 
     def _assign_stripe(self, group: int, stripe: int) -> None:
         self._groups[group].stripes.append(stripe)
         self._stripe_owner[stripe] = group
         self._stripe_cursor[stripe] = 0
+        self._free_pages_total += self.stripe_map.pages_per_stripe
+        self._layout_epoch += 1
 
     def _stripe_with_space(self, group: int) -> int | None:
         for stripe in self._groups[group].stripes:
@@ -499,30 +528,43 @@ class GroupAllocator:
 
     # ---------------------------------------------------------------- GC API
     def gc_candidate(self, *, exclude_if_empty: bool = False) -> int | None:
-        """The group with the most invalid data pages (the paper's victim rule)."""
+        """The group with the most invalid data pages (the paper's victim rule).
+
+        The scan result is memoized on the flash data-invalidation epoch and
+        the stripe-layout epoch: until either changes, the per-block invalid
+        counts (and therefore the victim choice) cannot have changed.
+        """
+        epoch = (self.flash.data_invalidation_epoch, self._layout_epoch)
+        cached = self._gc_candidate_cache.get(exclude_if_empty)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         best_group: int | None = None
         best_invalid = -1
+        block_invalid_count = self.flash.block_invalid_count
+        blocks_of = self.stripe_map.blocks_of
         for group, state in enumerate(self._groups):
             invalid = 0
             for stripe in state.stripes:
-                for block in self.stripe_map.blocks_of(stripe):
-                    invalid += self.flash.block(block).invalid_count
+                for block in blocks_of(stripe):
+                    invalid += block_invalid_count(block)
             if exclude_if_empty and invalid == 0:
                 continue
             if invalid > best_invalid:
                 best_invalid = invalid
                 best_group = group
+        self._gc_candidate_cache[exclude_if_empty] = (epoch, best_group)
         return best_group
 
     def groups_resident_in_stripes(self, stripes: list[int]) -> set[int]:
         """Groups owning valid data pages inside the given stripes."""
         residents: set[int] = set()
+        flash = self.flash
         for stripe in stripes:
             for block in self.stripe_map.blocks_of(stripe):
-                for ppn in self.codec.block_ppns(block):
-                    info = self.flash.page(ppn)
-                    if info.state is PageState.VALID and info.lpn is not None and not info.is_translation:
-                        residents.add(self.group_of_lpn(info.lpn))
+                for ppn in flash.valid_ppns_in_block(block):
+                    lpn = flash.page_lpn_raw(ppn)
+                    if lpn >= 0 and not flash.page_is_translation(ppn):
+                        residents.add(self.group_of_lpn(lpn))
         return residents
 
     def begin_fresh_stripes(self, group: int, count: int) -> list[int]:
@@ -532,6 +574,7 @@ class GroupAllocator:
                 f"group GC needs {count} free stripes but only {len(self._free_stripes)} remain"
             )
         stripes = [self._free_stripes.pop(0) for _ in range(count)]
+        self._free_pages_total -= count * self.stripe_map.pages_per_stripe
         return stripes
 
     def emergency_allocate_page(
@@ -564,6 +607,7 @@ class GroupAllocator:
                     return self._take_from_stripe(stripe), owner
         if self._free_stripes:
             stripe = self._free_stripes.pop(0)
+            self._free_pages_total -= self.stripe_map.pages_per_stripe
             self._assign_stripe(group, stripe)
             return self._take_from_stripe(stripe), group
         raise OutOfSpaceError("no free page anywhere for GC write-back")
@@ -576,15 +620,23 @@ class GroupAllocator:
         for stripe in stripes:
             used = min(remaining, self.stripe_map.pages_per_stripe)
             self._stripe_cursor[stripe] = used
+            self._free_pages_total -= used
             remaining -= used
 
     def release_stripe(self, stripe: int) -> None:
         """Return a fully-erased stripe to the free list."""
         owner = self._stripe_owner.pop(stripe, None)
-        self._stripe_cursor.pop(stripe, None)
-        if owner is not None and stripe in self._groups[owner].stripes:
-            self._groups[owner].stripes.remove(stripe)
+        cursor = self._stripe_cursor.pop(stripe, 0)
+        if owner is not None:
+            # The stripe leaves the owned set (losing its unwritten tail from
+            # the total) and rejoins the free list at full capacity.
+            self._free_pages_total += cursor
+            if stripe in self._groups[owner].stripes:
+                self._groups[owner].stripes.remove(stripe)
+        else:
+            self._free_pages_total += self.stripe_map.pages_per_stripe
         self._free_stripes.append(stripe)
+        self._layout_epoch += 1
 
     def reset_borrow_state(self, group: int) -> None:
         """Forget a group's borrow bookkeeping after it has been collected."""

@@ -24,7 +24,7 @@ from dataclasses import dataclass, replace
 from repro.core.allocation import StripingAllocator
 from repro.core.mapping import MappingDirectory, TranslationPageStore
 from repro.nand.errors import ConfigurationError
-from repro.nand.flash import FlashArray, PageState
+from repro.nand.flash import PAGE_FREE, FlashArray
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.request import (
@@ -40,6 +40,10 @@ from repro.ssd.request import (
 from repro.ssd.stats import GCEvent, SimulationStats
 
 __all__ = ["FTLConfig", "FTLBase", "StripingFTLBase"]
+
+# Hot-path constants (loaded per flash command otherwise).
+_READ = CommandKind.READ
+_PROGRAM = CommandKind.PROGRAM
 
 
 @dataclass(frozen=True)
@@ -149,16 +153,13 @@ class FTLBase(ABC):
     # -------------------------------------------------------------- helpers
     def data_read_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_READ) -> FlashCommand:
         """Build (and account in the flash array) a data-page read."""
-        self.flash.read(ppn)
-        return FlashCommand(
-            kind=CommandKind.READ, chip=self.codec.chip_index(ppn), ppn=ppn, purpose=purpose
-        )
+        self.flash.touch_read(ppn)
+        return FlashCommand(_READ, self.codec.chip_index(ppn), ppn, None, purpose)
 
     def probe_read_command(self, ppn: int) -> FlashCommand:
         """Build a read of a possibly-unprogrammed page (LeaFTL misprediction probe)."""
-        info = self.flash.page(ppn)
-        if info.state.value != "free":
-            self.flash.read(ppn)
+        if self.flash.page_state_code(ppn) != PAGE_FREE:
+            self.flash.touch_read(ppn)
         return FlashCommand(
             kind=CommandKind.READ,
             chip=self.codec.chip_index(ppn),
@@ -168,9 +169,7 @@ class FTLBase(ABC):
 
     def program_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_WRITE) -> FlashCommand:
         """Build a program command for an already-programmed PPN."""
-        return FlashCommand(
-            kind=CommandKind.PROGRAM, chip=self.codec.chip_index(ppn), ppn=ppn, purpose=purpose
-        )
+        return FlashCommand(_PROGRAM, self.codec.chip_index(ppn), ppn, None, purpose)
 
     def erase_command(self, block: int, purpose: CommandPurpose = CommandPurpose.GC_ERASE) -> FlashCommand:
         """Build an erase command for a flat block index."""
@@ -238,21 +237,38 @@ class StripingFTLBase(FTLBase):
         # An overwrite makes the previous physical copy stale the moment the
         # request is accepted; invalidating it before allocation lets the GC
         # triggered by this very write reclaim that space.
+        flash = self.flash
+        directory = self.directory
+        check_lpn = self.geometry.check_lpn
+        num_logical_pages = self.geometry.num_logical_pages
+        lookup = directory.lookup
+        is_valid = flash.is_valid
+        invalidate = flash.invalidate
         for lpn in request.lpns():
-            self.geometry.check_lpn(lpn)
-            old = self.directory.lookup(lpn)
-            if old is not None and self.flash.page(old).state is PageState.VALID:
-                self.flash.invalidate(old)
+            if lpn < 0 or lpn >= num_logical_pages:
+                check_lpn(lpn)
+            old = lookup(lpn)
+            if old is not None and is_valid(old):
+                invalidate(old)
         self._maybe_gc(txn, now)
         program_cmds: list[FlashCommand] = []
         written: list[tuple[int, int]] = []
+        allocate_one = self.allocator.allocate_data_one
+        update = directory.update
+        program_data = flash.program_data
+        program_command = self.program_command
+        append_cmd = program_cmds.append
+        append_written = written.append
         for lpn in request.lpns():
-            ppn = self.allocator.allocate_data(1)[0]
-            self.directory.update(lpn, ppn)
-            self.flash.program(ppn, lpn)
-            program_cmds.append(self.program_command(ppn))
-            written.append((lpn, ppn))
-        txn.add_stage(program_cmds)
+            ppn = allocate_one()
+            update(lpn, ppn)
+            program_data(ppn, lpn)
+            append_cmd(program_command(ppn))
+            append_written((lpn, ppn))
+        if program_cmds:
+            # The list is freshly built and never reused: hand it to the stage
+            # without add_stage's defensive copy.
+            txn.stages.append(Stage(commands=program_cmds))
         self._after_write(written, txn, now)
         return txn
 
@@ -296,7 +312,7 @@ class StripingFTLBase(FTLBase):
         guard = 0
         while self.allocator.free_data_blocks() < self._gc_target_blocks:
             victim = self.allocator.victim_block()
-            if victim is None or self.flash.block(victim).invalid_count == 0:
+            if victim is None or self.flash.block_invalid_count(victim) == 0:
                 # Nothing reclaimable right now; erasing an all-valid block
                 # would consume as much space as it frees.
                 break
@@ -312,13 +328,14 @@ class StripingFTLBase(FTLBase):
         write_cmds: list[FlashCommand] = []
         moved: list[tuple[int, int]] = []
         touched_tvpns: set[int] = set()
-        for ppn in self.flash.valid_ppns_in_block(victim):
-            info = self.flash.page(ppn)
-            lpn = info.lpn
+        flash = self.flash
+        allocate_one = self.allocator.allocate_data_one
+        for ppn in flash.valid_ppns_in_block(victim):
+            lpn = flash.page_lpn_raw(ppn)
             read_cmds.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
-            new_ppn = self.allocator.allocate_data(1)[0]
-            self.flash.program(new_ppn, lpn)
-            self.flash.invalidate(ppn)
+            new_ppn = allocate_one()
+            flash.program_data(new_ppn, lpn)
+            flash.invalidate(ppn)
             self.directory.update(lpn, new_ppn)
             write_cmds.append(self.program_command(new_ppn, CommandPurpose.GC_WRITE))
             moved.append((lpn, new_ppn))
@@ -385,4 +402,6 @@ class StripingFTLBase(FTLBase):
         """Write back one dirty translation page (with pool-GC protection)."""
         if self.allocator.translation_pool.needs_gc():
             txn.add_stage(self._collect_translation_block())
-        txn.add_stage(self.translation_store.flush(tvpn))
+        # flush() always returns a fresh non-empty command list; append it as a
+        # stage directly to skip add_stage's defensive copy.
+        txn.stages.append(Stage(commands=self.translation_store.flush(tvpn)))

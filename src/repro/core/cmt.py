@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 from repro.nand.errors import ConfigurationError
 
@@ -33,16 +33,20 @@ __all__ = ["CMTEntry", "EvictedPage", "EntryLevelCMT", "PageGroupedCMT"]
 PAGE_NODE_OVERHEAD_ENTRIES = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class CMTEntry:
-    """One cached LPN -> PPN mapping."""
+    """One cached LPN -> PPN mapping.
+
+    Documents the logical schema of a cache slot; the caches below store the
+    equivalent ``[ppn, dirty]`` list internally because slots are created and
+    discarded millions of times per simulated run.
+    """
 
     ppn: int
     dirty: bool = False
 
 
-@dataclass(frozen=True)
-class EvictedPage:
+class EvictedPage(NamedTuple):
     """Dirty mappings evicted together, grouped by translation page."""
 
     tvpn: int
@@ -57,7 +61,8 @@ class EntryLevelCMT:
             raise ConfigurationError("CMT capacity must be at least one entry")
         self.capacity_entries = capacity_entries
         self.mappings_per_page = mappings_per_page
-        self._entries: OrderedDict[int, CMTEntry] = OrderedDict()
+        # lpn -> [ppn, dirty]
+        self._entries: OrderedDict[int, list] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,36 +76,38 @@ class EntryLevelCMT:
         if entry is None:
             return None
         self._entries.move_to_end(lpn)
-        return entry.ppn
+        return entry[0]
 
     def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:
         """Insert or update a mapping; returns dirty evictions needed to make room."""
+        entries = self._entries
+        entry = entries.get(lpn)
+        if entry is not None:
+            entry[0] = ppn
+            if dirty:
+                entry[1] = True
+            entries.move_to_end(lpn)
+            return []
         evicted: list[EvictedPage] = []
-        if lpn in self._entries:
-            entry = self._entries[lpn]
-            entry.ppn = ppn
-            entry.dirty = entry.dirty or dirty
-            self._entries.move_to_end(lpn)
-            return evicted
-        while len(self._entries) >= self.capacity_entries:
-            victim_lpn, victim = self._entries.popitem(last=False)
-            if victim.dirty:
+        while len(entries) >= self.capacity_entries:
+            victim_lpn, victim = entries.popitem(last=False)
+            if victim[1]:
                 evicted.append(
                     EvictedPage(
                         tvpn=victim_lpn // self.mappings_per_page,
                         dirty_lpns=(victim_lpn,),
                     )
                 )
-        self._entries[lpn] = CMTEntry(ppn=ppn, dirty=dirty)
+        entries[lpn] = [ppn, dirty]
         return evicted
 
     def flush_all(self) -> list[EvictedPage]:
         """Return (and clean) every dirty entry grouped by translation page."""
         grouped: dict[int, list[int]] = {}
         for lpn, entry in self._entries.items():
-            if entry.dirty:
+            if entry[1]:
                 grouped.setdefault(lpn // self.mappings_per_page, []).append(lpn)
-                entry.dirty = False
+                entry[1] = False
         return [EvictedPage(tvpn=tvpn, dirty_lpns=tuple(lpns)) for tvpn, lpns in grouped.items()]
 
     def memory_entries(self) -> int:
@@ -120,7 +127,8 @@ class PageGroupedCMT:
             raise ConfigurationError("CMT capacity must be at least one entry")
         self.capacity_entries = capacity_entries
         self.mappings_per_page = mappings_per_page
-        self._pages: OrderedDict[int, OrderedDict[int, CMTEntry]] = OrderedDict()
+        # tvpn -> (lpn -> [ppn, dirty])
+        self._pages: OrderedDict[int, OrderedDict[int, list]] = OrderedDict()
         self._size_entries = 0
 
     # ------------------------------------------------------------ accounting
@@ -151,7 +159,7 @@ class PageGroupedCMT:
             return None
         node.move_to_end(lpn)
         self._pages.move_to_end(tvpn)
-        return entry.ppn
+        return entry[0]
 
     # -------------------------------------------------------------- updates
     def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:
@@ -170,11 +178,12 @@ class PageGroupedCMT:
                 self._size_entries += PAGE_NODE_OVERHEAD_ENTRIES
             existing = node.get(lpn)
             if existing is None:
-                node[lpn] = CMTEntry(ppn=ppn, dirty=dirty)
+                node[lpn] = [ppn, dirty]
                 self._size_entries += 1
             else:
-                existing.ppn = ppn
-                existing.dirty = existing.dirty or dirty
+                existing[0] = ppn
+                if dirty:
+                    existing[1] = True
                 node.move_to_end(lpn)
             self._pages.move_to_end(tvpn)
             evicted.extend(self._evict_until_fits(exclude_tvpn=tvpn, exclude_lpn=lpn))
@@ -193,7 +202,7 @@ class PageGroupedCMT:
                     break
             node = self._pages.pop(victim_tvpn)
             self._size_entries -= len(node) + PAGE_NODE_OVERHEAD_ENTRIES
-            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry.dirty)
+            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry[1])
             if dirty_lpns:
                 evicted.append(EvictedPage(tvpn=victim_tvpn, dirty_lpns=dirty_lpns))
         # If a single node alone exceeds the capacity, fall back to evicting its
@@ -210,7 +219,7 @@ class PageGroupedCMT:
                         break
                 entry = node.pop(victim_lpn)
                 self._size_entries -= 1
-                if entry.dirty:
+                if entry[1]:
                     dirty_lpns.append(victim_lpn)
             if dirty_lpns:
                 evicted.append(EvictedPage(tvpn=tvpn, dirty_lpns=tuple(dirty_lpns)))
@@ -220,9 +229,9 @@ class PageGroupedCMT:
         """Return (and clean) every dirty entry grouped by translation page."""
         flushed: list[EvictedPage] = []
         for tvpn, node in self._pages.items():
-            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry.dirty)
+            dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry[1])
             if dirty_lpns:
                 flushed.append(EvictedPage(tvpn=tvpn, dirty_lpns=dirty_lpns))
                 for lpn in dirty_lpns:
-                    node[lpn].dirty = False
+                    node[lpn][1] = False
         return flushed

@@ -33,7 +33,7 @@ from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.core.learned.inplace_model import InPlaceLinearModel
 from repro.core.mapping import TranslationPageStore
 from repro.nand.errors import ConfigurationError, OutOfSpaceError
-from repro.nand.flash import PageState
+from repro.nand.flash import PAGE_VALID
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.request import (
@@ -190,21 +190,23 @@ class LearnedFTL(FTLBase):
         # Overwritten physical copies are stale the moment the request is
         # accepted; invalidating them first lets the group GC triggered by this
         # very write reclaim their space.
+        flash = self.flash
+        directory = self.directory
         for lpn in request.lpns():
             self.geometry.check_lpn(lpn)
-            old = self.directory.lookup(lpn)
-            if old is not None and self.flash.page(old).state is PageState.VALID:
-                self.flash.invalidate(old)
+            old = directory.lookup(lpn)
+            if old is not None and flash.is_valid(old):
+                flash.invalidate(old)
         program_cmds: list[FlashCommand] = []
         written: list[tuple[int, int]] = []
         for lpn in request.lpns():
-            tvpn = self.directory.tvpn_of(lpn)
+            tvpn = directory.tvpn_of(lpn)
             # Allocation may trigger group GC (which retrains models from the
             # *current* directory), so the bitmap bit of the overwritten LPN is
             # cleared only once the new mapping is installed.
             ppn = self._allocate_for_lpn(lpn, txn, now)
-            self.directory.update(lpn, ppn)
-            self.flash.program(ppn, lpn)
+            directory.update(lpn, ppn)
+            flash.program_data(ppn, lpn)
             self.models[tvpn].invalidate(lpn)
             program_cmds.append(self.program_command(ppn))
             written.append((lpn, ppn))
@@ -321,8 +323,12 @@ class LearnedFTL(FTLBase):
         # GC completes.
         def _relocatable(lpn: int) -> bool:
             ppn = self.directory.require(lpn)
-            info = self.flash.page(ppn)
-            return info.state is PageState.VALID and info.lpn == lpn and not info.is_translation
+            flash = self.flash
+            return (
+                flash.page_state_code(ppn) == PAGE_VALID
+                and flash.page_lpn_raw(ppn) == lpn
+                and not flash.page_is_translation(ppn)
+            )
 
         valid_lpns = sorted(
             lpn
@@ -354,7 +360,7 @@ class LearnedFTL(FTLBase):
                 new_ppn, _owner = self.allocator.emergency_allocate_page(
                     group, avoid_stripes=self._gc_old_stripes
                 )
-            self.flash.program(new_ppn, lpn)
+            self.flash.program_data(new_ppn, lpn)
             self.flash.invalidate(old_ppn)
             self.directory.update(lpn, new_ppn)
             # The relocation changed the LPN's physical location, so any bit set
@@ -407,11 +413,11 @@ class LearnedFTL(FTLBase):
             remaining: list[int] = []
             for stripe in stripes:
                 blocks = self.allocator.stripe_map.blocks_of(stripe)
-                written = any(self.flash.block(block).programmed > 0 for block in blocks)
-                fully_invalid = all(self.flash.block(block).valid_count == 0 for block in blocks)
+                written = any(self.flash.block_programmed(block) > 0 for block in blocks)
+                fully_invalid = all(self.flash.block_valid_count(block) == 0 for block in blocks)
                 if written and fully_invalid:
                     for block in blocks:
-                        if self.flash.block(block).programmed > 0:
+                        if self.flash.block_programmed(block) > 0:
                             self.flash.erase(block)
                             erase_cmds.append(self.erase_command(block))
                             blocks_erased += 1
@@ -476,12 +482,14 @@ class LearnedFTL(FTLBase):
         information.  Returns the number of models rebuilt.
         """
         per_entry: dict[int, list[tuple[int, int]]] = {}
+        flash = self.flash
         for ppn in range(self.geometry.num_physical_pages):
-            info = self.flash.page(ppn)
-            if info.state is PageState.VALID and info.lpn is not None and not info.is_translation:
-                if self.directory.lookup(info.lpn) != ppn:
-                    continue
-                per_entry.setdefault(self.directory.tvpn_of(info.lpn), []).append((info.lpn, ppn))
+            if flash.page_state_code(ppn) != PAGE_VALID or flash.page_is_translation(ppn):
+                continue
+            lpn = flash.page_lpn_raw(ppn)
+            if lpn < 0 or self.directory.lookup(lpn) != ppn:
+                continue
+            per_entry.setdefault(self.directory.tvpn_of(lpn), []).append((lpn, ppn))
         rebuilt = 0
         for tvpn, pairs in per_entry.items():
             pairs.sort(key=lambda item: item[0])

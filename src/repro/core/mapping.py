@@ -6,17 +6,18 @@ keeps a small in-memory *Global Translation Directory* (GTD) that records where
 each translation page currently lives in flash.
 
 In the simulator the authoritative logical-to-physical map is an in-memory
-dictionary (:class:`MappingDirectory`); what the real device would pay to keep
-the flash-resident table up to date is charged through
-:class:`TranslationPageStore`, which issues real flash reads/programs for
-translation-page fetches and read-modify-write flushes, and tracks which
-translation pages are dirty.
+flat array (:class:`MappingDirectory`) — one signed 64-bit slot per logical
+page, with -1 marking "never written", exactly like the DRAM page table of the
+ideal FTL; what the real device would pay to keep the flash-resident table up
+to date is charged through :class:`TranslationPageStore`, which issues real
+flash reads/programs for translation-page fetches and read-modify-write
+flushes, and tracks which translation pages are dirty.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from array import array
+from typing import Callable, Iterator
 
 from repro.nand.errors import MappingError
 from repro.nand.flash import FlashArray
@@ -24,6 +25,15 @@ from repro.nand.geometry import SSDGeometry
 from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand
 
 __all__ = ["MappingDirectory", "TranslationPageStore"]
+
+# Hot-path constants: flush() runs for every dirty CMT eviction, so even the
+# enum attribute loads are worth hoisting.
+_READ = CommandKind.READ
+_PROGRAM = CommandKind.PROGRAM
+_TRANSLATION_READ = CommandPurpose.TRANSLATION_READ
+
+#: Sentinel stored in the mapping column for "LPN never written".
+_UNMAPPED = -1
 
 
 class MappingDirectory:
@@ -37,41 +47,65 @@ class MappingDirectory:
     def __init__(self, geometry: SSDGeometry) -> None:
         self.geometry = geometry
         self.mappings_per_page = geometry.mappings_per_translation_page
-        self._map: dict[int, int] = {}
+        self._size = geometry.num_logical_pages
+        self._ppn = array("q", [_UNMAPPED]) * self._size
+        self._mapped_count = 0
 
     # --------------------------------------------------------------- lookups
     def lookup(self, lpn: int) -> int | None:
         """Return the current PPN of an LPN, or ``None`` if never written."""
-        return self._map.get(lpn)
+        if 0 <= lpn < self._size:
+            ppn = self._ppn[lpn]
+            if ppn != _UNMAPPED:
+                return ppn
+        return None
 
     def require(self, lpn: int) -> int:
         """Return the current PPN of an LPN, raising if it was never written."""
-        ppn = self._map.get(lpn)
-        if ppn is None:
-            raise MappingError(f"lpn {lpn} has no mapping")
-        return ppn
+        if 0 <= lpn < self._size:
+            ppn = self._ppn[lpn]
+            if ppn != _UNMAPPED:
+                return ppn
+        raise MappingError(f"lpn {lpn} has no mapping")
 
     def is_mapped(self, lpn: int) -> bool:
         """True when the LPN has been written at least once."""
-        return lpn in self._map
+        return 0 <= lpn < self._size and self._ppn[lpn] != _UNMAPPED
 
     def __len__(self) -> int:
-        return len(self._map)
+        return self._mapped_count
 
-    def mapped_lpns(self) -> Iterable[int]:
-        """Iterate over all mapped LPNs (unordered)."""
-        return self._map.keys()
+    def mapped_lpns(self) -> "_MappedLpnView":
+        """View of all mapped LPNs (in increasing order).
+
+        Like the dict keys view this replaces, the result is re-iterable and
+        supports ``len`` and membership tests without materializing the LPNs.
+        """
+        return _MappedLpnView(self)
 
     # --------------------------------------------------------------- updates
     def update(self, lpn: int, ppn: int) -> int | None:
         """Point an LPN at a new PPN, returning the previous PPN (or ``None``)."""
-        old = self._map.get(lpn)
-        self._map[lpn] = ppn
+        if not 0 <= lpn < self._size:
+            raise MappingError(f"lpn {lpn} outside the logical space [0, {self._size})")
+        column = self._ppn
+        old = column[lpn]
+        column[lpn] = ppn
+        if old == _UNMAPPED:
+            self._mapped_count += 1
+            return None
         return old
 
     def remove(self, lpn: int) -> int | None:
         """Drop the mapping of an LPN (trim); returns the previous PPN."""
-        return self._map.pop(lpn, None)
+        if not 0 <= lpn < self._size:
+            return None
+        old = self._ppn[lpn]
+        if old == _UNMAPPED:
+            return None
+        self._ppn[lpn] = _UNMAPPED
+        self._mapped_count -= 1
+        return old
 
     # ------------------------------------------------------- translation geo
     def tvpn_of(self, lpn: int) -> int:
@@ -81,26 +115,41 @@ class MappingDirectory:
     def lpn_range_of_tvpn(self, tvpn: int) -> range:
         """The LPN range covered by one translation page."""
         start = tvpn * self.mappings_per_page
-        return range(start, min(start + self.mappings_per_page, self.geometry.num_logical_pages))
+        return range(start, min(start + self.mappings_per_page, self._size))
 
     def mapped_lpns_of_tvpn(self, tvpn: int) -> list[int]:
         """Mapped LPNs inside one translation page, in increasing order."""
-        return [lpn for lpn in self.lpn_range_of_tvpn(tvpn) if lpn in self._map]
+        column = self._ppn
+        return [lpn for lpn in self.lpn_range_of_tvpn(tvpn) if column[lpn] != _UNMAPPED]
 
 
-@dataclass
-class _TranslationPageState:
-    """Flash-resident state of one translation page."""
+class _MappedLpnView:
+    """Re-iterable view over a directory's mapped LPNs (dict-keys-like)."""
 
-    ppn: int | None = None
-    dirty: bool = False
+    __slots__ = ("_directory",)
+
+    def __init__(self, directory: MappingDirectory) -> None:
+        self._directory = directory
+
+    def __iter__(self) -> Iterator[int]:
+        directory = self._directory
+        column = directory._ppn
+        return (lpn for lpn in range(directory._size) if column[lpn] != _UNMAPPED)
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, lpn: object) -> bool:
+        return isinstance(lpn, int) and self._directory.is_mapped(lpn)
 
 
 class TranslationPageStore:
     """Flash-resident translation pages and the in-memory GTD.
 
     The store does not decide *when* to fetch or flush — that is CMT policy —
-    it only produces the flash commands and keeps the GTD coherent.
+    it only produces the flash commands and keeps the GTD coherent.  The GTD
+    itself is two flat columns indexed by translation-page number: the flash
+    location of each translation page and its dirty bit.
 
     Parameters
     ----------
@@ -122,33 +171,35 @@ class TranslationPageStore:
         self.flash = flash
         self.directory = directory
         self._allocate = allocate
-        self._states: dict[int, _TranslationPageState] = {}
+        # Sparse columns keyed by tvpn: flash location and dirty flag.  Kept as
+        # dict/set (not flat arrays) because tests and tools may address tvpns
+        # beyond the geometry's translation-page count, as the old per-tvpn
+        # state objects allowed.
+        self._tp_ppn: dict[int, int] = {}
+        self._tp_dirty: set[int] = set()
+        self._chip_index = flash.codec.chip_index
+        self._touch_read = flash.touch_read
+        self._program_translation = flash.program_translation
+        self._invalidate = flash.invalidate
         self.translation_reads = 0
         self.translation_writes = 0
 
     # ------------------------------------------------------------- plumbing
-    def _state(self, tvpn: int) -> _TranslationPageState:
-        state = self._states.get(tvpn)
-        if state is None:
-            state = _TranslationPageState()
-            self._states[tvpn] = state
-        return state
-
     def location_of(self, tvpn: int) -> int | None:
         """Current flash PPN of a translation page (``None`` if never flushed)."""
-        return self._state(tvpn).ppn
+        return self._tp_ppn.get(tvpn)
 
     def is_dirty(self, tvpn: int) -> bool:
         """True when in-memory mappings of this translation page are newer than flash."""
-        return self._state(tvpn).dirty
+        return tvpn in self._tp_dirty
 
     def mark_dirty(self, tvpn: int) -> None:
         """Record that a mapping belonging to this translation page changed."""
-        self._state(tvpn).dirty = True
+        self._tp_dirty.add(tvpn)
 
     def dirty_tvpns(self) -> list[int]:
         """All translation pages currently dirty."""
-        return [tvpn for tvpn, state in self._states.items() if state.dirty]
+        return sorted(self._tp_dirty)
 
     # ------------------------------------------------------------- commands
     def read_command(self, tvpn: int) -> FlashCommand | None:
@@ -159,14 +210,14 @@ class TranslationPageStore:
         flash read, which matches a real device whose mapping table region is
         known-empty.
         """
-        ppn = self._state(tvpn).ppn
+        ppn = self._tp_ppn.get(tvpn)
         if ppn is None:
             return None
-        self.flash.read(ppn)
+        self.flash.touch_read(ppn)
         self.translation_reads += 1
         return FlashCommand(
             kind=CommandKind.READ,
-            chip=self.flash.codec.chip_index(ppn),
+            chip=self._chip_index(ppn),
             ppn=ppn,
             purpose=CommandPurpose.TRANSLATION_READ,
         )
@@ -178,34 +229,24 @@ class TranslationPageStore:
         the page is only partially refreshed) followed by a program of the new
         copy.  The old copy is invalidated.
         """
-        state = self._state(tvpn)
         commands: list[FlashCommand] = []
-        old_ppn = state.ppn
+        old_ppn = self._tp_ppn.get(tvpn)
         if old_ppn is not None:
-            self.flash.read(old_ppn)
+            self._touch_read(old_ppn)
             self.translation_reads += 1
+            # Positional construction: (kind, chip, ppn, block, purpose).
             commands.append(
-                FlashCommand(
-                    kind=CommandKind.READ,
-                    chip=self.flash.codec.chip_index(old_ppn),
-                    ppn=old_ppn,
-                    purpose=CommandPurpose.TRANSLATION_READ,
-                )
+                FlashCommand(_READ, self._chip_index(old_ppn), old_ppn, None, _TRANSLATION_READ)
             )
         new_ppn = self._allocate()
-        self.flash.program(new_ppn, lpn=None, is_translation=True, oob={"tvpn": tvpn})
+        self._program_translation(new_ppn, tvpn)
         if old_ppn is not None:
-            self.flash.invalidate(old_ppn)
-        state.ppn = new_ppn
-        state.dirty = False
+            self._invalidate(old_ppn)
+        self._tp_ppn[tvpn] = new_ppn
+        self._tp_dirty.discard(tvpn)
         self.translation_writes += 1
         commands.append(
-            FlashCommand(
-                kind=CommandKind.PROGRAM,
-                chip=self.flash.codec.chip_index(new_ppn),
-                ppn=new_ppn,
-                purpose=purpose,
-            )
+            FlashCommand(_PROGRAM, self._chip_index(new_ppn), new_ppn, None, purpose)
         )
         return commands
 
@@ -215,17 +256,17 @@ class TranslationPageStore:
         Returns the new PPN and the program command (the GC read is issued by
         the caller).
         """
-        info = self.flash.read(old_ppn)
-        tvpn = info.oob["tvpn"] if isinstance(info.oob, dict) else None
+        self.flash.touch_read(old_ppn)
+        tvpn = self.flash.page_tvpn(old_ppn)
         if tvpn is None:
             raise MappingError(f"ppn {old_ppn} is not a translation page")
         new_ppn = self._allocate()
-        self.flash.program(new_ppn, lpn=None, is_translation=True, oob={"tvpn": tvpn})
+        self.flash.program_translation(new_ppn, tvpn)
         self.flash.invalidate(old_ppn)
-        self._state(tvpn).ppn = new_ppn
+        self._tp_ppn[tvpn] = new_ppn
         return new_ppn, FlashCommand(
             kind=CommandKind.PROGRAM,
-            chip=self.flash.codec.chip_index(new_ppn),
+            chip=self._chip_index(new_ppn),
             ppn=new_ppn,
             purpose=CommandPurpose.GC_WRITE,
         )

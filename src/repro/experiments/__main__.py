@@ -5,11 +5,14 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig14 --scale tiny
     python -m repro.experiments all --scale default --csv-dir results/
+    python -m repro.experiments fig06 --scale tiny --profile
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -42,6 +45,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each experiment's rows to <dir>/<name>.csv",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile and print the top-20 cumulative entries",
+    )
     return parser
 
 
@@ -61,7 +69,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         started = time.time()
-        result = run_experiment(name, scale=args.scale)
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result = run_experiment(name, scale=args.scale)
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
+        else:
+            result = run_experiment(name, scale=args.scale)
         elapsed = time.time() - started
         print(result.render())
         print(f"[{name} completed in {elapsed:.1f} s at scale={args.scale}]")

@@ -11,7 +11,7 @@ from repro.nand.errors import (
     ReproError,
     TraceFormatError,
 )
-from repro.nand.flash import BlockInfo, FlashArray, PageInfo, PageState
+from repro.nand.flash import BlockInfo, BlockView, FlashArray, PageInfo, PageState, PageView
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 
@@ -23,7 +23,9 @@ __all__ = [
     "FlashArray",
     "PageState",
     "PageInfo",
+    "PageView",
     "BlockInfo",
+    "BlockView",
     "ReproError",
     "GeometryError",
     "FlashStateError",

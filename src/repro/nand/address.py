@@ -69,6 +69,10 @@ class AddressCodec:
         self._vppn_plane_stride = self._vppn_chip_stride * g.chips_per_channel
         self._vppn_page_stride = self._vppn_plane_stride * g.planes_per_chip
         self._vppn_block_stride = self._vppn_page_stride * g.pages_per_block
+        # Cached scalars for the arithmetic-only hot paths below.
+        self._num_physical_pages = g.num_physical_pages
+        self._num_blocks = g.num_blocks
+        self._pages_per_block = g.pages_per_block
 
     # ------------------------------------------------------------------- PPN
     def encode_ppn(self, address: FlashAddress) -> int:
@@ -99,18 +103,29 @@ class AddressCodec:
     # ------------------------------------------------------------------ VPPN
     def ppn_to_vppn(self, ppn: int) -> int:
         """Translate a physical page number to its virtual page number."""
-        a = self.decode_ppn(ppn)
+        if not 0 <= ppn < self._num_physical_pages:
+            self.geometry.check_ppn(ppn)
+        g = self.geometry
+        page = ppn % g.pages_per_block
+        rest = ppn // g.pages_per_block
+        block = rest % g.blocks_per_plane
+        rest //= g.blocks_per_plane
+        plane = rest % g.planes_per_chip
+        rest //= g.planes_per_chip
+        chip = rest % g.chips_per_channel
+        channel = rest // g.chips_per_channel
         return (
-            a.channel * self._vppn_channel_stride
-            + a.chip * self._vppn_chip_stride
-            + a.plane * self._vppn_plane_stride
-            + a.page * self._vppn_page_stride
-            + a.block * self._vppn_block_stride
+            channel * self._vppn_channel_stride
+            + chip * self._vppn_chip_stride
+            + plane * self._vppn_plane_stride
+            + page * self._vppn_page_stride
+            + block * self._vppn_block_stride
         )
 
     def vppn_to_ppn(self, vppn: int) -> int:
         """Translate a virtual page number back to its physical page number."""
-        self.geometry.check_ppn(vppn)  # same range as PPNs
+        if not 0 <= vppn < self._num_physical_pages:
+            self.geometry.check_ppn(vppn)  # same range as PPNs
         g = self.geometry
         channel = vppn % g.channels
         rest = vppn // g.channels
@@ -120,15 +135,22 @@ class AddressCodec:
         rest //= g.planes_per_chip
         page = rest % g.pages_per_block
         block = rest // g.pages_per_block
-        return self.encode_ppn(
-            FlashAddress(channel=channel, chip=chip, plane=plane, block=block, page=page)
+        return (
+            channel * self._ppn_channel_stride
+            + chip * self._ppn_chip_stride
+            + plane * self._ppn_plane_stride
+            + block * self._ppn_block_stride
+            + page
         )
 
     # -------------------------------------------------------------- flat ids
     def chip_index(self, ppn: int) -> int:
         """Return the flat chip (parallel unit) index owning ``ppn``."""
-        a = self.decode_ppn(ppn)
-        return a.channel * self.geometry.chips_per_channel + a.chip
+        if not 0 <= ppn < self._num_physical_pages:
+            self.geometry.check_ppn(ppn)
+        # Channel and chip are the two most significant PPN fields, so the flat
+        # chip index is a single integer division.
+        return ppn // self._ppn_chip_stride
 
     def channel_index(self, ppn: int) -> int:
         """Return the channel index owning ``ppn``."""
@@ -136,21 +158,22 @@ class AddressCodec:
 
     def block_index(self, ppn: int) -> int:
         """Return the flat erase-block index containing ``ppn``."""
-        return ppn // self.geometry.pages_per_block
+        return ppn // self._pages_per_block
 
     def block_of(self, address: FlashAddress) -> int:
         """Return the flat erase-block index of a decoded address."""
-        return self.encode_ppn(address) // self.geometry.pages_per_block
+        return self.encode_ppn(address) // self._pages_per_block
 
     def block_base_ppn(self, block: int) -> int:
         """Return the first PPN of the given flat block index."""
-        self.geometry.check_block(block)
-        return block * self.geometry.pages_per_block
+        if not 0 <= block < self._num_blocks:
+            self.geometry.check_block(block)
+        return block * self._pages_per_block
 
     def block_ppns(self, block: int) -> range:
         """Return the range of PPNs belonging to the given flat block index."""
         base = self.block_base_ppn(block)
-        return range(base, base + self.geometry.pages_per_block)
+        return range(base, base + self._pages_per_block)
 
     def chip_of_block(self, block: int) -> int:
         """Return the flat chip index owning the given flat block index."""

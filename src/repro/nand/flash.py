@@ -10,11 +10,21 @@ translation-page number they hold).
 The array enforces NAND programming rules: a page must be erased before it can
 be programmed again, pages are programmed in order within a block (sequential
 program constraint), and erases operate on whole blocks.
+
+Storage is **columnar** (struct-of-arrays): page state lives in flat
+``bytearray``/``array`` columns indexed by PPN, and per-block counters in
+columns indexed by flat block id.  At the paper's full 32 GB geometry this
+replaces 8M+ heap-allocated per-page objects with a handful of flat buffers,
+which is what makes the full-scale geometry simulable.  :class:`PageView` and
+:class:`BlockView` are lightweight windows over the columns that preserve the
+object-per-page read interface (``page(ppn).state`` etc.) for FTLs and tests;
+hot paths use the raw accessors (:meth:`FlashArray.page_state_code`,
+:meth:`FlashArray.program_data`, ...) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 from enum import Enum
 from typing import Any, Iterator
 
@@ -22,7 +32,17 @@ from repro.nand.address import AddressCodec
 from repro.nand.errors import FlashStateError
 from repro.nand.geometry import SSDGeometry
 
-__all__ = ["PageState", "PageInfo", "BlockInfo", "FlashArray"]
+__all__ = [
+    "PageState",
+    "PageView",
+    "PageInfo",
+    "BlockView",
+    "BlockInfo",
+    "FlashArray",
+    "PAGE_FREE",
+    "PAGE_VALID",
+    "PAGE_INVALID",
+]
 
 
 class PageState(Enum):
@@ -33,31 +53,130 @@ class PageState(Enum):
     INVALID = "invalid"
 
 
-@dataclass
-class PageInfo:
-    """OOB metadata of a programmed physical page."""
+#: Raw state codes stored in the state column; hot paths compare against these
+#: integers instead of enum members.
+PAGE_FREE, PAGE_VALID, PAGE_INVALID = 0, 1, 2
 
-    state: PageState = PageState.FREE
-    lpn: int | None = None
-    version: int = -1
-    is_translation: bool = False
-    oob: Any = None
+_STATE_BY_CODE = (PageState.FREE, PageState.VALID, PageState.INVALID)
+
+#: Sentinel stored in the LPN/version columns for "no value".
+_NONE = -1
 
 
-@dataclass
-class BlockInfo:
-    """Per-erase-block bookkeeping."""
+class PageView:
+    """Read-only window over one page's columns.
 
-    next_page: int = 0
-    valid_count: int = 0
-    invalid_count: int = 0
-    erase_count: int = 0
-    is_translation: bool = False
+    Preserves the attribute interface of the former per-page dataclass
+    (``state`` / ``lpn`` / ``version`` / ``is_translation`` / ``oob``) while the
+    data itself lives in the flash array's flat columns.  Views are cheap to
+    create and always reflect the *current* state of the page.
+    """
+
+    __slots__ = ("_flash", "_ppn")
+
+    def __init__(self, flash: "FlashArray", ppn: int) -> None:
+        self._flash = flash
+        self._ppn = ppn
+
+    @property
+    def ppn(self) -> int:
+        """The physical page this view points at."""
+        return self._ppn
+
+    @property
+    def state(self) -> PageState:
+        """Lifecycle state of the page."""
+        return _STATE_BY_CODE[self._flash._page_state[self._ppn]]
+
+    @property
+    def lpn(self) -> int | None:
+        """Logical page stored here (``None`` for free/translation pages)."""
+        lpn = self._flash._page_lpn[self._ppn]
+        return None if lpn == _NONE else lpn
+
+    @property
+    def version(self) -> int:
+        """Device-global monotonic write version (-1 when free)."""
+        return self._flash._page_version[self._ppn]
+
+    @property
+    def is_translation(self) -> bool:
+        """True when the page holds a translation page."""
+        return bool(self._flash._page_translation[self._ppn])
+
+    @property
+    def oob(self) -> Any:
+        """Opaque OOB payload recorded at program time (``None`` if absent).
+
+        Translation pages programmed through the fast path store only their
+        tvpn in a flat column; the historical ``{"tvpn": n}`` dict payload is
+        synthesized here so readers see the same interface either way.
+        """
+        tvpn = self._flash._page_tvpn[self._ppn]
+        if tvpn != _NONE:
+            return {"tvpn": tvpn}
+        return self._flash._page_oob.get(self._ppn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageView(ppn={self._ppn}, state={self.state.value}, lpn={self.lpn}, "
+            f"version={self.version}, is_translation={self.is_translation})"
+        )
+
+
+#: Backwards-compatible alias: ``flash.page(ppn)`` used to return a ``PageInfo``
+#: dataclass; it now returns the equivalent columnar view.
+PageInfo = PageView
+
+
+class BlockView:
+    """Read-only window over one erase block's counter columns."""
+
+    __slots__ = ("_flash", "_block")
+
+    def __init__(self, flash: "FlashArray", block: int) -> None:
+        self._flash = flash
+        self._block = block
+
+    @property
+    def next_page(self) -> int:
+        """Next in-order page offset to program."""
+        return self._flash._block_next[self._block]
+
+    @property
+    def valid_count(self) -> int:
+        """Number of valid pages in the block."""
+        return self._flash._block_valid[self._block]
+
+    @property
+    def invalid_count(self) -> int:
+        """Number of invalid pages in the block."""
+        return self._flash._block_invalid[self._block]
+
+    @property
+    def erase_count(self) -> int:
+        """Times this block has been erased."""
+        return self._flash._block_erase[self._block]
+
+    @property
+    def is_translation(self) -> bool:
+        """True when the block holds (or held) translation pages."""
+        return bool(self._flash._block_translation[self._block])
 
     @property
     def programmed(self) -> int:
         """Number of pages programmed since the last erase."""
-        return self.next_page
+        return self._flash._block_next[self._block]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockView(block={self._block}, programmed={self.programmed}, "
+            f"valid={self.valid_count}, invalid={self.invalid_count})"
+        )
+
+
+#: Backwards-compatible alias mirroring :data:`PageInfo`.
+BlockInfo = BlockView
 
 
 class FlashArray:
@@ -72,53 +191,125 @@ class FlashArray:
         self.geometry = geometry
         self.codec = AddressCodec(geometry)
         self.enforce_sequential_program = enforce_sequential_program
-        self._pages: list[PageInfo] = [PageInfo() for _ in range(geometry.num_physical_pages)]
-        self._blocks: list[BlockInfo] = [BlockInfo() for _ in range(geometry.num_blocks)]
+        num_pages = geometry.num_physical_pages
+        num_blocks = geometry.num_blocks
+        self._num_pages = num_pages
+        self._pages_per_block = geometry.pages_per_block
+        # Page columns, indexed by PPN.
+        self._page_state = bytearray(num_pages)
+        self._page_lpn = array("q", [_NONE]) * num_pages
+        self._page_version = array("q", [_NONE]) * num_pages
+        self._page_translation = bytearray(num_pages)
+        self._page_tvpn = array("q", [_NONE]) * num_pages
+        self._page_oob: dict[int, Any] = {}
+        # Block columns, indexed by flat block id.
+        self._block_next = array("i", [0]) * num_blocks
+        self._block_valid = array("i", [0]) * num_blocks
+        self._block_invalid = array("i", [0]) * num_blocks
+        self._block_erase = array("i", [0]) * num_blocks
+        self._block_translation = bytearray(num_blocks)
+        # Reusable erase templates (slice-assigned over a block's page range).
+        self._erased_lpns = array("q", [_NONE]) * self._pages_per_block
+        self._zero_pages = bytes(self._pages_per_block)
         self._version_counter = 0
+        self._free_pages = num_pages
         self.total_programs = 0
         self.total_erases = 0
         self.total_reads = 0
+        #: Monotonic counter bumped whenever a *data* page's invalid state can
+        #: have changed (invalidate or erase).  Allocators use it to memoize
+        #: garbage scans: as long as the epoch is unchanged, the per-block
+        #: invalid counts they aggregate are unchanged too.
+        self.data_invalidation_epoch = 0
 
     # ------------------------------------------------------------ inspection
-    def page(self, ppn: int) -> PageInfo:
-        """Return the metadata of a physical page."""
-        self.geometry.check_ppn(ppn)
-        return self._pages[ppn]
+    def page(self, ppn: int) -> PageView:
+        """Return a metadata view of a physical page."""
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        return PageView(self, ppn)
 
-    def block(self, block: int) -> BlockInfo:
-        """Return the bookkeeping record of a flat block index."""
+    def block(self, block: int) -> BlockView:
+        """Return a bookkeeping view of a flat block index."""
         self.geometry.check_block(block)
-        return self._blocks[block]
+        return BlockView(self, block)
 
     def block_of(self, ppn: int) -> int:
         """Return the flat block index containing ``ppn``."""
-        return self.codec.block_index(ppn)
+        return ppn // self._pages_per_block
 
     def valid_ppns_in_block(self, block: int) -> list[int]:
         """Return the PPNs of the valid pages in a block."""
-        return [ppn for ppn in self.codec.block_ppns(block) if self._pages[ppn].state is PageState.VALID]
+        self.geometry.check_block(block)
+        base = block * self._pages_per_block
+        state = self._page_state
+        return [
+            ppn for ppn in range(base, base + self._pages_per_block) if state[ppn] == PAGE_VALID
+        ]
 
-    def iter_blocks(self) -> Iterator[tuple[int, BlockInfo]]:
-        """Yield ``(block_index, BlockInfo)`` for every erase block."""
-        return enumerate(self._blocks)
+    def iter_blocks(self) -> Iterator[tuple[int, BlockView]]:
+        """Yield ``(block_index, BlockView)`` for every erase block."""
+        return ((block, BlockView(self, block)) for block in range(len(self._block_next)))
 
     @property
     def free_page_count(self) -> int:
         """Total number of pages currently in the FREE state."""
-        return sum(1 for p in self._pages if p.state is PageState.FREE)
+        return self._free_pages
+
+    # ------------------------------------------------- raw columnar accessors
+    def page_state_code(self, ppn: int) -> int:
+        """Raw state code of a page (:data:`PAGE_FREE` / ``VALID`` / ``INVALID``)."""
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        return self._page_state[ppn]
+
+    def page_lpn_raw(self, ppn: int) -> int:
+        """LPN column value of a page (-1 when it holds none)."""
+        return self._page_lpn[ppn]
+
+    def page_is_translation(self, ppn: int) -> bool:
+        """True when the page holds a translation page."""
+        return bool(self._page_translation[ppn])
+
+    def is_valid(self, ppn: int) -> bool:
+        """True when the page is in the VALID state."""
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        return self._page_state[ppn] == PAGE_VALID
+
+    def block_valid_count(self, block: int) -> int:
+        """Valid-page count of a block (raw column read)."""
+        return self._block_valid[block]
+
+    def block_invalid_count(self, block: int) -> int:
+        """Invalid-page count of a block (raw column read)."""
+        return self._block_invalid[block]
+
+    def block_programmed(self, block: int) -> int:
+        """Pages programmed in a block since its last erase (raw column read)."""
+        return self._block_next[block]
 
     # ------------------------------------------------------------ operations
-    def read(self, ppn: int) -> PageInfo:
+    def read(self, ppn: int) -> PageView:
         """Read a programmed page and return its OOB metadata.
 
         Reading a free page is a simulation bug in every FTL modelled here, so
         it raises :class:`FlashStateError`.
         """
-        info = self.page(ppn)
-        if info.state is PageState.FREE:
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        if self._page_state[ppn] == PAGE_FREE:
             raise FlashStateError(f"read of unprogrammed page ppn={ppn}")
         self.total_reads += 1
-        return info
+        return PageView(self, ppn)
+
+    def touch_read(self, ppn: int) -> None:
+        """Account a read of a programmed page without building a view (hot path)."""
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        if self._page_state[ppn] == PAGE_FREE:
+            raise FlashStateError(f"read of unprogrammed page ppn={ppn}")
+        self.total_reads += 1
 
     def program(
         self,
@@ -127,45 +318,90 @@ class FlashArray:
         *,
         is_translation: bool = False,
         oob: Any = None,
-    ) -> PageInfo:
+    ) -> PageView:
         """Program a free page with the given OOB metadata.
 
-        Returns the updated :class:`PageInfo`.  The write version is assigned
-        from a device-global monotonic counter so tests can identify the most
-        recent copy of an LPN regardless of which FTL produced it.
+        Returns a :class:`PageView` of the programmed page.  The write version
+        is assigned from a device-global monotonic counter so tests can identify
+        the most recent copy of an LPN regardless of which FTL produced it.
         """
-        info = self.page(ppn)
-        if info.state is not PageState.FREE:
-            raise FlashStateError(f"program of non-free page ppn={ppn} (state={info.state})")
-        block_idx = self.block_of(ppn)
-        block = self._blocks[block_idx]
-        page_offset = ppn % self.geometry.pages_per_block
-        if self.enforce_sequential_program and page_offset != block.next_page:
+        self._program_raw(ppn, _NONE if lpn is None else lpn)
+        if is_translation:
+            self._page_translation[ppn] = 1
+            self._block_translation[ppn // self._pages_per_block] = 1
+        if oob is not None:
+            self._page_oob[ppn] = oob
+        return PageView(self, ppn)
+
+    def program_data(self, ppn: int, lpn: int) -> None:
+        """Program a free data page (hot path: no view, no OOB payload)."""
+        self._program_raw(ppn, lpn)
+
+    def program_translation(self, ppn: int, tvpn: int) -> None:
+        """Program a free page as a translation page holding GTD entry ``tvpn``.
+
+        Hot-path equivalent of ``program(ppn, None, is_translation=True,
+        oob={"tvpn": tvpn})``: the tvpn goes into a flat column instead of a
+        per-page dict payload, and no view is built.
+        """
+        self._program_raw(ppn, _NONE)
+        self._page_translation[ppn] = 1
+        self._page_tvpn[ppn] = tvpn
+        self._block_translation[ppn // self._pages_per_block] = 1
+
+    def page_tvpn(self, ppn: int) -> int | None:
+        """Translation-page number held by ``ppn`` (``None`` for data pages)."""
+        tvpn = self._page_tvpn[ppn]
+        if tvpn != _NONE:
+            return tvpn
+        oob = self._page_oob.get(ppn)
+        if isinstance(oob, dict):
+            return oob.get("tvpn")
+        return None
+
+    def _program_raw(self, ppn: int, lpn: int) -> None:
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        state = self._page_state
+        if state[ppn] != PAGE_FREE:
             raise FlashStateError(
-                f"out-of-order program in block {block_idx}: page offset {page_offset}, "
-                f"expected {block.next_page}"
+                f"program of non-free page ppn={ppn} (state={_STATE_BY_CODE[state[ppn]]})"
+            )
+        pages_per_block = self._pages_per_block
+        block = ppn // pages_per_block
+        page_offset = ppn - block * pages_per_block
+        block_next = self._block_next
+        next_page = block_next[block]
+        if page_offset != next_page and self.enforce_sequential_program:
+            raise FlashStateError(
+                f"out-of-order program in block {block}: page offset {page_offset}, "
+                f"expected {next_page}"
             )
         self._version_counter += 1
-        info.state = PageState.VALID
-        info.lpn = lpn
-        info.version = self._version_counter
-        info.is_translation = is_translation
-        info.oob = oob
-        block.next_page = max(block.next_page, page_offset + 1)
-        block.valid_count += 1
-        block.is_translation = block.is_translation or is_translation
+        state[ppn] = PAGE_VALID
+        self._page_lpn[ppn] = lpn
+        self._page_version[ppn] = self._version_counter
+        if page_offset >= next_page:
+            block_next[block] = page_offset + 1
+        self._block_valid[block] += 1
         self.total_programs += 1
-        return info
+        self._free_pages -= 1
 
     def invalidate(self, ppn: int) -> None:
         """Mark a valid page invalid (its data has been superseded)."""
-        info = self.page(ppn)
-        if info.state is not PageState.VALID:
-            raise FlashStateError(f"invalidate of non-valid page ppn={ppn} (state={info.state})")
-        info.state = PageState.INVALID
-        block = self._blocks[self.block_of(ppn)]
-        block.valid_count -= 1
-        block.invalid_count += 1
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        state = self._page_state
+        if state[ppn] != PAGE_VALID:
+            raise FlashStateError(
+                f"invalidate of non-valid page ppn={ppn} (state={_STATE_BY_CODE[state[ppn]]})"
+            )
+        state[ppn] = PAGE_INVALID
+        block = ppn // self._pages_per_block
+        self._block_valid[block] -= 1
+        self._block_invalid[block] += 1
+        if not self._page_translation[ppn]:
+            self.data_invalidation_epoch += 1
 
     def erase(self, block: int, *, allow_valid: bool = False) -> int:
         """Erase a block, returning the number of pages reclaimed.
@@ -176,25 +412,30 @@ class FlashArray:
         as a whole-device format.
         """
         self.geometry.check_block(block)
-        blk = self._blocks[block]
-        if blk.valid_count > 0 and not allow_valid:
-            raise FlashStateError(
-                f"erase of block {block} with {blk.valid_count} valid pages"
-            )
-        reclaimed = blk.programmed
-        for ppn in self.codec.block_ppns(block):
-            page = self._pages[ppn]
-            page.state = PageState.FREE
-            page.lpn = None
-            page.version = -1
-            page.is_translation = False
-            page.oob = None
-        blk.next_page = 0
-        blk.valid_count = 0
-        blk.invalid_count = 0
-        blk.erase_count += 1
-        blk.is_translation = False
+        valid = self._block_valid[block]
+        if valid > 0 and not allow_valid:
+            raise FlashStateError(f"erase of block {block} with {valid} valid pages")
+        pages_per_block = self._pages_per_block
+        reclaimed = self._block_next[block]
+        base = block * pages_per_block
+        end = base + pages_per_block
+        self._free_pages += valid + self._block_invalid[block]
+        self._page_state[base:end] = self._zero_pages
+        self._page_lpn[base:end] = self._erased_lpns
+        self._page_version[base:end] = self._erased_lpns
+        self._page_translation[base:end] = self._zero_pages
+        self._page_tvpn[base:end] = self._erased_lpns
+        if self._page_oob:
+            oob = self._page_oob
+            for ppn in range(base, end):
+                oob.pop(ppn, None)
+        self._block_next[block] = 0
+        self._block_valid[block] = 0
+        self._block_invalid[block] = 0
+        self._block_erase[block] += 1
+        self._block_translation[block] = 0
         self.total_erases += 1
+        self.data_invalidation_epoch += 1
         return reclaimed
 
     # -------------------------------------------------------------- analysis
@@ -204,19 +445,26 @@ class FlashArray:
         Linear scan; intended for test-suite verification only.
         """
         best: tuple[int, int] | None = None
-        for ppn, info in enumerate(self._pages):
-            if info.state is PageState.VALID and info.lpn == lpn and not info.is_translation:
-                if best is None or info.version > best[1]:
-                    best = (ppn, info.version)
-        return best
+        state = self._page_state
+        versions = self._page_version
+        translation = self._page_translation
+        ppn = -1
+        lpns = self._page_lpn
+        while True:
+            try:
+                ppn = lpns.index(lpn, ppn + 1)
+            except ValueError:
+                return best
+            if state[ppn] == PAGE_VALID and not translation[ppn]:
+                if best is None or versions[ppn] > best[1]:
+                    best = (ppn, versions[ppn])
 
     def utilization(self) -> dict[str, int]:
         """Return page counts by state (for reporting and tests)."""
-        counts = {state: 0 for state in PageState}
-        for info in self._pages:
-            counts[info.state] += 1
+        valid = self._page_state.count(PAGE_VALID)
+        invalid = self._page_state.count(PAGE_INVALID)
         return {
-            "free": counts[PageState.FREE],
-            "valid": counts[PageState.VALID],
-            "invalid": counts[PageState.INVALID],
+            "free": self._num_pages - valid - invalid,
+            "valid": valid,
+            "invalid": invalid,
         }

@@ -20,6 +20,7 @@ geometries built with :meth:`SSDGeometry.small`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.nand.errors import GeometryError
 
@@ -75,53 +76,53 @@ class SSDGeometry:
             raise GeometryError(f"op_ratio must be in [0, 0.9), got {self.op_ratio}")
 
     # ------------------------------------------------------------------ sizes
-    @property
+    @cached_property
     def num_chips(self) -> int:
         """Total number of independent flash chips (parallel units)."""
         return self.channels * self.chips_per_channel
 
-    @property
+    @cached_property
     def num_planes(self) -> int:
         """Total number of planes in the device."""
         return self.num_chips * self.planes_per_chip
 
-    @property
+    @cached_property
     def blocks_per_chip(self) -> int:
         """Number of erase blocks per chip (across all its planes)."""
         return self.planes_per_chip * self.blocks_per_plane
 
-    @property
+    @cached_property
     def num_blocks(self) -> int:
         """Total number of erase blocks in the device."""
         return self.num_planes * self.blocks_per_plane
 
-    @property
+    @cached_property
     def pages_per_chip(self) -> int:
         """Number of physical pages per chip."""
         return self.blocks_per_chip * self.pages_per_block
 
-    @property
+    @cached_property
     def num_physical_pages(self) -> int:
         """Total number of physical pages in the device."""
         return self.num_blocks * self.pages_per_block
 
-    @property
+    @cached_property
     def physical_bytes(self) -> int:
         """Raw physical capacity in bytes."""
         return self.num_physical_pages * self.page_size
 
-    @property
+    @cached_property
     def num_logical_pages(self) -> int:
         """Number of logical pages exposed to the host (physical minus OP)."""
         return int(self.num_physical_pages * (1.0 - self.op_ratio))
 
-    @property
+    @cached_property
     def logical_bytes(self) -> int:
         """Logical (host-visible) capacity in bytes."""
         return self.num_logical_pages * self.page_size
 
     # ------------------------------------------------------- mapping metadata
-    @property
+    @cached_property
     def mappings_per_translation_page(self) -> int:
         """How many LPN->PPN entries fit in one translation page.
 
@@ -130,7 +131,7 @@ class SSDGeometry:
         """
         return self.page_size // 8
 
-    @property
+    @cached_property
     def num_translation_pages(self) -> int:
         """Number of translation pages (== number of GTD entries)."""
         per_page = self.mappings_per_translation_page

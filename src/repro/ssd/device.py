@@ -7,7 +7,8 @@
 
     ssd = SSD.create("learnedftl", SSDGeometry.small())
     ssd.fill_sequential()                       # precondition
-    result = ssd.run(FioJob.randread(num_requests=10_000), threads=4)
+    job = FioJob.randread(num_requests=10_000)
+    result = ssd.run(job.requests(ssd.geometry), threads=4)
     print(result.stats.summary())
 
 Two host models are supported:
@@ -21,6 +22,8 @@ Two host models are supported:
 
 from __future__ import annotations
 
+import heapq
+import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
@@ -151,20 +154,25 @@ class SSD:
         if threads <= 0:
             raise ConfigurationError("threads must be positive")
         start = self._clock_us
-        thread_free = [start] * threads
+        # Min-heap of (free-time, slot): the next request always goes to the
+        # earliest-free thread (ties to the lowest slot, matching the previous
+        # linear scan) in O(log threads) instead of O(threads).
+        thread_free: list[tuple[float, int]] = [(start, slot) for slot in range(threads)]
         completed = 0
+        engine_execute = self.engine.execute
+        ftl_process = self.ftl.process
+        record_latency = self.stats.record_latency
         iterator: Iterator[HostRequest] = iter(requests)
         for request in iterator:
-            slot = min(range(threads), key=thread_free.__getitem__)
-            issue = thread_free[slot]
-            txn = self.ftl.process(request, issue)
-            result = self.engine.execute(txn, issue)
-            self.stats.record_latency(request.op is OpType.READ, result.latency_us)
-            thread_free[slot] = result.finish_us
+            issue, slot = thread_free[0]
+            txn = ftl_process(request, issue)
+            result = engine_execute(txn, issue)
+            record_latency(request.op is OpType.READ, result.finish_us - issue)
+            heapq.heapreplace(thread_free, (result.finish_us, slot))
             completed += 1
             if progress is not None and completed % 10_000 == 0:
                 progress(completed)
-        self._clock_us = max(self._clock_us, max(thread_free))
+        self._clock_us = max(self._clock_us, max(free for free, _ in thread_free))
         self.stats.finish_time_us = self._clock_us
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 
@@ -175,13 +183,16 @@ class SSD:
         start = self._clock_us
         stream_free = [start] * streams
         completed = 0
+        engine_execute = self.engine.execute
+        ftl_process = self.ftl.process
+        record_latency = self.stats.record_latency
         for request in requests:
             slot = request.stream_id % streams
             arrival = start + (request.issue_time_us or 0.0)
             issue = max(arrival, stream_free[slot])
-            txn = self.ftl.process(request, issue)
-            result = self.engine.execute(txn, issue)
-            self.stats.record_latency(request.op is OpType.READ, result.latency_us)
+            txn = ftl_process(request, issue)
+            result = engine_execute(txn, issue)
+            record_latency(request.op is OpType.READ, result.finish_us - issue)
             stream_free[slot] = result.finish_us
             completed += 1
         self._clock_us = max(self._clock_us, max(stream_free))
@@ -202,8 +213,6 @@ class SSD:
         self, *, pages: int, io_pages: int = 1, seed: int = 7, threads: int = 1
     ) -> RunResult:
         """Randomly overwrite ``pages`` logical pages (steady-state conditioning)."""
-        import random
-
         rng = random.Random(seed)
         limit = self.geometry.num_logical_pages - io_pages
         requests = (

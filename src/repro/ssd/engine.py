@@ -22,13 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.nand.timing import TimingModel
-from repro.ssd.request import FlashCommand, Stage, Transaction
+from repro.ssd.request import CommandKind, FlashCommand, Stage, Transaction
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["ChipTimeline", "TransactionResult", "TimingEngine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionResult:
     """Timing outcome of executing one transaction."""
 
@@ -87,18 +87,71 @@ class TimingEngine:
         self.timeline = ChipTimeline(num_chips)
         self.timing = timing
         self.stats = stats
+        # Per-kind latency table, precomputed once so the per-command cost is a
+        # lookup instead of a string dispatch through the timing model.
+        self._latency = {kind: timing.latency_of(kind.value) for kind in CommandKind}
+        self._read_us = self._latency[CommandKind.READ]
+        self._program_us = self._latency[CommandKind.PROGRAM]
+        self._erase_us = self._latency[CommandKind.ERASE]
+        # The stats object is bound for the engine's lifetime (resetting stats
+        # builds a fresh engine), so its per-purpose counters can be cached and
+        # incremented inline in the stage loop.
+        self._reads_by_purpose = stats.flash_reads
+        self._programs_by_purpose = stats.flash_programs
+        self._erases_by_purpose = stats.flash_erases
 
     def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:
-        """Run every stage of a transaction starting no earlier than ``issue_time_us``."""
+        """Run every stage of a transaction starting no earlier than ``issue_time_us``.
+
+        Stages execute strictly in order; commands inside a stage overlap
+        across chips and serialize per chip.  Commands are counted into the
+        statistics inline: this loop runs for every flash command of the
+        simulation, so it is written with all per-command state in locals.
+        """
         cursor = issue_time_us
         flash_time = 0.0
         compute_time = 0.0
+        read_kind = CommandKind.READ
+        program_kind = CommandKind.PROGRAM
+        read_us = self._read_us
+        program_us = self._program_us
+        erase_us = self._erase_us
+        reads = self._reads_by_purpose
+        programs = self._programs_by_purpose
+        erases = self._erases_by_purpose
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
         for stage in transaction.stages:
-            cursor, stage_flash, stage_compute = self._execute_stage(stage, cursor)
-            flash_time += stage_flash
-            compute_time += stage_compute
-        for outcome in transaction.outcomes:
-            self.stats.record_outcome(outcome)
+            compute_us = stage.compute_us
+            dispatch = cursor + compute_us
+            stage_finish = dispatch
+            compute_time += compute_us
+            for command in stage.commands:
+                # Inline copy of SimulationStats.record_commands' dispatch —
+                # keep the two in sync if command bucketing ever changes.
+                kind = command.kind
+                if kind is read_kind:
+                    duration = read_us
+                    reads[command.purpose] += 1
+                elif kind is program_kind:
+                    duration = program_us
+                    programs[command.purpose] += 1
+                else:
+                    duration = erase_us
+                    erases[command.purpose] += 1
+                chip = command.chip
+                start = busy_until[chip]
+                if start < dispatch:
+                    start = dispatch
+                finish = start + duration
+                busy_until[chip] = finish
+                busy_time[chip] += duration
+                if finish > stage_finish:
+                    stage_finish = finish
+                flash_time += duration
+            cursor = stage_finish
+        if transaction.outcomes:
+            self.stats.record_outcomes(transaction.outcomes)
         finish = max(cursor, issue_time_us)
         return TransactionResult(
             start_us=issue_time_us,
@@ -108,17 +161,33 @@ class TimingEngine:
         )
 
     def _execute_stage(self, stage: Stage, start_us: float) -> tuple[float, float, float]:
-        """Execute one stage; returns ``(stage_finish, flash_time, compute_time)``."""
+        """Execute one stage; returns ``(stage_finish, flash_time, compute_time)``.
+
+        Kept for tests and external callers; :meth:`execute` inlines this loop.
+        """
         dispatch = start_us + stage.compute_us
         stage_finish = dispatch
         flash_time = 0.0
-        for command in stage.commands:
-            duration = self._duration(command)
-            _, finish = self.timeline.occupy(command.chip, dispatch, duration)
-            stage_finish = max(stage_finish, finish)
-            flash_time += duration
-            self.stats.record_command(command)
+        commands = stage.commands
+        if commands:
+            timeline = self.timeline
+            busy_until = timeline._busy_until
+            busy_time = timeline.busy_time
+            latency = self._latency
+            for command in commands:
+                duration = latency[command.kind]
+                chip = command.chip
+                start = busy_until[chip]
+                if start < dispatch:
+                    start = dispatch
+                finish = start + duration
+                busy_until[chip] = finish
+                busy_time[chip] += duration
+                if finish > stage_finish:
+                    stage_finish = finish
+                flash_time += duration
+            self.stats.record_commands(commands)
         return stage_finish, flash_time, stage.compute_us
 
     def _duration(self, command: FlashCommand) -> float:
-        return self.timing.latency_of(command.kind.value)
+        return self._latency[command.kind]

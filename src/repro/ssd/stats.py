@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -119,16 +120,34 @@ class SimulationStats:
 
     def record_command(self, command: FlashCommand) -> None:
         """Count a flash command by kind and purpose."""
-        if command.kind is CommandKind.READ:
-            self.flash_reads[command.purpose] += 1
-        elif command.kind is CommandKind.PROGRAM:
-            self.flash_programs[command.purpose] += 1
-        else:
-            self.flash_erases[command.purpose] += 1
+        self.record_commands((command,))
+
+    def record_commands(self, commands: Iterable[FlashCommand]) -> None:
+        """Count a batch of flash commands (one stage) in a single pass.
+
+        NOTE: ``TimingEngine.execute`` inlines this kind-to-counter dispatch in
+        its per-command loop for speed; a change to how kinds are bucketed here
+        must be mirrored there.
+        """
+        reads = self.flash_reads
+        programs = self.flash_programs
+        erases = self.flash_erases
+        for command in commands:
+            kind = command.kind
+            if kind is CommandKind.READ:
+                reads[command.purpose] += 1
+            elif kind is CommandKind.PROGRAM:
+                programs[command.purpose] += 1
+            else:
+                erases[command.purpose] += 1
 
     def record_outcome(self, outcome: ReadOutcome) -> None:
         """Record the classification of one host page read."""
         self.read_outcomes[outcome] += 1
+
+    def record_outcomes(self, outcomes: Iterable[ReadOutcome]) -> None:
+        """Record a batch of read classifications (one transaction) at once."""
+        self.read_outcomes.update(outcomes)
 
     def record_latency(self, is_read: bool, latency_us: float) -> None:
         """Record the completion latency of one host request."""

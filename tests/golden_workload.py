@@ -1,0 +1,78 @@
+"""Shared seeded workload used by the kernel golden-equivalence test.
+
+The workload is deliberately mixed — sequential fill, random overwrites (which
+force garbage collection on the tiny geometry), a random read phase and a
+multi-threaded read/write mix — so that every FTL exercises its translation,
+CMT/model, GC and translation-GC paths.  The resulting statistics summary is
+pinned by ``tests/test_kernel_equivalence.py``; any kernel change that alters
+simulated behaviour shows up as a diff against the pinned numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SSD, SSDGeometry
+from repro.ssd.request import HostRequest, OpType
+
+WORKLOAD_SEED = 20240229
+
+
+def golden_geometry() -> SSDGeometry:
+    """The tiny geometry the golden workload runs on (fast but GC-prone)."""
+    return SSDGeometry.small(
+        channels=2,
+        chips_per_channel=2,
+        planes_per_chip=1,
+        blocks_per_plane=12,
+        pages_per_block=16,
+        page_size=512,
+        op_ratio=0.25,
+    )
+
+
+def run_golden_workload(ftl_name: str) -> dict:
+    """Run the fixed seeded workload on one FTL and return the stats fingerprint."""
+    geometry = golden_geometry()
+    ssd = SSD.create(ftl_name, geometry)
+    ssd.fill_sequential(io_pages=16)
+
+    rng = random.Random(WORKLOAD_SEED)
+    limit = geometry.num_logical_pages
+
+    overwrites = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 4), npages=4)
+        for _ in range(150)
+    ]
+    ssd.run(overwrites, threads=2)
+
+    reads = [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1)
+        for _ in range(400)
+    ]
+    ssd.run(reads, threads=4)
+
+    mix = []
+    for _ in range(300):
+        if rng.random() < 0.3:
+            mix.append(HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 2), npages=2))
+        else:
+            mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 8), npages=8))
+    ssd.run(mix, threads=4)
+
+    ssd.verify()
+    stats = ssd.stats
+    fingerprint = dict(stats.summary())
+    fingerprint.update(
+        {
+            "flash_total_programs": float(ssd.ftl.flash.total_programs),
+            "flash_total_erases": float(ssd.ftl.flash.total_erases),
+            "flash_total_reads": float(ssd.ftl.flash.total_reads),
+            "gc_pages_moved": float(stats.gc_pages_moved),
+            "read_latency_sum_us": float(sum(stats.read_latencies_us)),
+            "write_latency_sum_us": float(sum(stats.write_latencies_us)),
+            "read_p999_us": stats.read_latency_digest().p999_us,
+            "write_p99_us": stats.write_latency_digest().p99_us,
+        }
+    )
+    return fingerprint
