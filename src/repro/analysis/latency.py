@@ -8,6 +8,7 @@ percentile rows that the tail-latency figures print.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,12 +52,20 @@ def tail_latency_row(ftl: str, workload: str, stats: SimulationStats) -> TailLat
 
 
 def normalize(values: dict[str, float], baseline: str) -> dict[str, float]:
-    """Normalize a per-FTL metric to a baseline FTL (baseline becomes 1.0)."""
+    """Normalize a per-FTL metric to a baseline FTL (baseline becomes 1.0).
+
+    A zero baseline cannot hide behind all-zero rows: the baseline still maps
+    to 1.0 and every other entry becomes ``inf`` (or ``nan`` for 0/0), keeping
+    the degenerate measurement visible in the figure tables.
+    """
     if baseline not in values:
         raise KeyError(f"baseline {baseline!r} missing from {sorted(values)}")
     base = values[baseline]
     if base == 0:
-        return {key: 0.0 for key in values}
+        return {
+            key: 1.0 if key == baseline else math.copysign(math.inf, value) if value else math.nan
+            for key, value in values.items()
+        }
     return {key: value / base for key, value in values.items()}
 
 

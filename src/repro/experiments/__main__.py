@@ -5,7 +5,16 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig14 --scale tiny
     python -m repro.experiments all --scale default --csv-dir results/
+    python -m repro.experiments all --scale tiny --jobs 4 --cache-dir .cache/
+    python -m repro.experiments fig21 fig22 --json-dir results/json/
     python -m repro.experiments fig06 --scale tiny --profile
+
+``all`` (or several experiment names) runs through the orchestrator: the
+multi-FTL figures are split into per-(FTL, workload) tasks, ``--jobs N``
+fans the tasks out over worker processes, ``--cache-dir`` reuses any task
+whose (experiment, scale, kwargs, package version) content key is unchanged,
+and per-experiment failures are collected into a summary instead of aborting
+the batch.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.orchestrator import run_orchestrated, write_json_artifact
 from repro.experiments.runner import Scale
 
 
@@ -27,10 +37,11 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate the figures and tables of the LearnedFTL paper.",
     )
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        default=None,
-        help="experiment name (e.g. fig14), or 'all' to run every experiment",
+        "experiments",
+        nargs="*",
+        default=[],
+        metavar="experiment",
+        help="experiment names (e.g. fig14 fig21), or 'all' to run every experiment",
     )
     parser.add_argument(
         "--scale",
@@ -40,51 +51,146 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiment tasks in parallel worker processes (default: 1)",
+    )
+    parser.add_argument(
         "--csv-dir",
         type=Path,
         default=None,
         help="also write each experiment's rows to <dir>/<name>.csv",
     )
     parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="write each experiment's full result (rows, notes, timing, schema version) "
+        "to <dir>/<name>.json",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache per-task results here, keyed on experiment+scale+kwargs+version; "
+        "re-running recomputes only what changed",
+    )
+    parser.add_argument(
+        "--no-split",
+        action="store_true",
+        help="do not split multi-FTL experiments into per-(FTL, workload) tasks",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
-        help="run each experiment under cProfile and print the top-20 cumulative entries",
+        help="run each experiment under cProfile and print the top-20 cumulative entries "
+        "(serial, in-process, bypasses the cache)",
     )
     return parser
+
+
+def _profile_experiments(names: list[str], scale: str, csv_dir: Path | None) -> int:
+    """The pre-orchestrator serial path, kept for --profile runs."""
+    for name in names:
+        started = time.time()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_experiment(name, scale=scale)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f} s at scale={scale}]")
+        print()
+        if csv_dir is not None:
+            csv_dir.mkdir(parents=True, exist_ok=True)
+            (csv_dir / f"{name}.csv").write_text(result.csv())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.list or args.experiment is None:
+    if args.list or not args.experiments:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
         return 0
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    names: list[str] = []
+    for name in args.experiments:
+        for resolved in EXPERIMENTS if name == "all" else [name]:
+            if resolved not in names:
+                names.append(resolved)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        started = time.time()
-        if args.profile:
-            profiler = cProfile.Profile()
-            profiler.enable()
-            result = run_experiment(name, scale=args.scale)
-            profiler.disable()
-            stats = pstats.Stats(profiler, stream=sys.stdout)
-            stats.sort_stats("cumulative").print_stats(20)
+
+    if args.profile:
+        return _profile_experiments(names, args.scale, args.csv_dir)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    started = time.time()
+    outcomes = run_orchestrated(
+        names,
+        scale=args.scale,
+        jobs=args.jobs,
+        split=not args.no_split,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    wall_s = time.time() - started
+
+    failed = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            failed.append(outcome)
+            print(f"[{outcome.name} FAILED at scale={args.scale}]", file=sys.stderr)
+            print(outcome.error, file=sys.stderr)
+            continue
+        print(outcome.result.render())
+        # elapsed_s sums per-task compute; it equals wall-clock only for a
+        # serial, cache-less run, so label it honestly otherwise.
+        if outcome.cached_tasks == outcome.tasks:
+            print(
+                f"[{outcome.name} completed from cache at scale={args.scale} "
+                f"({outcome.elapsed_s:.1f} s of compute saved)]"
+            )
+        elif args.jobs == 1 and outcome.cached_tasks == 0:
+            print(f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s at scale={args.scale}]")
         else:
-            result = run_experiment(name, scale=args.scale)
-        elapsed = time.time() - started
-        print(result.render())
-        print(f"[{name} completed in {elapsed:.1f} s at scale={args.scale}]")
+            print(
+                f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s of task compute at "
+                f"scale={args.scale}, {outcome.cached_tasks}/{outcome.tasks} tasks cached]"
+            )
         print()
         if args.csv_dir is not None:
             args.csv_dir.mkdir(parents=True, exist_ok=True)
-            (args.csv_dir / f"{name}.csv").write_text(result.csv())
+            (args.csv_dir / f"{outcome.name}.csv").write_text(outcome.result.csv())
+        if args.json_dir is not None:
+            write_json_artifact(args.json_dir, outcome, args.scale)
+
+    if len(names) > 1:
+        status = "all ok" if not failed else f"{len(failed)} failed"
+        print(
+            f"[{len(names) - len(failed)}/{len(names)} experiments succeeded in "
+            f"{wall_s:.1f} s wall-clock with --jobs {args.jobs} ({status})]"
+        )
+    if failed:
+        print(
+            f"failed experiments: {', '.join(outcome.name for outcome in failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

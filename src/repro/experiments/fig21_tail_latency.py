@@ -46,7 +46,7 @@ def run(
         for ftl_name in ftls:
             ssd = prepare_ssd(ftl_name, spec, warmup="steady")
             requests = trace_to_requests(records, spec.geometry, time_scale=time_scale)
-            ssd.replay(requests, streams=min(8, spec.threads))
+            ssd.replay(requests, streams=spec.threads)
             row = tail_latency_row(ftl_name, trace_name, ssd.stats).as_dict()
             row["throughput_mb_s"] = round(ssd.stats.throughput_mb_s(), 1)
             result.rows.append(row)

@@ -1,0 +1,528 @@
+"""Parallel experiment orchestration with result caching.
+
+The evaluation of the paper is 14 independent figure/table experiments, and
+the heavyweight ones (fig14, fig19-fig22) are themselves products of
+independent (FTL, workload) cells.  This module turns that structure into a
+task graph the CLI can execute across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* :func:`plan_tasks` splits an experiment into shard tasks (one per FTL or per
+  (FTL, trace)/(workload, FTL) cell for the multi-FTL experiments, a single
+  task otherwise);
+* :func:`run_orchestrated` executes tasks — in-process for ``jobs=1``, across
+  worker processes otherwise — streaming per-task progress, caching each
+  task's result on disk keyed by its content (experiment, scale, kwargs,
+  package version), and tolerating per-experiment failures;
+* :func:`merge_results` reassembles shard results into exactly the rows the
+  unsplit harness produces, recomputing cross-FTL normalized columns from the
+  unrounded metrics the harnesses expose via ``ExperimentResult.raw``.
+
+Because every task is deterministic given (experiment, scale, kwargs), the
+merged output is identical for any ``--jobs`` value, and a warm cache makes
+re-running ``all`` nearly free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import __version__
+from repro.analysis.latency import normalize
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.fig20_filebench import WORKLOADS as _FILEBENCH
+from repro.experiments.fig21_tail_latency import TAIL_LATENCY_FTLS
+from repro.experiments.fig22_energy import ENERGY_FTLS
+from repro.experiments.runner import ALL_FTLS, ExperimentResult, Scale
+from repro.workloads.traces import TRACE_PRESETS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentTask",
+    "ExperimentOutcome",
+    "ResultCache",
+    "plan_tasks",
+    "merge_results",
+    "run_orchestrated",
+]
+
+#: Version of the on-disk JSON artifact / cache entry layout.
+SCHEMA_VERSION = 1
+
+_SOURCE_FINGERPRINT: str | None = None
+
+
+def _source_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Folding this into the cache key means cached experiment results go stale
+    the moment any simulator or harness code changes — not only on version
+    bumps.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _SOURCE_FINGERPRINT = digest.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+#: The four traces of Figures 21/22 (canonical TRACE_PRESETS order — the
+#: default `traces` argument of those harnesses).
+_TRACES = tuple(TRACE_PRESETS)
+
+#: Per-experiment (FTL, workload) grids, taken from the harness modules so a
+#: split run always enumerates exactly the cells the unsplit run would.
+_CELL_GRIDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "fig20": (_FILEBENCH, ALL_FTLS),
+    "fig21": (_TRACES, TAIL_LATENCY_FTLS),
+    "fig22": (_TRACES, ENERGY_FTLS),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of work: run ``experiment`` with ``kwargs`` at some scale.
+
+    ``kwargs`` is stored as a sorted tuple of (name, value) pairs so tasks are
+    hashable and their cache keys canonical; :meth:`run_kwargs` restores the
+    mapping (tuples for sequence values, matching the harness signatures).
+    """
+
+    experiment: str
+    label: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(cls, experiment: str, label: str | None = None, **kwargs: Any) -> "ExperimentTask":
+        frozen = tuple(
+            (key, tuple(value) if isinstance(value, (list, tuple)) else value)
+            for key, value in sorted(kwargs.items())
+        )
+        return cls(experiment=experiment, label=label or experiment, kwargs=frozen)
+
+    def run_kwargs(self) -> dict[str, Any]:
+        """The keyword arguments to pass to :func:`run_experiment`."""
+        return dict(self.kwargs)
+
+    def cache_key(self, scale: str) -> str:
+        """Content hash identifying this task's result.
+
+        Includes a fingerprint of the installed ``repro`` source tree, so
+        editing any simulator/harness code invalidates cached results even
+        without a version bump.
+        """
+        payload = json.dumps(
+            {
+                "experiment": self.experiment,
+                "scale": scale,
+                "kwargs": self.kwargs,
+                "version": __version__,
+                "source": _source_fingerprint(),
+                "schema": SCHEMA_VERSION,
+            },
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ExperimentOutcome:
+    """Merged outcome of one experiment (all its tasks)."""
+
+    name: str
+    result: ExperimentResult | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    tasks: int = 0
+    cached_tasks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every task of the experiment succeeded."""
+        return self.error is None and self.result is not None
+
+
+# ------------------------------------------------------------------- planning
+def plan_tasks(name: str, *, split: bool = True) -> list[ExperimentTask]:
+    """Split one experiment into independent tasks.
+
+    The multi-FTL experiments decompose into one task per FTL (fig14, fig19)
+    or per (FTL, workload) cell (fig20, fig21, fig22); everything else runs as
+    a single task.  With ``split=False`` every experiment is one task, which
+    reproduces the pre-orchestrator execution exactly.
+    """
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    if not split:
+        return [ExperimentTask.create(name)]
+    if name in ("fig14", "fig19"):
+        return [
+            ExperimentTask.create(name, label=f"{name}[{ftl}]", ftls=(ftl,))
+            for ftl in ALL_FTLS
+        ]
+    if name in _CELL_GRIDS:
+        workloads, ftls = _CELL_GRIDS[name]
+        workload_kwarg = "workloads" if name == "fig20" else "traces"
+        return [
+            ExperimentTask.create(
+                name,
+                label=f"{name}[{workload}/{ftl}]",
+                ftls=(ftl,),
+                **{workload_kwarg: (workload,)},
+            )
+            for workload in workloads
+            for ftl in ftls
+        ]
+    return [ExperimentTask.create(name)]
+
+
+# -------------------------------------------------------------------- merging
+def _merged_notes(shards: Sequence[ExperimentResult]) -> list[str]:
+    notes: list[str] = []
+    for shard in shards:
+        for note in shard.notes:
+            if note not in notes:
+                notes.append(note)
+    return notes
+
+
+def _deep_update(target: dict[str, Any], value: Mapping[str, Any]) -> None:
+    """Recursively merge nested raw payloads (e.g. {trace: {ftl: metric}})."""
+    for key, item in value.items():
+        if isinstance(item, Mapping) and isinstance(target.get(key), dict):
+            _deep_update(target[key], item)
+        elif isinstance(item, Mapping):
+            target[key] = dict(item)
+        else:
+            target[key] = item
+
+
+def _concat(shards: Sequence[ExperimentResult], template: ExperimentResult) -> ExperimentResult:
+    """Concatenate shard rows/extra tables in shard order."""
+    merged = ExperimentResult(name=template.name, description=template.description)
+    for shard in shards:
+        merged.rows.extend(shard.rows)
+        for title, rows in shard.extra_tables.items():
+            merged.extra_tables.setdefault(title, []).extend(rows)
+        _deep_update(merged.raw, shard.raw)
+    merged.notes = _merged_notes(shards)
+    return merged
+
+
+def _merge_fig19(shards: Sequence[ExperimentResult]) -> ExperimentResult:
+    merged = _concat(shards, shards[0])
+    random_tput = merged.raw.get("readrandom_ops_s", {})
+    seq_tput = merged.raw.get("readseq_ops_s", {})
+    if "dftl" in random_tput:
+        random_norm = normalize(random_tput, baseline="dftl")
+        seq_norm = normalize(seq_tput, baseline="dftl")
+        for row in merged.rows:
+            row["readrandom_normalized"] = round(random_norm[row["ftl"]], 3)
+            row["readseq_normalized"] = round(seq_norm[row["ftl"]], 3)
+    return merged
+
+
+def _merge_fig20(shards: Sequence[ExperimentResult]) -> ExperimentResult:
+    merged = _concat(shards, shards[0])
+    throughput: Mapping[str, Mapping[str, float]] = merged.raw.get("throughput_mb_s", {})
+    rows: list[dict[str, Any]] = []
+    for workload in _FILEBENCH:
+        if workload not in throughput:
+            continue
+        per_ftl = throughput[workload]
+        normalized = normalize(dict(per_ftl), baseline="dftl") if "dftl" in per_ftl else {}
+        row: dict[str, Any] = {"workload": workload}
+        for ftl in (f for f in ALL_FTLS if f in per_ftl):
+            if normalized:
+                row[f"{ftl}_normalized"] = round(normalized[ftl], 3)
+            row[f"{ftl}_mb_s"] = round(per_ftl[ftl], 1)
+        rows.append(row)
+    merged.rows = rows
+    return merged
+
+
+def _merge_fig21(shards: Sequence[ExperimentResult]) -> ExperimentResult:
+    merged = _concat(shards, shards[0])
+    traces, ftls = _CELL_GRIDS[merged.name]
+    order = {
+        (trace, ftl): i
+        for i, (trace, ftl) in enumerate((trace, ftl) for trace in traces for ftl in ftls)
+    }
+    merged.rows.sort(key=lambda row: order.get((row["workload"], row["ftl"]), len(order)))
+    return merged
+
+
+def _merge_fig22(shards: Sequence[ExperimentResult]) -> ExperimentResult:
+    merged = _merge_fig21(shards)
+    energy: Mapping[str, Mapping[str, float]] = merged.raw.get("energy_uj", {})
+    rows = []
+    for row in merged.rows:
+        per_ftl = energy.get(row["workload"], {})
+        rebuilt = {"workload": row["workload"], "ftl": row["ftl"], "energy_mj": row["energy_mj"]}
+        if "tpftl" in per_ftl:
+            normalized = normalize(dict(per_ftl), baseline="tpftl")
+            rebuilt["normalized_energy"] = round(normalized[row["ftl"]], 3)
+        rebuilt.update(
+            {key: row[key] for key in ("read_mj", "program_mj", "erase_mj") if key in row}
+        )
+        rows.append(rebuilt)
+    merged.rows = rows
+    return merged
+
+
+_MERGERS: dict[str, Callable[[Sequence[ExperimentResult]], ExperimentResult]] = {
+    "fig19": _merge_fig19,
+    "fig20": _merge_fig20,
+    "fig21": _merge_fig21,
+    "fig22": _merge_fig22,
+}
+
+
+def merge_results(
+    name: str, tasks: Sequence[ExperimentTask], results: Sequence[ExperimentResult]
+) -> ExperimentResult:
+    """Reassemble shard results (in ``tasks`` order) into the canonical result."""
+    if len(tasks) != len(results):
+        raise ValueError("tasks and results must align")
+    if len(results) == 1 and tasks[0].label == name:
+        return results[0]
+    merger = _MERGERS.get(name)
+    if merger is not None:
+        return merger(results)
+    return _concat(results, results[0])
+
+
+# -------------------------------------------------------------------- caching
+class ResultCache:
+    """Content-keyed on-disk cache of task results.
+
+    One JSON file per task, named ``<label>-<key16>.json``; the full key is
+    stored inside the file and checked on load, so stale entries (other
+    package versions, changed kwargs, hash prefix collisions) never hit.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, task: ExperimentTask, key: str) -> Path:
+        safe_label = "".join(c if c.isalnum() else "-" for c in task.label)
+        return self.root / f"{safe_label}-{key[:16]}.json"
+
+    def load(self, task: ExperimentTask, scale: str) -> tuple[ExperimentResult, float] | None:
+        """Return the cached (result, original elapsed seconds) or ``None``."""
+        key = task.cache_key(scale)
+        path = self._path(task, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("key") != key:
+            return None
+        try:
+            result = ExperimentResult.from_dict(payload["result"])
+        except KeyError:
+            return None
+        return result, float(payload.get("elapsed_s", 0.0))
+
+    def store(
+        self, task: ExperimentTask, scale: str, result: ExperimentResult, elapsed_s: float
+    ) -> Path:
+        """Persist one task result; returns the cache file path."""
+        key = task.cache_key(scale)
+        path = self._path(task, key)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "experiment": task.experiment,
+            "label": task.label,
+            "scale": scale,
+            "kwargs": {name: value for name, value in task.kwargs},
+            "version": __version__,
+            "elapsed_s": round(elapsed_s, 3),
+            "result": result.to_dict(),
+        }
+        path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        return path
+
+
+# ------------------------------------------------------------------ execution
+def _execute_task(experiment: str, scale: str, kwargs: dict[str, Any]) -> tuple[dict, float]:
+    """Worker entry point: run one task and return (result dict, elapsed seconds).
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; results cross
+    the process boundary as plain dicts.
+    """
+    started = time.perf_counter()
+    result = run_experiment(experiment, scale=scale, **kwargs)
+    return result.to_dict(), time.perf_counter() - started
+
+
+@dataclass
+class _TaskState:
+    task: ExperimentTask
+    result: ExperimentResult | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+
+def run_orchestrated(
+    names: Sequence[str],
+    *,
+    scale: Scale | str = Scale.DEFAULT,
+    jobs: int = 1,
+    split: bool = True,
+    cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run experiments (possibly sharded) across up to ``jobs`` processes.
+
+    Every experiment is planned into tasks, cached task results are reused,
+    the remaining tasks execute in parallel, and shard results are merged back
+    into one :class:`ExperimentResult` per experiment — identical for any
+    ``jobs`` value.  A failing task marks its experiment failed (with the
+    traceback in :attr:`ExperimentOutcome.error`) without stopping the batch.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    scale_value = Scale.parse(scale).value
+    emit = progress or (lambda line: None)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    plan: dict[str, list[_TaskState]] = {
+        name: [_TaskState(task) for task in plan_tasks(name, split=split)] for name in names
+    }
+    states = [state for group in plan.values() for state in group]
+
+    for state in states:
+        if cache is None:
+            continue
+        hit = cache.load(state.task, scale_value)
+        if hit is not None:
+            state.result, state.elapsed_s = hit
+            state.cached = True
+
+    pending = [state for state in states if state.result is None]
+    total = len(states)
+    done = 0
+    for state in states:
+        if state.cached:
+            done += 1
+            emit(f"[{done:>3}/{total}] {state.task.label}: cached ({state.elapsed_s:.1f} s saved)")
+
+    def finish(state: _TaskState, payload: tuple[dict, float] | None, error: str | None) -> None:
+        nonlocal done
+        done += 1
+        if error is not None:
+            state.error = error
+            emit(f"[{done:>3}/{total}] {state.task.label}: FAILED")
+            return
+        result_dict, elapsed = payload  # type: ignore[misc]
+        state.result = ExperimentResult.from_dict(result_dict)
+        state.elapsed_s = elapsed
+        if cache is not None:
+            cache.store(state.task, scale_value, state.result, elapsed)
+        emit(f"[{done:>3}/{total}] {state.task.label}: done in {elapsed:.1f} s")
+
+    if jobs == 1 or len(pending) <= 1:
+        for state in pending:
+            try:
+                payload = _execute_task(state.task.experiment, scale_value, state.task.run_kwargs())
+            except Exception:
+                finish(state, None, traceback.format_exc())
+            else:
+                finish(state, payload, None)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    _execute_task, state.task.experiment, scale_value, state.task.run_kwargs()
+                ): state
+                for state in pending
+            }
+            for future in as_completed(futures):
+                state = futures[future]
+                try:
+                    payload = future.result()
+                except Exception:
+                    finish(state, None, traceback.format_exc())
+                else:
+                    finish(state, payload, None)
+
+    outcomes: list[ExperimentOutcome] = []
+    for name, group in plan.items():
+        outcome = ExperimentOutcome(
+            name=name,
+            tasks=len(group),
+            cached_tasks=sum(1 for state in group if state.cached),
+            elapsed_s=sum(state.elapsed_s for state in group),
+        )
+        errors = [state for state in group if state.error is not None]
+        if errors:
+            outcome.error = "\n".join(
+                f"task {state.task.label} failed:\n{state.error}" for state in errors
+            )
+        else:
+            try:
+                outcome.result = merge_results(
+                    name, [state.task for state in group], [state.result for state in group]
+                )
+            except Exception:
+                outcome.error = f"merging {name} failed:\n{traceback.format_exc()}"
+        outcomes.append(outcome)
+    return outcomes
+
+
+# ------------------------------------------------------------------ artifacts
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats (inf/nan from degenerate normalizations) with
+    strings so artifacts stay valid RFC 8259 JSON for external consumers."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, Mapping):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def write_json_artifact(
+    directory: str | Path, outcome: ExperimentOutcome, scale: Scale | str
+) -> Path:
+    """Write one experiment's machine-readable artifact; returns the path."""
+    if not outcome.ok:
+        raise ValueError(f"cannot write artifact for failed experiment {outcome.name}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    result = outcome.result
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": outcome.name,
+        "description": result.description,
+        "scale": Scale.parse(scale).value,
+        "elapsed_s": round(outcome.elapsed_s, 3),
+        "tasks": outcome.tasks,
+        "cached_tasks": outcome.cached_tasks,
+        "rows": result.rows,
+        "notes": result.notes,
+        "extra_tables": result.extra_tables,
+    }
+    path = directory / f"{outcome.name}.json"
+    path.write_text(
+        json.dumps(_json_safe(payload), indent=2, sort_keys=True, allow_nan=False),
+        encoding="utf-8",
+    )
+    return path

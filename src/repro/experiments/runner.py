@@ -92,13 +92,20 @@ class ScaleSpec:
 
 @dataclass
 class ExperimentResult:
-    """Output of one experiment harness."""
+    """Output of one experiment harness.
+
+    ``raw`` carries machine-readable side data that is never rendered: the
+    unrounded metrics (throughput, energy, ...) that the orchestrator needs to
+    recompute cross-FTL normalized columns when an experiment is split into
+    per-(ftl, trace) shards.  It must stay JSON-serializable.
+    """
 
     name: str
     description: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     extra_tables: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    raw: dict[str, Any] = field(default_factory=dict)
 
     def table(self) -> str:
         """Render the main rows as an ASCII table."""
@@ -125,6 +132,29 @@ class ExperimentResult:
             return {}
         index_key = index or next(iter(self.rows[0]))
         return {row[index_key]: row[key] for row in self.rows}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (used by the orchestrator and cache)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": self.rows,
+            "notes": self.notes,
+            "extra_tables": self.extra_tables,
+            "raw": self.raw,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a cache entry)."""
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            rows=list(payload.get("rows", [])),
+            notes=list(payload.get("notes", [])),
+            extra_tables=dict(payload.get("extra_tables", {})),
+            raw=dict(payload.get("raw", {})),
+        )
 
 
 def prepare_ssd(

@@ -10,9 +10,10 @@ method supplies the multi-threading.
 from __future__ import annotations
 
 import enum
-import random
 from dataclasses import dataclass
 from typing import Iterator
+
+import numpy as np
 
 from repro.nand.geometry import SSDGeometry
 from repro.ssd.request import HostRequest, OpType
@@ -102,19 +103,23 @@ class FioJob:
             yield from self._random(op, span)
 
     def _sequential(self, op: OpType, span: int) -> Iterator[HostRequest]:
-        lpn = 0
-        for index in range(self.num_requests):
-            if lpn + self.io_pages > span:
-                lpn = 0
-            yield HostRequest(op=op, lpn=lpn, npages=self.io_pages, stream_id=index)
-            lpn += self.io_pages
+        # The cursor advances by io_pages and wraps to 0 whenever the next
+        # request would cross span, i.e. position k is (k * io_pages) modulo
+        # the largest io_pages multiple that fits.
+        wrap = max(self.io_pages, (span // self.io_pages) * self.io_pages)
+        lpns = (np.arange(self.num_requests, dtype=np.int64) * self.io_pages) % wrap
+        yield from self._emit(op, lpns)
 
     def _random(self, op: OpType, span: int) -> Iterator[HostRequest]:
-        rng = random.Random(self.seed)
         limit = max(1, span - self.io_pages + 1)
-        for index in range(self.num_requests):
-            lpn = rng.randrange(limit)
-            yield HostRequest(op=op, lpn=lpn, npages=self.io_pages, stream_id=index)
+        rng = np.random.default_rng(self.seed)
+        lpns = rng.integers(0, limit, size=self.num_requests)
+        yield from self._emit(op, lpns)
+
+    def _emit(self, op: OpType, lpns: "np.ndarray") -> Iterator[HostRequest]:
+        npages = self.io_pages
+        for index, lpn in enumerate(lpns.tolist()):
+            yield HostRequest(op=op, lpn=lpn, npages=npages, stream_id=index)
 
     # ------------------------------------------------------------- reporting
     def describe(self) -> str:
@@ -140,23 +145,31 @@ def warmup_writes(
     be built).  ``overwrite_factor`` expresses how many times the logical space
     is written in addition to the initial sequential fill performed by
     :meth:`repro.ssd.device.SSD.fill_sequential`.
+
+    The whole stream is drawn as NumPy arrays up front (every request has the
+    same page count, so the request count is known in advance); the stream is
+    deterministic per seed.
     """
-    rng = random.Random(seed)
-    total_pages = int(geometry.num_logical_pages * overwrite_factor)
-    pages_emitted = 0
-    sequential_cursor = 0
     span = geometry.num_logical_pages
-    while pages_emitted < total_pages:
-        npages = min(io_pages, span)
-        if rng.random() < random_fraction:
-            lpn = rng.randrange(max(1, span - npages + 1))
-        else:
-            if sequential_cursor + npages > span:
-                sequential_cursor = 0
-            lpn = sequential_cursor
-            sequential_cursor += npages
+    npages = min(io_pages, span)
+    total_pages = int(span * overwrite_factor)
+    num_requests = -(-total_pages // npages) if total_pages > 0 else 0
+    if num_requests == 0:
+        return
+    rng = np.random.default_rng(seed)
+    is_random = rng.random(num_requests) < random_fraction
+    lpns = np.empty(num_requests, dtype=np.int64)
+    num_random = int(is_random.sum())
+    lpns[is_random] = rng.integers(0, max(1, span - npages + 1), size=num_random)
+    # Sequential picks advance a shared cursor by npages, wrapping to 0 at the
+    # largest npages multiple that fits: the k-th sequential pick starts at
+    # (k * npages) mod wrap.
+    sequential = ~is_random
+    wrap = max(npages, (span // npages) * npages)
+    sequential_index = np.cumsum(sequential) - 1
+    lpns[sequential] = (sequential_index[sequential] * npages) % wrap
+    for lpn in lpns.tolist():
         yield HostRequest(op=OpType.WRITE, lpn=lpn, npages=npages)
-        pages_emitted += npages
 
 
 __all__.append("warmup_writes")

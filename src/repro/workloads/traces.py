@@ -19,10 +19,11 @@ does when it "scales up" the old WebSearch traces to modern SSD sizes).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.nand.errors import TraceFormatError
 from repro.nand.geometry import SSDGeometry
@@ -158,29 +159,38 @@ def _synthesize(
     hot_probability: float,
     seed: int,
 ) -> list[TraceRecord]:
-    rng = random.Random(seed)
+    """Batch-generate one synthetic trace.
+
+    All per-record draws (inter-arrival gaps, request sizes, read/write flags,
+    hot-spot offsets) are sampled as whole NumPy arrays; only the final
+    :class:`TraceRecord` construction remains a Python loop.  The stream is
+    deterministic per seed.
+    """
+    if num_ios <= 0:
+        return []
+    rng = np.random.default_rng(seed)
     hotspot = HotspotGenerator(
         max(1, address_space_bytes // 4096),
         hot_fraction=hot_fraction,
         hot_probability=hot_probability,
         seed=seed,
     )
-    records: list[TraceRecord] = []
-    clock_s = 0.0
-    for _ in range(num_ios):
-        clock_s += rng.expovariate(1.0 / max(interarrival_us, 1e-3)) / 1e6
-        size_kb = max(4.0, rng.gauss(mean_io_kb, mean_io_kb / 3))
-        size_bytes = int(round(size_kb / 4.0)) * 4096
-        offset_bytes = hotspot.sample() * 4096
-        records.append(
-            TraceRecord(
-                timestamp_s=clock_s,
-                offset_bytes=offset_bytes,
-                size_bytes=max(4096, size_bytes),
-                is_read=rng.random() < read_ratio,
-            )
+    timestamps = np.cumsum(rng.exponential(max(interarrival_us, 1e-3), size=num_ios)) / 1e6
+    size_kb = np.maximum(4.0, rng.normal(mean_io_kb, mean_io_kb / 3, size=num_ios))
+    size_bytes = np.maximum(4096, np.round(size_kb / 4.0).astype(np.int64) * 4096)
+    is_read = rng.random(num_ios) < read_ratio
+    offsets = np.asarray(hotspot.sample_many(num_ios), dtype=np.int64) * 4096
+    return [
+        TraceRecord(
+            timestamp_s=timestamp,
+            offset_bytes=offset,
+            size_bytes=size,
+            is_read=read,
         )
-    return records
+        for timestamp, offset, size, read in zip(
+            timestamps.tolist(), offsets.tolist(), size_bytes.tolist(), is_read.tolist()
+        )
+    ]
 
 
 def synthesize_websearch(
@@ -242,21 +252,30 @@ def trace_to_requests(
 
     Offsets are folded into the device's logical space with a modulo, which is
     the standard way papers replay traces captured on differently-sized
-    volumes; locality structure is preserved.
+    volumes; locality structure is preserved.  An I/O that runs past the end of
+    the logical space wraps around to LPN 0 (emitted as additional requests
+    with the same timestamp and stream), so the replayed page volume matches
+    the byte volume :func:`characterize` reports instead of being silently
+    truncated.
     """
     page = geometry.page_size
     logical_pages = geometry.num_logical_pages
     for record in records:
         start_page = (record.offset_bytes // page) % logical_pages
-        npages = max(1, -(-record.size_bytes // page))
-        npages = min(npages, logical_pages - start_page)
-        yield HostRequest(
-            op=OpType.READ if record.is_read else OpType.WRITE,
-            lpn=start_page,
-            npages=npages,
-            issue_time_us=(record.timestamp_s * 1e6 * time_scale) if preserve_timing else None,
-            stream_id=record.stream_id,
-        )
+        remaining = max(1, -(-record.size_bytes // page))
+        issue_time = (record.timestamp_s * 1e6 * time_scale) if preserve_timing else None
+        op = OpType.READ if record.is_read else OpType.WRITE
+        while remaining > 0:
+            npages = min(remaining, logical_pages - start_page)
+            yield HostRequest(
+                op=op,
+                lpn=start_page,
+                npages=npages,
+                issue_time_us=issue_time,
+                stream_id=record.stream_id,
+            )
+            remaining -= npages
+            start_page = 0
 
 
 def characterize(name: str, records: list[TraceRecord]) -> TraceCharacteristics:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.analysis.compute import measure_compute_costs
@@ -21,8 +23,14 @@ class TestNormalizeAndSpeedup:
         with pytest.raises(KeyError):
             normalize({"a": 1.0}, "z")
 
-    def test_normalize_zero_baseline(self):
-        assert normalize({"a": 0.0, "b": 5.0}, "a") == {"a": 0.0, "b": 0.0}
+    def test_normalize_zero_baseline_stays_visible(self):
+        # A broken (all-zero) baseline must not flatten every FTL to 0.0: the
+        # baseline stays 1.0 and the others become inf/nan so the degenerate
+        # measurement is obvious in the rendered tables.
+        result = normalize({"a": 0.0, "b": 5.0, "c": 0.0}, "a")
+        assert result["a"] == 1.0
+        assert result["b"] == math.inf
+        assert math.isnan(result["c"])
 
     def test_speedup_lower_is_better(self):
         result = speedup({"base": 100.0, "fast": 20.0}, "base", lower_is_better=True)

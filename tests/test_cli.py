@@ -1,0 +1,315 @@
+"""Tests for the experiment CLI and the parallel orchestrator.
+
+The heavyweight orchestration behaviours (parallel ``all``, failure handling,
+cache hit/miss) are exercised against tiny fake experiments registered into
+:data:`repro.experiments.EXPERIMENTS`; worker processes inherit the patched
+registry through fork.  Shard-merge fidelity is additionally checked against a
+real experiment at tiny scale.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+#: The fake-registry parallel tests rely on worker processes inheriting the
+#: monkeypatched EXPERIMENTS dict, which only fork provides.
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="patched experiment registry reaches workers only with fork start method",
+)
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import orchestrator
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.orchestrator import (
+    SCHEMA_VERSION,
+    ExperimentTask,
+    ResultCache,
+    merge_results,
+    plan_tasks,
+    run_orchestrated,
+)
+from repro.experiments.runner import ExperimentResult
+
+#: Call log for the counting fake (meaningful only for in-process jobs=1 runs).
+_FAKE_CALLS: list[str] = []
+
+
+def _fake_alpha(scale="tiny", **kwargs):
+    _FAKE_CALLS.append("alpha")
+    return ExperimentResult(
+        name="fakealpha",
+        description="fake experiment alpha",
+        rows=[{"ftl": "dftl", "value": 1.0}, {"ftl": "ideal", "value": 2.0}],
+        notes=["alpha note"],
+    )
+
+
+def _fake_beta(scale="tiny", *, offset: int = 0, **kwargs):
+    return ExperimentResult(
+        name="fakebeta",
+        description="fake experiment beta",
+        rows=[{"ftl": "dftl", "value": 10.0 + offset}],
+    )
+
+
+def _fake_boom(scale="tiny", **kwargs):
+    raise RuntimeError("intentional fake failure")
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    """Register the fake experiments (removed again on teardown)."""
+    monkeypatch.setitem(EXPERIMENTS, "fakealpha", (_fake_alpha, "fake experiment alpha"))
+    monkeypatch.setitem(EXPERIMENTS, "fakebeta", (_fake_beta, "fake experiment beta"))
+    monkeypatch.setitem(EXPERIMENTS, "fakeboom", (_fake_boom, "always fails"))
+    _FAKE_CALLS.clear()
+    yield
+
+
+class TestCLIBasics:
+    def test_list_option(self, capsys):
+        assert cli_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig14" in output and "table02" in output
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert cli_main([]) == 0
+        assert "fig21" in capsys.readouterr().out
+
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert cli_main(["figXX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_jobs(self, capsys):
+        assert cli_main(["fig15", "--jobs", "0"]) == 2
+
+    def test_runs_named_experiment_and_writes_csv(self, tmp_path, capsys):
+        assert cli_main(["fig15", "--scale", "tiny", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig15.csv").exists()
+        assert "sorting" in capsys.readouterr().out
+
+    def test_json_artifact_contents(self, tmp_path, capsys):
+        json_dir = tmp_path / "json"
+        assert cli_main(["fig15", "--scale", "tiny", "--json-dir", str(json_dir)]) == 0
+        payload = json.loads((json_dir / "fig15.json").read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "fig15"
+        assert payload["scale"] == "tiny"
+        assert payload["elapsed_s"] >= 0.0
+        assert [row["operation"] for row in payload["rows"]] == [
+            "sorting", "training", "prediction",
+        ]
+        assert payload["notes"]
+
+    def test_csv_artifact_matches_result_rows(self, tmp_path, capsys, fake_registry):
+        assert cli_main(["fakealpha", "--scale", "tiny", "--csv-dir", str(tmp_path)]) == 0
+        lines = (tmp_path / "fakealpha.csv").read_text().strip().splitlines()
+        assert lines[0] == "ftl,value"
+        assert len(lines) == 3
+
+
+class TestOrchestratorPlanning:
+    def test_single_task_experiments(self):
+        for name in ("fig02", "fig15", "table02"):
+            tasks = plan_tasks(name)
+            assert [task.label for task in tasks] == [name]
+
+    def test_multi_ftl_experiments_shard_per_ftl(self):
+        assert len(plan_tasks("fig14")) == 5
+        assert len(plan_tasks("fig19")) == 5
+        assert {task.experiment for task in plan_tasks("fig14")} == {"fig14"}
+
+    def test_trace_experiments_shard_per_cell(self):
+        assert len(plan_tasks("fig21")) == 16
+        assert len(plan_tasks("fig22")) == 16
+        assert len(plan_tasks("fig20")) == 15
+
+    def test_split_disabled(self):
+        assert len(plan_tasks("fig21", split=False)) == 1
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            plan_tasks("fig99")
+
+    def test_task_cache_key_depends_on_inputs(self):
+        task = ExperimentTask.create("fig21", ftls=("tpftl",))
+        other = ExperimentTask.create("fig21", ftls=("leaftl",))
+        assert task.cache_key("tiny") != other.cache_key("tiny")
+        assert task.cache_key("tiny") != task.cache_key("default")
+        assert task.cache_key("tiny") == ExperimentTask.create("fig21", ftls=["tpftl"]).cache_key("tiny")
+
+
+class TestShardMergeFidelity:
+    """Per-FTL shards must merge into exactly the rows of the unsplit harness,
+    including the cross-FTL normalized columns recomputed from raw metrics."""
+
+    def _assert_split_matches_unsplit(self, name: str, ftls: tuple[str, ...], **extra):
+        tasks = [
+            ExperimentTask.create(name, label=f"{name}[{ftl}]", ftls=(ftl,), **extra)
+            for ftl in ftls
+        ]
+        shards = [run_experiment(name, scale="tiny", **task.run_kwargs()) for task in tasks]
+        merged = merge_results(name, tasks, shards)
+        direct = run_experiment(name, scale="tiny", ftls=ftls, **extra)
+        assert merged.rows == direct.rows
+        assert merged.extra_tables == direct.extra_tables
+        assert merged.notes == direct.notes
+
+    def test_fig22_shards_merge_to_unsplit_rows(self):
+        self._assert_split_matches_unsplit(
+            "fig22", ("tpftl", "learnedftl"), traces=("websearch1",)
+        )
+
+    def test_fig19_shards_merge_to_unsplit_rows(self):
+        self._assert_split_matches_unsplit("fig19", ("dftl", "learnedftl"))
+
+    def test_fig20_shards_merge_to_unsplit_rows(self):
+        self._assert_split_matches_unsplit("fig20", ("dftl", "leaftl"), workloads=("varmail",))
+
+
+class TestCache:
+    def test_cache_hit_skips_execution(self, tmp_path, fake_registry):
+        cache_dir = tmp_path / "cache"
+        first = run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert first[0].ok and first[0].cached_tasks == 0
+        assert _FAKE_CALLS == ["alpha"]
+        second = run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert second[0].ok and second[0].cached_tasks == 1
+        assert _FAKE_CALLS == ["alpha"]  # not executed again
+        assert second[0].result.rows == first[0].result.rows
+        assert second[0].result.notes == first[0].result.notes
+
+    def test_scale_change_misses_cache(self, tmp_path, fake_registry):
+        cache_dir = tmp_path / "cache"
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        run_orchestrated(["fakealpha"], scale="default", jobs=1, cache_dir=cache_dir)
+        assert _FAKE_CALLS == ["alpha", "alpha"]
+
+    def test_version_change_misses_cache(self, tmp_path, fake_registry, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        monkeypatch.setattr(orchestrator, "__version__", "0.0.0-test")
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert _FAKE_CALLS == ["alpha", "alpha"]
+
+    def test_source_change_misses_cache(self, tmp_path, fake_registry, monkeypatch):
+        # Editing any repro source file shifts the source fingerprint baked
+        # into the cache key, so stale results are never served.
+        cache_dir = tmp_path / "cache"
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        monkeypatch.setattr(orchestrator, "_SOURCE_FINGERPRINT", "simulated-source-edit")
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert _FAKE_CALLS == ["alpha", "alpha"]
+
+    def test_corrupt_cache_entry_is_ignored(self, tmp_path, fake_registry):
+        cache_dir = tmp_path / "cache"
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        for path in cache_dir.glob("*.json"):
+            path.write_text("{not json")
+        outcomes = run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert outcomes[0].ok and outcomes[0].cached_tasks == 0
+        assert _FAKE_CALLS == ["alpha", "alpha"]
+
+    def test_cache_roundtrip_preserves_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = ExperimentTask.create("fakealpha")
+        result = ExperimentResult(
+            name="fakealpha",
+            description="demo",
+            rows=[{"a": 1}],
+            notes=["n"],
+            extra_tables={"t": [{"b": 2}]},
+            raw={"metric": {"dftl": 1.5}},
+        )
+        cache.store(task, "tiny", result, 1.25)
+        loaded, elapsed = cache.load(task, "tiny")
+        assert loaded.to_dict() == result.to_dict()
+        assert elapsed == 1.25
+
+    def test_cli_cached_rerun_reports_cache(self, tmp_path, capsys, fake_registry):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["fakealpha", "--scale", "tiny", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert cli_main(["fakealpha", "--scale", "tiny", "--cache-dir", str(cache_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "from cache" in captured.out
+        assert "fakealpha" in captured.out
+
+
+class TestParallelAll:
+    @fork_only
+    def test_parallel_all_matches_serial(self, tmp_path, capsys, fake_registry, monkeypatch):
+        # Shrink the registry so 'all' is cheap, then run it serial and with
+        # worker processes: rows and artifacts must be identical.
+        registry = {
+            "fakealpha": EXPERIMENTS["fakealpha"],
+            "fakebeta": EXPERIMENTS["fakebeta"],
+            "fig15": EXPERIMENTS["fig15"],
+            "table02": EXPERIMENTS["table02"],
+        }
+        monkeypatch.setattr(orchestrator, "EXPERIMENTS", registry)
+        import repro.experiments.__main__ as cli_module
+        monkeypatch.setattr(cli_module, "EXPERIMENTS", registry)
+
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        assert cli_main(["all", "--scale", "tiny", "--jobs", "1", "--json-dir", str(serial_dir)]) == 0
+        assert "4/4 experiments succeeded" in capsys.readouterr().out
+        assert cli_main(["all", "--scale", "tiny", "--jobs", "4", "--json-dir", str(parallel_dir)]) == 0
+        assert "4/4 experiments succeeded" in capsys.readouterr().out
+
+        for name in registry:
+            serial = json.loads((serial_dir / f"{name}.json").read_text())
+            parallel = json.loads((parallel_dir / f"{name}.json").read_text())
+            if name == "fig15":
+                # fig15 measures real host compute time; only the simulated
+                # costs are deterministic across runs.
+                strip = lambda rows: [
+                    {k: v for k, v in row.items() if k != "measured_us"} for row in rows
+                ]
+                assert strip(serial["rows"]) == strip(parallel["rows"])
+            else:
+                assert serial["rows"] == parallel["rows"]
+            assert serial["notes"] == parallel["notes"]
+
+    def test_failing_experiment_does_not_abort_batch(self, tmp_path, capsys, fake_registry):
+        exit_code = cli_main(
+            ["fakealpha", "fakeboom", "fakebeta", "--scale", "tiny",
+             "--json-dir", str(tmp_path / "json")]
+        )
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        # The healthy experiments still ran, rendered and wrote artifacts.
+        assert "fake experiment alpha" in captured.out
+        assert "fake experiment beta" in captured.out
+        assert (tmp_path / "json" / "fakealpha.json").exists()
+        assert (tmp_path / "json" / "fakebeta.json").exists()
+        assert not (tmp_path / "json" / "fakeboom.json").exists()
+        # And the failure is summarised on stderr.
+        assert "fakeboom" in captured.err
+        assert "intentional fake failure" in captured.err
+        assert "2/3 experiments succeeded" in captured.out
+
+    @fork_only
+    def test_parallel_failure_handling(self, fake_registry):
+        outcomes = run_orchestrated(
+            ["fakealpha", "fakeboom"], scale="tiny", jobs=2, split=False
+        )
+        by_name = {outcome.name: outcome for outcome in outcomes}
+        assert by_name["fakealpha"].ok
+        assert not by_name["fakeboom"].ok
+        assert "intentional fake failure" in by_name["fakeboom"].error
+
+    def test_kwarg_tasks_execute_in_workers(self, fake_registry):
+        # Shard-style kwargs survive the process boundary.
+        tasks = [
+            ExperimentTask.create("fakebeta", label=f"fakebeta[{i}]", offset=i) for i in (1, 2)
+        ]
+        results = [
+            run_experiment(task.experiment, scale="tiny", **task.run_kwargs()) for task in tasks
+        ]
+        merged = merge_results("fakebeta", tasks, results)
+        assert [row["value"] for row in merged.rows] == [11.0, 12.0]

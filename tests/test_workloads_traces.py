@@ -9,6 +9,7 @@ from repro.nand.geometry import SSDGeometry
 from repro.ssd.request import OpType
 from repro.workloads.traces import (
     TRACE_PRESETS,
+    TraceRecord,
     characterize,
     parse_spc,
     parse_systor_csv,
@@ -125,12 +126,29 @@ class TestConversion:
             assert request.lpn + request.npages <= geometry.num_logical_pages
             assert request.npages >= 1
 
-    def test_op_types_preserved(self, geometry):
+    def test_op_types_and_page_volume_preserved(self, geometry):
         records = synthesize_systor(num_ios=500)
         requests = list(trace_to_requests(records, geometry))
-        reads = sum(1 for r in requests if r.op is OpType.READ)
-        expected = sum(1 for r in records if r.is_read)
-        assert reads == expected
+        page = geometry.page_size
+        for op, flag in ((OpType.READ, True), (OpType.WRITE, False)):
+            pages = sum(r.npages for r in requests if r.op is op)
+            expected = sum(
+                max(1, -(-rec.size_bytes // page)) for rec in records if rec.is_read is flag
+            )
+            assert pages == expected
+
+    def test_io_past_end_of_logical_space_wraps_to_zero(self, geometry):
+        page = geometry.page_size
+        logical = geometry.num_logical_pages
+        record = TraceRecord(
+            timestamp_s=0.0,
+            offset_bytes=(logical - 2) * page,
+            size_bytes=5 * page,
+            is_read=True,
+        )
+        requests = list(trace_to_requests([record], geometry))
+        assert [(r.lpn, r.npages) for r in requests] == [(logical - 2, 2), (0, 3)]
+        assert all(r.op is OpType.READ for r in requests)
 
     def test_timing_preserved_and_scaled(self, geometry):
         records = synthesize_websearch(1, num_ios=100)
