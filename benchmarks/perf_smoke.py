@@ -33,6 +33,29 @@ SEED = 42
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
+#: Iterations of the machine-speed calibration kernel (~0.2 s on a laptop).
+_CALIBRATION_ITERATIONS = 2_000_000
+
+
+def calibration_score() -> float:
+    """Machine-speed proxy: iterations/s of a fixed pure-Python kernel.
+
+    The kernel mixes integer arithmetic with list indexing — the same
+    bytecode mix the simulator's hot loops execute — so the ratio of two
+    machines' scores approximates the ratio of their kernel throughput.
+    The perf-regression gate uses it to compare reports across machines.
+    """
+    lst = [0] * 64
+    acc = 0
+    t0 = time.perf_counter()
+    for i in range(_CALIBRATION_ITERATIONS):
+        j = i & 63
+        lst[j] = acc
+        # The mask keeps acc a machine-word int; without it the accumulator
+        # grows into a bignum and the loop measures bignum arithmetic instead.
+        acc = (acc + lst[(j * 7) & 63] + 1) & 0xFFFFFFFF
+    return _CALIBRATION_ITERATIONS / (time.perf_counter() - t0)
+
 
 def _randread_requests(geometry: SSDGeometry, count: int) -> list[HostRequest]:
     rng = random.Random(SEED)
@@ -88,6 +111,7 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         "randread_requests": RANDREAD_REQUESTS,
         "randread_threads": RANDREAD_THREADS,
         "python": platform.python_version(),
+        "calibration_iters_per_second": round(calibration_score(), 1),
         "results": results,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

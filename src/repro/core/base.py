@@ -6,8 +6,13 @@ budget and group parameters, GC thresholds, and the switches that turn the
 controller-computation charges on/off for Figure 18).
 
 :class:`FTLBase` owns the objects every design needs — flash array, address
-codec, authoritative mapping directory, statistics — and defines the
-``read`` / ``write`` entry points the device calls.
+codec, authoritative mapping directory, statistics, and the reusable
+:class:`~repro.ssd.request.CommandBuffer` every request is encoded into — and
+defines the ``encode`` / ``read`` / ``write`` entry points the device calls.
+The designs never build command objects: the helpers here append
+integer-coded commands straight into the buffer, and the timing engine
+consumes the buffer directly.  ``process`` materializes the thin
+:class:`Transaction` view for tests and introspection.
 
 :class:`StripingFTLBase` adds the pieces shared by all *dynamic allocation*
 designs (DFTL, TPFTL, LeaFTL and the ideal page-mapping FTL): the striping
@@ -28,22 +33,29 @@ from repro.nand.flash import PAGE_FREE, FlashArray
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.request import (
+    CommandBuffer,
     CommandKind,
     CommandPurpose,
-    FlashCommand,
     HostRequest,
     OpType,
-    ReadOutcome,
-    Stage,
     Transaction,
+    command_code,
 )
 from repro.ssd.stats import GCEvent, SimulationStats
 
 __all__ = ["FTLConfig", "FTLBase", "StripingFTLBase"]
 
-# Hot-path constants (loaded per flash command otherwise).
-_READ = CommandKind.READ
-_PROGRAM = CommandKind.PROGRAM
+# Hot-path command codes, precomputed at import time (one per flash command
+# otherwise).
+_CODE_DATA_READ = command_code(CommandKind.READ, CommandPurpose.DATA_READ)
+_CODE_GC_READ = command_code(CommandKind.READ, CommandPurpose.GC_READ)
+_CODE_OOB_PROBE = command_code(CommandKind.READ, CommandPurpose.OOB_PROBE)
+_CODE_DATA_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.DATA_WRITE)
+_CODE_GC_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.GC_WRITE)
+_CODE_GC_ERASE = command_code(CommandKind.ERASE, CommandPurpose.GC_ERASE)
+
+# Hoisted enum member: ``encode`` branches on it once per simulated request.
+_READ_OP = OpType.READ
 
 
 @dataclass(frozen=True)
@@ -133,50 +145,166 @@ class FTLBase(ABC):
         self.flash = FlashArray(geometry)
         self.codec = self.flash.codec
         self.directory = MappingDirectory(geometry)
+        #: Reusable flat transaction encoding; reset at the start of every
+        #: request, consumed directly by ``TimingEngine.execute_buffer``.
+        self.buffer = CommandBuffer()
 
     # ------------------------------------------------------------ interface
+    def encode(self, request: HostRequest, now: float = 0.0) -> CommandBuffer:
+        """Handle one host request, encoding its flash work into the buffer.
+
+        This is the hot-path entry point the device drives: the returned
+        buffer is ``self.buffer`` (reset and refilled), valid until the next
+        ``encode`` call on this FTL.
+        """
+        stats = self.stats
+        buffer = self.buffer
+        # Inlined buffer.reset + stats.record_host_request (both run once per
+        # simulated request).
+        buffer.request = request
+        buffer.ops.clear()
+        buffer.outcome_codes.clear()
+        buffer.stages.clear()
+        if request.op is _READ_OP:
+            stats.host_read_requests += 1
+            stats.host_read_pages += request.npages
+            self.read(request, now)
+        else:
+            stats.host_write_requests += 1
+            stats.host_write_pages += request.npages
+            self.write(request, now)
+        return buffer
+
     def process(self, request: HostRequest, now: float = 0.0) -> Transaction:
-        """Handle one host request and return its flash transaction."""
-        self.stats.record_host_request(request.op is OpType.READ, request.npages)
-        if request.op is OpType.READ:
-            return self.read(request, now)
-        return self.write(request, now)
+        """Handle one host request and return its :class:`Transaction` view.
+
+        Tests and introspection tooling use this; the simulation loops use
+        :meth:`encode` and never materialize command objects.
+        """
+        return self.encode(request, now).to_transaction()
 
     @abstractmethod
-    def read(self, request: HostRequest, now: float) -> Transaction:
-        """Translate and serve a host read."""
+    def read(self, request: HostRequest, now: float) -> None:
+        """Translate and serve a host read (encoding into ``self.buffer``)."""
 
     @abstractmethod
-    def write(self, request: HostRequest, now: float) -> Transaction:
-        """Allocate, program and persist mappings for a host write."""
+    def write(self, request: HostRequest, now: float) -> None:
+        """Allocate, program and persist mappings for a host write
+        (encoding into ``self.buffer``)."""
 
     # -------------------------------------------------------------- helpers
-    def data_read_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_READ) -> FlashCommand:
-        """Build (and account in the flash array) a data-page read."""
+    def data_read_command(self, stage: list, ppn: int, code: int = _CODE_DATA_READ) -> None:
+        """Append (and account in the flash array) a data-page read."""
         self.flash.touch_read(ppn)
-        return FlashCommand(_READ, self.codec.chip_index(ppn), ppn, None, purpose)
+        self.buffer.append(stage, code, self.codec.chip_index(ppn), ppn)
 
-    def probe_read_command(self, ppn: int) -> FlashCommand:
-        """Build a read of a possibly-unprogrammed page (LeaFTL misprediction probe)."""
+    def probe_read_command(self, stage: list, ppn: int) -> None:
+        """Append a read of a possibly-unprogrammed page (LeaFTL misprediction probe)."""
         if self.flash.page_state_code(ppn) != PAGE_FREE:
             self.flash.touch_read(ppn)
-        return FlashCommand(
-            kind=CommandKind.READ,
-            chip=self.codec.chip_index(ppn),
-            ppn=ppn,
-            purpose=CommandPurpose.OOB_PROBE,
-        )
+        self.buffer.append(stage, _CODE_OOB_PROBE, self.codec.chip_index(ppn), ppn)
 
-    def program_command(self, ppn: int, purpose: CommandPurpose = CommandPurpose.DATA_WRITE) -> FlashCommand:
-        """Build a program command for an already-programmed PPN."""
-        return FlashCommand(_PROGRAM, self.codec.chip_index(ppn), ppn, None, purpose)
+    def program_command(self, stage: list, ppn: int, code: int = _CODE_DATA_WRITE) -> None:
+        """Append a program command for an already-programmed PPN."""
+        self.buffer.append(stage, code, self.codec.chip_index(ppn), ppn)
 
-    def erase_command(self, block: int, purpose: CommandPurpose = CommandPurpose.GC_ERASE) -> FlashCommand:
-        """Build an erase command for a flat block index."""
+    def erase_command(self, stage: list, block: int, code: int = _CODE_GC_ERASE) -> None:
+        """Append an erase command for a flat block index."""
         base = self.codec.block_base_ppn(block)
-        return FlashCommand(
-            kind=CommandKind.ERASE, chip=self.codec.chip_index(base), block=block, purpose=purpose
-        )
+        self.buffer.append(stage, code, self.codec.chip_index(base), -1, block)
+
+    # ------------------------------------------------------- shared read body
+    def _encode_read(self, request: HostRequest) -> None:
+        """Encode a translate-then-read request via the ``_translate_read`` hook.
+
+        Shared by every design whose read path is "resolve each LPN (possibly
+        emitting translation commands), then read the data pages" — the
+        striping FTLs and LearnedFTL.  This is the hottest loop of the
+        simulator, hence the inlined buffer appends and the single-page fast
+        path.
+        """
+        buffer = self.buffer
+        # The translation stage must execute first but is assembled while
+        # eviction flushes may commit their own stages, so it floats until the
+        # end of the loop and is then committed at the front.
+        head_stage = [0.0]
+        data_stage = [0.0]
+        ops = buffer.ops
+        if request.npages == 1:
+            # Single-page request (the random-read hot case): no loop, no
+            # cached bound methods — one translate, at most one data read.
+            ppn, outcome_code, compute_us = self._translate_read(request.lpn, head_stage)
+            buffer.outcome_codes.append(outcome_code)
+            if ppn is not None:
+                # The data stage receives exactly this one command, so it is
+                # always a fresh single segment.
+                index = len(ops)
+                ops.extend((_CODE_DATA_READ, self.flash.touch_read_chip(ppn), ppn, -1))
+                data_stage.append(index)
+                data_stage.append(index + 4)
+        else:
+            compute_us = 0.0
+            translate = self._translate_read
+            add_outcome = buffer.outcome_codes.append
+            touch_read_chip = self.flash.touch_read_chip
+            ops_extend = ops.extend
+            for lpn in request.lpns():
+                ppn, outcome_code, lookup_compute = translate(lpn, head_stage)
+                add_outcome(outcome_code)
+                compute_us += lookup_compute
+                if ppn is not None:
+                    # Inlined buffer.append; translation reads and flush
+                    # commands can land between data reads, so the full
+                    # segment check stays.
+                    index = len(ops)
+                    ops_extend((_CODE_DATA_READ, touch_read_chip(ppn), ppn, -1))
+                    if len(data_stage) > 1 and data_stage[-1] == index:
+                        data_stage[-1] = index + 4
+                    else:
+                        data_stage.append(index)
+                        data_stage.append(index + 4)
+        stages = buffer.stages
+        if len(head_stage) > 1 or compute_us > 0.0:
+            head_stage[0] = compute_us
+            stages.insert(0, head_stage)
+        if len(data_stage) > 1:
+            stages.append(data_stage)
+
+    def _translate_read(self, lpn: int, head_stage: list) -> tuple[int | None, int, float]:
+        """Hook for :meth:`_encode_read`: resolve one LPN for a read.
+
+        Appends any translation commands to ``head_stage`` and returns
+        ``(ppn, outcome_code, compute_us)``; ``ppn`` is ``None`` for unmapped
+        LPNs (served as zero-fill without flash I/O).
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------- translation-pool GC
+    # Shared by every design that keeps translation pages in flash (both the
+    # striping designs and LearnedFTL); requires ``self.allocator`` to expose
+    # ``translation_pool`` and ``self.translation_store`` to be wired.
+    def _maybe_translation_gc(self) -> None:
+        """Collect a translation-pool block (as its own stage) when space runs low."""
+        if not self.allocator.translation_pool.needs_gc():
+            return
+        buffer = self.buffer
+        stage = buffer.new_stage()
+        self._collect_translation_block_into(stage)
+        buffer.commit_stage(stage)
+
+    def _collect_translation_block_into(self, stage: list) -> None:
+        """Relocate a translation-pool victim's live pages, appending into ``stage``."""
+        pool = self.allocator.translation_pool
+        victim = pool.victim_block()
+        if victim is None:
+            return
+        buffer = self.buffer
+        for ppn in self.flash.valid_ppns_in_block(victim):
+            self.data_read_command(stage, ppn, _CODE_GC_READ)
+            self.translation_store.relocate_into(buffer, stage, ppn)
+        self.flash.erase(victim)
+        pool.release(victim)
+        self.erase_command(stage, victim)
 
     # ------------------------------------------------------------ invariants
     def verify_integrity(self) -> None:
@@ -232,8 +360,8 @@ class StripingFTLBase(FTLBase):
         )
 
     # ---------------------------------------------------------------- write
-    def write(self, request: HostRequest, now: float) -> Transaction:
-        txn = Transaction(request)
+    def write(self, request: HostRequest, now: float) -> None:
+        buffer = self.buffer
         # An overwrite makes the previous physical copy stale the moment the
         # request is accepted; invalidating it before allocation lets the GC
         # triggered by this very write reclaim that space.
@@ -250,64 +378,46 @@ class StripingFTLBase(FTLBase):
             old = lookup(lpn)
             if old is not None and is_valid(old):
                 invalidate(old)
-        self._maybe_gc(txn, now)
-        program_cmds: list[FlashCommand] = []
+        self._maybe_gc(now)
+        program_stage = [0.0]
         written: list[tuple[int, int]] = []
         allocate_one = self.allocator.allocate_data_one
         update = directory.update
         program_data = flash.program_data
-        program_command = self.program_command
-        append_cmd = program_cmds.append
+        chip_index = self.codec.chip_index
+        ops = buffer.ops
+        ops_extend = ops.extend
         append_written = written.append
         for lpn in request.lpns():
             ppn = allocate_one()
             update(lpn, ppn)
             program_data(ppn, lpn)
-            append_cmd(program_command(ppn))
+            # Inlined buffer.append: the program stage is the only open stage,
+            # so its last segment always extends contiguously.
+            index = len(ops)
+            ops_extend((_CODE_DATA_WRITE, chip_index(ppn), ppn, -1))
+            if len(program_stage) > 1:
+                program_stage[2] = index + 4
+            else:
+                program_stage.append(index)
+                program_stage.append(index + 4)
             append_written((lpn, ppn))
-        if program_cmds:
-            # The list is freshly built and never reused: hand it to the stage
-            # without add_stage's defensive copy.
-            txn.stages.append(Stage(commands=program_cmds))
-        self._after_write(written, txn, now)
-        return txn
+        if len(program_stage) > 1:
+            buffer.stages.append(program_stage)
+        self._after_write(written, now)
 
-    def _after_write(self, written: list[tuple[int, int]], txn: Transaction, now: float) -> None:
+    def _after_write(self, written: list[tuple[int, int]], now: float) -> None:
         """Hook: persist mapping updates (CMT insertions, buffers, models)."""
 
     # ----------------------------------------------------------------- read
-    def read(self, request: HostRequest, now: float) -> Transaction:
-        txn = Transaction(request)
-        translation_cmds: list[FlashCommand] = []
-        data_cmds: list[FlashCommand] = []
-        compute_us = 0.0
-        for lpn in request.lpns():
-            ppn, outcome, t_cmds, lookup_compute = self._translate_read(lpn, txn)
-            txn.outcomes.append(outcome)
-            translation_cmds.extend(t_cmds)
-            compute_us += lookup_compute
-            if ppn is not None:
-                data_cmds.append(self.data_read_command(ppn))
-        if translation_cmds or compute_us > 0.0:
-            txn.stages.insert(0, Stage(commands=translation_cmds, compute_us=compute_us))
-        txn.add_stage(data_cmds)
-        return txn
-
-    def _translate_read(
-        self, lpn: int, txn: Transaction
-    ) -> tuple[int | None, ReadOutcome, list[FlashCommand], float]:
-        """Hook: resolve one LPN for a read.
-
-        Returns ``(ppn, outcome, translation_commands, compute_us)``; ``ppn``
-        is ``None`` for unmapped LPNs (served as zero-fill without flash I/O).
-        """
-        raise NotImplementedError
+    def read(self, request: HostRequest, now: float) -> None:
+        self._encode_read(request)
 
     # ------------------------------------------------------------------- GC
-    def _maybe_gc(self, txn: Transaction, now: float) -> None:
+    def _maybe_gc(self, now: float) -> None:
         """Run greedy GC until the free-block target is met (if below threshold)."""
         if self.allocator.free_data_blocks() >= self._gc_threshold_blocks:
-            self._maybe_translation_gc(txn)
+            self._maybe_translation_gc()
             return
         guard = 0
         while self.allocator.free_data_blocks() < self._gc_target_blocks:
@@ -316,49 +426,50 @@ class StripingFTLBase(FTLBase):
                 # Nothing reclaimable right now; erasing an all-valid block
                 # would consume as much space as it frees.
                 break
-            self._collect_block(victim, txn, now)
+            self._collect_block(victim, now)
             guard += 1
             if guard > self.geometry.num_blocks:
                 raise ConfigurationError("greedy GC failed to make progress")
-        self._maybe_translation_gc(txn)
+        self._maybe_translation_gc()
 
-    def _collect_block(self, victim: int, txn: Transaction, now: float) -> None:
+    def _collect_block(self, victim: int, now: float) -> None:
         """Migrate a victim block's valid pages, erase it and record the event."""
-        read_cmds: list[FlashCommand] = []
-        write_cmds: list[FlashCommand] = []
+        buffer = self.buffer
+        read_stage = buffer.new_stage()
+        write_stage = buffer.new_stage()
         moved: list[tuple[int, int]] = []
         touched_tvpns: set[int] = set()
         flash = self.flash
         allocate_one = self.allocator.allocate_data_one
         for ppn in flash.valid_ppns_in_block(victim):
             lpn = flash.page_lpn_raw(ppn)
-            read_cmds.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
+            self.data_read_command(read_stage, ppn, _CODE_GC_READ)
             new_ppn = allocate_one()
             flash.program_data(new_ppn, lpn)
             flash.invalidate(ppn)
             self.directory.update(lpn, new_ppn)
-            write_cmds.append(self.program_command(new_ppn, CommandPurpose.GC_WRITE))
+            self.program_command(write_stage, new_ppn, _CODE_GC_WRITE)
             moved.append((lpn, new_ppn))
             touched_tvpns.add(self.directory.tvpn_of(lpn))
         self.flash.erase(victim)
         self.allocator.release_block(victim)
-        erase_cmd = self.erase_command(victim)
-        translation_cmds: list[FlashCommand] = []
+        erase_stage = buffer.new_stage()
+        self.erase_command(erase_stage, victim)
+        translation_stage = buffer.new_stage()
         if self.persists_translation_pages:
             for tvpn in sorted(touched_tvpns):
                 if self.allocator.translation_pool.needs_gc():
-                    translation_cmds.extend(self._collect_translation_block())
-                translation_cmds.extend(
-                    self.translation_store.flush(tvpn, purpose=CommandPurpose.GC_WRITE)
-                )
+                    self._collect_translation_block_into(translation_stage)
+                self.translation_store.flush_into(buffer, translation_stage, tvpn, _CODE_GC_WRITE)
         self._after_gc_move(moved)
-        txn.add_stage(read_cmds)
-        txn.add_stage(write_cmds)
-        txn.add_stage([erase_cmd])
-        txn.add_stage(translation_cmds)
+        buffer.commit_stage(read_stage)
+        buffer.commit_stage(write_stage)
+        buffer.commit_stage(erase_stage)
+        buffer.commit_stage(translation_stage)
+        translation_commands = buffer.stage_size(translation_stage)
         flash_time = (
-            len(read_cmds) * self.timing.read_us
-            + (len(write_cmds) + len(translation_cmds)) * self.timing.program_us
+            len(moved) * self.timing.read_us
+            + (len(moved) + translation_commands) * self.timing.program_us
             + self.timing.erase_us
         )
         self.stats.gc_events.append(
@@ -375,33 +486,14 @@ class StripingFTLBase(FTLBase):
     def _after_gc_move(self, moved: list[tuple[int, int]]) -> None:
         """Hook: let caches/models observe GC relocations."""
 
-    # -------------------------------------------------- translation-pool GC
-    def _maybe_translation_gc(self, txn: Transaction) -> None:
-        if not self.allocator.translation_pool.needs_gc():
-            return
-        commands = self._collect_translation_block()
-        txn.add_stage(commands)
-
-    def _collect_translation_block(self) -> list[FlashCommand]:
-        pool = self.allocator.translation_pool
-        victim = pool.victim_block()
-        if victim is None:
-            return []
-        commands: list[FlashCommand] = []
-        for ppn in self.flash.valid_ppns_in_block(victim):
-            commands.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
-            _, program_cmd = self.translation_store.relocate(ppn)
-            commands.append(program_cmd)
-        self.flash.erase(victim)
-        pool.release(victim)
-        commands.append(self.erase_command(victim))
-        return commands
-
     # -------------------------------------------------------------- flushes
-    def _flush_translation_page(self, tvpn: int, txn: Transaction) -> None:
+    def _flush_translation_page(self, tvpn: int) -> None:
         """Write back one dirty translation page (with pool-GC protection)."""
+        buffer = self.buffer
         if self.allocator.translation_pool.needs_gc():
-            txn.add_stage(self._collect_translation_block())
-        # flush() always returns a fresh non-empty command list; append it as a
-        # stage directly to skip add_stage's defensive copy.
-        txn.stages.append(Stage(commands=self.translation_store.flush(tvpn)))
+            gc_stage = buffer.new_stage()
+            self._collect_translation_block_into(gc_stage)
+            buffer.commit_stage(gc_stage)
+        stage = buffer.new_stage()
+        self.translation_store.flush_into(buffer, stage, tvpn)
+        buffer.commit_stage(stage)

@@ -169,24 +169,33 @@ class PageGroupedCMT:
     def insert_many(self, mappings: Iterable[tuple[int, int]], *, dirty: bool = False) -> list[EvictedPage]:
         """Insert a batch of mappings (a miss fetch plus its prefetched neighbours)."""
         evicted: list[EvictedPage] = []
+        pages = self._pages
+        mappings_per_page = self.mappings_per_page
+        capacity = self.capacity_entries
         for lpn, ppn in mappings:
-            tvpn = lpn // self.mappings_per_page
-            node = self._pages.get(tvpn)
+            tvpn = lpn // mappings_per_page
+            node = pages.get(tvpn)
             if node is None:
+                # Fresh node: creating it already puts it at the recency tail,
+                # and the entry cannot pre-exist, so both the membership probe
+                # and the move_to_end are skipped.
                 node = OrderedDict()
-                self._pages[tvpn] = node
-                self._size_entries += PAGE_NODE_OVERHEAD_ENTRIES
-            existing = node.get(lpn)
-            if existing is None:
+                pages[tvpn] = node
                 node[lpn] = [ppn, dirty]
-                self._size_entries += 1
+                self._size_entries += PAGE_NODE_OVERHEAD_ENTRIES + 1
             else:
-                existing[0] = ppn
-                if dirty:
-                    existing[1] = True
-                node.move_to_end(lpn)
-            self._pages.move_to_end(tvpn)
-            evicted.extend(self._evict_until_fits(exclude_tvpn=tvpn, exclude_lpn=lpn))
+                existing = node.get(lpn)
+                if existing is None:
+                    node[lpn] = [ppn, dirty]
+                    self._size_entries += 1
+                else:
+                    existing[0] = ppn
+                    if dirty:
+                        existing[1] = True
+                    node.move_to_end(lpn)
+                pages.move_to_end(tvpn)
+            if self._size_entries > capacity:
+                evicted.extend(self._evict_until_fits(exclude_tvpn=tvpn, exclude_lpn=lpn))
         return evicted
 
     def _evict_until_fits(self, *, exclude_tvpn: int, exclude_lpn: int) -> list[EvictedPage]:

@@ -21,6 +21,10 @@ from repro.ssd.stats import SimulationStats
 
 __all__ = ["DFTL"]
 
+_OUT_BUFFER_HIT = ReadOutcome.BUFFER_HIT.code
+_OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+_OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
+
 
 class DFTL(StripingFTLBase):
     """Demand-based FTL with a per-entry LRU cached mapping table."""
@@ -41,35 +45,48 @@ class DFTL(StripingFTLBase):
             capacity_entries=self.config.cmt_entries(geometry),
             mappings_per_page=geometry.mappings_per_translation_page,
         )
+        self._mappings_per_page = geometry.mappings_per_translation_page
+        # The CMT's entry dict, the directory's mapping column and the store's
+        # read entry point are created once and never reassigned, so the read
+        # hot path can inline its lookups against direct references.
+        self._cmt_get = self.cmt._entries.get
+        self._cmt_refresh = self.cmt._entries.move_to_end
+        self._dir_column = self.directory._ppn
+        self._num_logical_pages = geometry.num_logical_pages
+        self._ts_read_into = self.translation_store.read_into
 
     # ----------------------------------------------------------------- read
-    def _translate_read(self, lpn, txn):
-        self.stats.cmt_lookups += 1
-        cached = self.cmt.lookup(lpn)
-        if cached is not None:
-            self.stats.cmt_hits += 1
-            return cached, ReadOutcome.CMT_HIT, [], 0.0
-        ppn = self.directory.lookup(lpn)
-        if ppn is None:
-            return None, ReadOutcome.BUFFER_HIT, [], 0.0
-        tvpn = self.directory.tvpn_of(lpn)
-        commands = []
-        read_cmd = self.translation_store.read_command(tvpn)
-        if read_cmd is not None:
-            commands.append(read_cmd)
-            outcome = ReadOutcome.DOUBLE_READ
+    def _translate_read(self, lpn, head_stage):
+        stats = self.stats
+        stats.cmt_lookups += 1
+        # Inlined EntryLevelCMT.lookup (runs once per host page read).
+        entry = self._cmt_get(lpn)
+        if entry is not None:
+            self._cmt_refresh(lpn)
+            stats.cmt_hits += 1
+            return entry[0], _OUT_CMT_HIT, 0.0
+        # Inlined MappingDirectory.lookup (-1 is the unmapped sentinel).
+        ppn = self._dir_column[lpn] if 0 <= lpn < self._num_logical_pages else -1
+        if ppn == -1:
+            return None, _OUT_BUFFER_HIT, 0.0
+        if self._ts_read_into(self.buffer, head_stage, lpn // self._mappings_per_page):
+            outcome = _OUT_DOUBLE_READ
         else:
             # Translation page never flushed: the mapping can only have reached
             # flash via the CMT, so a fresh device serves it without a flash read.
-            outcome = ReadOutcome.CMT_HIT
-            self.stats.cmt_hits += 1
-        self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=False), txn)
-        return ppn, outcome, commands, 0.0
+            outcome = _OUT_CMT_HIT
+            stats.cmt_hits += 1
+        evicted = self.cmt.insert(lpn, ppn, dirty=False)
+        if evicted:
+            self._handle_evictions(evicted)
+        return ppn, outcome, 0.0
 
     # ---------------------------------------------------------------- write
-    def _after_write(self, written, txn, now):
+    def _after_write(self, written, now):
         for lpn, ppn in written:
-            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True), txn)
+            evicted = self.cmt.insert(lpn, ppn, dirty=True)
+            if evicted:
+                self._handle_evictions(evicted)
 
     def _after_gc_move(self, moved):
         for lpn, ppn in moved:
@@ -77,9 +94,9 @@ class DFTL(StripingFTLBase):
                 self.cmt.insert(lpn, ppn, dirty=False)
 
     # -------------------------------------------------------------- internal
-    def _handle_evictions(self, evicted: list[EvictedPage], txn) -> None:
+    def _handle_evictions(self, evicted: list[EvictedPage]) -> None:
         for page in evicted:
-            self._flush_translation_page(page.tvpn, txn)
+            self._flush_translation_page(page.tvpn)
 
     def memory_report(self) -> dict[str, int]:
         """CMT occupancy in bytes (8 bytes per cached entry)."""

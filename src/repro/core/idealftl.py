@@ -15,6 +15,10 @@ from repro.ssd.request import ReadOutcome
 __all__ = ["IdealFTL"]
 
 
+_OUT_BUFFER_HIT = ReadOutcome.BUFFER_HIT.code
+_OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+
+
 class IdealFTL(StripingFTLBase):
     """Full in-memory page-level mapping: no mapping cache, no double reads."""
 
@@ -22,13 +26,13 @@ class IdealFTL(StripingFTLBase):
     description = "Full page-level mapping held entirely in DRAM (upper bound)."
     persists_translation_pages = False
 
-    def _translate_read(self, lpn, txn):
+    def _translate_read(self, lpn, head_stage):
         self.stats.cmt_lookups += 1
         ppn = self.directory.lookup(lpn)
         if ppn is None:
-            return None, ReadOutcome.BUFFER_HIT, [], 0.0
+            return None, _OUT_BUFFER_HIT, 0.0
         self.stats.cmt_hits += 1
-        return ppn, ReadOutcome.CMT_HIT, [], 0.0
+        return ppn, _OUT_CMT_HIT, 0.0
 
     def memory_report(self) -> dict[str, int]:
         """The full mapping table at 8 bytes per logical page."""

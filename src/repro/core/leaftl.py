@@ -29,16 +29,15 @@ from repro.core.base import FTLConfig, StripingFTLBase
 from repro.core.learned.segment import LearnedSegment, LogStructuredSegmentTable, build_segments
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
-from repro.ssd.request import (
-    FlashCommand,
-    HostRequest,
-    OpType,
-    ReadOutcome,
-    Transaction,
-)
+from repro.ssd.request import HostRequest, OpType, ReadOutcome, Stage, Transaction
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["LeaFTL"]
+
+_OUT_BUFFER_HIT = ReadOutcome.BUFFER_HIT.code
+_OUT_MODEL_HIT = ReadOutcome.MODEL_HIT.code
+_OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
+_OUT_TRIPLE_READ = ReadOutcome.TRIPLE_READ.code
 
 
 class LeaFTL(StripingFTLBase):
@@ -68,45 +67,45 @@ class LeaFTL(StripingFTLBase):
         self._cache_bytes = 0
 
     # ------------------------------------------------------------------ read
-    def read(self, request: HostRequest, now: float) -> Transaction:
-        txn = Transaction(request)
-        translation_cmds: list[FlashCommand] = []
-        probe_cmds: list[FlashCommand] = []
-        data_cmds: list[FlashCommand] = []
+    def read(self, request: HostRequest, now: float) -> None:
+        buffer = self.buffer
+        translation_stage = buffer.new_stage()
+        probe_stage = buffer.new_stage()
+        data_stage = buffer.new_stage()
+        lookup = self._lookup
+        add_outcome = buffer.outcome_codes.append
         for lpn in request.lpns():
-            outcome, t_cmd, probe_cmd, data_ppn = self._lookup(lpn)
-            txn.outcomes.append(outcome)
-            if t_cmd is not None:
-                translation_cmds.append(t_cmd)
-            if probe_cmd is not None:
-                probe_cmds.append(probe_cmd)
+            outcome_code, data_ppn = lookup(lpn, translation_stage, probe_stage)
+            add_outcome(outcome_code)
             if data_ppn is not None:
-                data_cmds.append(self.data_read_command(data_ppn))
-        txn.add_stage(translation_cmds)
-        txn.add_stage(probe_cmds)
-        txn.add_stage(data_cmds)
-        return txn
+                self.data_read_command(data_stage, data_ppn)
+        buffer.commit_stage(translation_stage)
+        buffer.commit_stage(probe_stage)
+        buffer.commit_stage(data_stage)
 
-    def _lookup(
-        self, lpn: int
-    ) -> tuple[ReadOutcome, FlashCommand | None, FlashCommand | None, int | None]:
-        """Resolve one LPN; returns (outcome, translation cmd, probe cmd, data ppn)."""
+    def _lookup(self, lpn: int, translation_stage: list, probe_stage: list) -> tuple[int, int | None]:
+        """Resolve one LPN, appending translation/probe reads to their stages.
+
+        Returns ``(outcome_code, data_ppn)``.
+        """
         self.stats.cmt_lookups += 1
         buffered = self._buffer.get(lpn)
         if buffered is not None:
             self.stats.cmt_hits += 1
-            return ReadOutcome.BUFFER_HIT, None, None, buffered
+            return _OUT_BUFFER_HIT, buffered
         actual = self.directory.lookup(lpn)
         if actual is None:
-            return ReadOutcome.BUFFER_HIT, None, None, None
+            return _OUT_BUFFER_HIT, None
         tvpn = self.directory.tvpn_of(lpn)
         cache_hit = tvpn in self._model_cache
-        translation_cmd: FlashCommand | None = None
+        fetched_translation = False
         if cache_hit:
             self.stats.cmt_hits += 1
             self._model_cache.move_to_end(tvpn)
         else:
-            translation_cmd = self.translation_store.read_command(tvpn)
+            fetched_translation = self.translation_store.read_into(
+                self.buffer, translation_stage, tvpn
+            )
             self._admit_to_cache(tvpn)
         segment = self._segment_for(tvpn, lpn)
         self.stats.model_lookups += 1
@@ -114,20 +113,19 @@ class LeaFTL(StripingFTLBase):
         correct = predicted_ppn == actual
         if correct:
             self.stats.model_hits += 1
-        probe_cmd: FlashCommand | None = None
         if not correct and predicted_ppn is not None:
-            probe_cmd = self.probe_read_command(predicted_ppn)
+            self.probe_read_command(probe_stage, predicted_ppn)
         if correct and cache_hit:
-            outcome = ReadOutcome.MODEL_HIT
+            outcome = _OUT_MODEL_HIT
         elif correct or (cache_hit and not correct):
-            outcome = ReadOutcome.DOUBLE_READ
+            outcome = _OUT_DOUBLE_READ
         else:
-            outcome = ReadOutcome.TRIPLE_READ
-        if not correct and predicted_ppn is None and translation_cmd is not None:
+            outcome = _OUT_TRIPLE_READ
+        if not correct and predicted_ppn is None and fetched_translation:
             # No segment covered the LPN at all: the translation read plus the
             # data read is an ordinary double read.
-            outcome = ReadOutcome.DOUBLE_READ
-        return outcome, translation_cmd, probe_cmd, actual
+            outcome = _OUT_DOUBLE_READ
+        return outcome, actual
 
     def _segment_for(self, tvpn: int, lpn: int) -> LearnedSegment | None:
         table = self._tables.get(tvpn)
@@ -143,11 +141,11 @@ class LeaFTL(StripingFTLBase):
         return self.codec.vppn_to_ppn(vppn)
 
     # ----------------------------------------------------------------- write
-    def _after_write(self, written, txn, now):
+    def _after_write(self, written, now):
         for lpn, ppn in written:
             self._buffer[lpn] = ppn
         if len(self._buffer) >= self._buffer_capacity:
-            self._flush_buffer(txn)
+            self._flush_buffer()
 
     def _after_gc_move(self, moved):
         # GC relocations change mappings that may be modelled by stale segments;
@@ -155,21 +153,34 @@ class LeaFTL(StripingFTLBase):
         for lpn, ppn in moved:
             self._buffer[lpn] = ppn
 
-    def flush_buffer(self, txn: Transaction | None = None) -> Transaction:
-        """Force a training/flush cycle of the mapping buffer (used by tests)."""
-        if txn is None:
-            txn = Transaction(HostRequest(op=OpType.WRITE, lpn=0, npages=0))
-        self._flush_buffer(txn)
+    def flush_buffer(self) -> Transaction:
+        """Force a training/flush cycle of the mapping buffer (used by tests).
+
+        Returns a :class:`Transaction` view of the flash work the flush
+        emitted so standalone callers can execute it against a timing engine
+        (during normal request processing the flush rides inside the
+        request's own command buffer and is executed with it).
+        """
+        command_buffer = self.buffer
+        stages_before = len(command_buffer.stages)
+        self._flush_buffer()
+        request = command_buffer.request or HostRequest(op=OpType.WRITE, lpn=0, npages=0)
+        txn = Transaction(request)
+        for record in command_buffer.stages[stages_before:]:
+            txn.stages.append(
+                Stage(commands=command_buffer.commands_of(record), compute_us=record[0])
+            )
         return txn
 
-    def _flush_buffer(self, txn: Transaction) -> None:
+    def _flush_buffer(self) -> None:
         if not self._buffer:
             return
         grouped: dict[int, list[tuple[int, int]]] = {}
         for lpn, ppn in self._buffer.items():
             grouped.setdefault(self.directory.tvpn_of(lpn), []).append((lpn, ppn))
         compute_us = 0.0
-        translation_cmds: list[FlashCommand] = []
+        command_buffer = self.buffer
+        stage = command_buffer.new_stage()
         for tvpn, pairs in sorted(grouped.items()):
             pairs.sort(key=lambda item: item[0])
             lpns = [lpn for lpn, _ in pairs]
@@ -183,12 +194,12 @@ class LeaFTL(StripingFTLBase):
             self.stats.train_time_us += self.timing.train_us_per_entry
             self.stats.models_trained += len(segments)
             if self.allocator.translation_pool.needs_gc():
-                translation_cmds.extend(self._collect_translation_block())
-            translation_cmds.extend(self.translation_store.flush(tvpn))
+                self._collect_translation_block_into(stage)
+            self.translation_store.flush_into(command_buffer, stage, tvpn)
             if tvpn in self._model_cache:
                 self._refresh_cache_entry(tvpn)
         self._buffer.clear()
-        txn.add_stage(translation_cmds, compute_us=compute_us)
+        command_buffer.commit_stage(stage, compute_us)
 
     # ------------------------------------------------------------ model cache
     def _admit_to_cache(self, tvpn: int) -> None:

@@ -25,7 +25,13 @@ from typing import Callable, Sequence
 from repro.core.learned.bitmap import Bitmap
 from repro.core.learned.plr import LinearPiece, fit_fixed_pieces
 
-__all__ = ["ModelPiece", "InPlaceLinearModel", "TrainingResult"]
+__all__ = ["ModelPiece", "InPlaceLinearModel", "TrainingResult", "BIT_NOT_SET"]
+
+#: Sentinel returned by :meth:`InPlaceLinearModel.predict_exact` when the
+#: LPN's bitmap bit is clear (or the LPN is outside the entry).  Distinct from
+#: ``None``, which means "bit set but no piece covers the offset" — a state
+#: the callers treat as a consistency violation.
+BIT_NOT_SET = object()
 
 
 @dataclass(frozen=True)
@@ -113,6 +119,36 @@ class InPlaceLinearModel:
             else:
                 break
         return chosen
+
+    def predict_exact(self, lpn: int):
+        """Fused :meth:`can_predict` + :meth:`predict` for the read hot path.
+
+        Returns the predicted VPPN when the LPN's bitmap bit is set,
+        :data:`BIT_NOT_SET` when it is clear (or the LPN is outside the
+        entry), and ``None`` when the bit is set but no piece covers the
+        offset — the same three cases the unfused pair distinguishes, in one
+        call and without re-validating the offset at every layer.
+
+        NOTE: this inlines :meth:`Bitmap.test`'s byte/bit layout and
+        :class:`ModelPiece.predict`'s arithmetic — a change to either must be
+        mirrored here (``tests/test_inplace_model.py`` pins the fused/unfused
+        parity over randomized models).
+        """
+        offset = lpn - self.start_lpn
+        if not 0 <= offset < self.span:
+            return BIT_NOT_SET
+        bitmap = self.bitmap
+        if not bitmap._bits[offset >> 3] & (1 << (offset & 7)):
+            return BIT_NOT_SET
+        chosen: ModelPiece | None = None
+        for piece in self.pieces:
+            if piece.offset <= offset:
+                chosen = piece
+            else:
+                break
+        if chosen is None:
+            return None
+        return int(round(chosen.slope * (offset - chosen.offset) + chosen.intercept))
 
     # -------------------------------------------------------------- updates
     def invalidate(self, lpn: int) -> None:

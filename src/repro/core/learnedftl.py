@@ -30,24 +30,30 @@ from collections import deque
 from repro.core.allocation import GroupAllocator, GroupGCNeeded
 from repro.core.base import FTLBase, FTLConfig
 from repro.core.cmt import EvictedPage, PageGroupedCMT
-from repro.core.learned.inplace_model import InPlaceLinearModel
+from repro.core.learned.inplace_model import BIT_NOT_SET, InPlaceLinearModel
 from repro.core.mapping import TranslationPageStore
 from repro.nand.errors import ConfigurationError, OutOfSpaceError
 from repro.nand.flash import PAGE_VALID
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.request import (
+    CommandKind,
     CommandPurpose,
-    FlashCommand,
     HostRequest,
-    OpType,
     ReadOutcome,
-    Stage,
-    Transaction,
+    command_code,
 )
 from repro.ssd.stats import GCEvent, SimulationStats
 
 __all__ = ["LearnedFTL"]
+
+_CODE_GC_READ = command_code(CommandKind.READ, CommandPurpose.GC_READ)
+_CODE_GC_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.GC_WRITE)
+
+_OUT_BUFFER_HIT = ReadOutcome.BUFFER_HIT.code
+_OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+_OUT_MODEL_HIT = ReadOutcome.MODEL_HIT.code
+_OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
 
 
 class LearnedFTL(FTLBase):
@@ -88,13 +94,37 @@ class LearnedFTL(FTLBase):
             for tvpn in range(geometry.num_translation_pages)
         ]
         self._recent_request_lengths: deque[int] = deque(maxlen=32)
+        #: Running sum of the deque (integer page counts, so the incremental
+        #: sum is exactly the recomputed one) — keeps the per-miss prefetch
+        #: depth O(1) instead of O(window).
+        self._recent_length_sum = 0
         self._last_lpn_end: int | None = None
         self._sequential_streak = 0
         self._gc_old_stripes: set[int] = set()
+        self._mappings_per_page = geometry.mappings_per_translation_page
+        self._num_logical_pages = geometry.num_logical_pages
+        # Per-lookup constants and live references, hoisted out of the read
+        # hot loop (the CMT's page dict and capacity never get reassigned).
+        self._charge_compute = self.config.charge_compute
+        self._bitmap_check_us = self.timing.bitmap_check_us if self._charge_compute else 0.0
+        self._predict_us = self.timing.predict_us
+        self._cmt_pages = self.cmt._pages
+        self._prefetch_ceiling = min(
+            self.config.prefetch_max_entries, max(1, self.cmt.capacity_entries // 2)
+        )
+        # The directory's mapping column and the store's read entry point are
+        # created once; direct references shave attribute hops per page read.
+        self._dir_column = self.directory._ppn
+        self._ts_read_into = self.translation_store.read_into
+        self._vppn_to_ppn = self.codec.vppn_to_ppn
 
     def _observe_request(self, request: HostRequest) -> None:
         """Track request length and sequentiality for the CMT loading policy."""
-        self._recent_request_lengths.append(request.npages)
+        lengths = self._recent_request_lengths
+        if len(lengths) == lengths.maxlen:
+            self._recent_length_sum -= lengths[0]
+        self._recent_length_sum += request.npages
+        lengths.append(request.npages)
         if self._last_lpn_end is not None and request.lpn == self._last_lpn_end:
             self._sequential_streak = min(self._sequential_streak + 1, 64)
         else:
@@ -102,49 +132,54 @@ class LearnedFTL(FTLBase):
         self._last_lpn_end = request.lpn + request.npages
 
     # ------------------------------------------------------------------ read
-    def read(self, request: HostRequest, now: float) -> Transaction:
-        self._observe_request(request)
-        txn = Transaction(request)
-        translation_cmds: list[FlashCommand] = []
-        data_cmds: list[FlashCommand] = []
-        compute_us = 0.0
-        for lpn in request.lpns():
-            ppn, outcome, t_cmds, lookup_compute = self._translate_read(lpn, txn)
-            txn.outcomes.append(outcome)
-            translation_cmds.extend(t_cmds)
-            compute_us += lookup_compute
-            if ppn is not None:
-                data_cmds.append(self.data_read_command(ppn))
-        if translation_cmds or compute_us > 0.0:
-            txn.stages.insert(0, Stage(commands=translation_cmds, compute_us=compute_us))
-        txn.add_stage(data_cmds)
-        return txn
+    def read(self, request: HostRequest, now: float) -> None:
+        # Inlined _observe_request (the write path keeps the method call).
+        lengths = self._recent_request_lengths
+        npages = request.npages
+        if len(lengths) == lengths.maxlen:
+            self._recent_length_sum -= lengths[0]
+        self._recent_length_sum += npages
+        lengths.append(npages)
+        first_lpn = request.lpn
+        if self._last_lpn_end == first_lpn:
+            self._sequential_streak = min(self._sequential_streak + 1, 64)
+        else:
+            self._sequential_streak = 0
+        self._last_lpn_end = first_lpn + npages
+        self._encode_read(request)
 
-    def _translate_read(
-        self, lpn: int, txn: Transaction
-    ) -> tuple[int | None, ReadOutcome, list[FlashCommand], float]:
-        self.stats.cmt_lookups += 1
-        cached = self.cmt.lookup(lpn)
-        if cached is not None:
-            self.stats.cmt_hits += 1
-            return cached, ReadOutcome.CMT_HIT, [], 0.0
-        actual = self.directory.lookup(lpn)
-        if actual is None:
-            return None, ReadOutcome.BUFFER_HIT, [], 0.0
-        compute_us = self.timing.bitmap_check_us if self.config.charge_compute else 0.0
-        tvpn = self.directory.tvpn_of(lpn)
-        model = self.models[tvpn]
-        self.stats.model_lookups += 1
-        if model.can_predict(lpn):
-            vppn = model.predict(lpn)
-            predicted_ppn = self.codec.vppn_to_ppn(vppn) if vppn is not None else None
-            if self.config.charge_compute:
-                compute_us += self.timing.predict_us
-                self.stats.predict_time_us += self.timing.predict_us
-            self.stats.predictions += 1
+    def _translate_read(self, lpn: int, head_stage: list) -> tuple[int | None, int, float]:
+        stats = self.stats
+        stats.cmt_lookups += 1
+        # Inlined PageGroupedCMT.lookup (runs once per host page read); the
+        # translation-page index it derives is reused by the model and
+        # translation-store steps below.
+        tvpn = lpn // self._mappings_per_page
+        pages = self._cmt_pages
+        node = pages.get(tvpn)
+        if node is not None:
+            entry = node.get(lpn)
+            if entry is not None:
+                node.move_to_end(lpn)
+                pages.move_to_end(tvpn)
+                stats.cmt_hits += 1
+                return entry[0], _OUT_CMT_HIT, 0.0
+        # Inlined MappingDirectory.lookup (-1 is the unmapped sentinel).
+        actual = self._dir_column[lpn] if 0 <= lpn < self._num_logical_pages else -1
+        if actual == -1:
+            return None, _OUT_BUFFER_HIT, 0.0
+        compute_us = self._bitmap_check_us
+        stats.model_lookups += 1
+        vppn = self.models[tvpn].predict_exact(lpn)
+        if vppn is not BIT_NOT_SET:
+            predicted_ppn = self._vppn_to_ppn(vppn) if vppn is not None else None
+            if self._charge_compute:
+                compute_us += self._predict_us
+                stats.predict_time_us += self._predict_us
+            stats.predictions += 1
             if predicted_ppn == actual:
-                self.stats.model_hits += 1
-                return actual, ReadOutcome.MODEL_HIT, [], compute_us
+                stats.model_hits += 1
+                return actual, _OUT_MODEL_HIT, compute_us
             # A set bitmap bit guarantees accuracy by construction; reaching
             # this branch indicates a consistency bug, so fail loudly in tests
             # rather than silently fall back.
@@ -153,40 +188,48 @@ class LearnedFTL(FTLBase):
                 f"{predicted_ppn}, actual {actual}"
             )
         # Bitmap bit clear: classic TPFTL-style double read.
-        commands: list[FlashCommand] = []
-        read_cmd = self.translation_store.read_command(tvpn)
-        if read_cmd is not None:
-            commands.append(read_cmd)
-            outcome = ReadOutcome.DOUBLE_READ
+        if self._ts_read_into(self.buffer, head_stage, tvpn):
+            outcome = _OUT_DOUBLE_READ
         else:
-            outcome = ReadOutcome.CMT_HIT
-            self.stats.cmt_hits += 1
-        self._handle_evictions(self._load_with_prefetch(lpn, actual), txn)
-        return actual, outcome, commands, compute_us
+            outcome = _OUT_CMT_HIT
+            stats.cmt_hits += 1
+        evicted = self._load_with_prefetch(lpn, actual, tvpn)
+        if evicted:
+            self._handle_evictions(evicted)
+        return actual, outcome, compute_us
 
-    def _prefetch_length(self) -> int:
-        if not self._recent_request_lengths:
-            return 1
-        mean_len = sum(self._recent_request_lengths) / len(self._recent_request_lengths)
-        depth = int(round(mean_len * 2)) + 2 * self._sequential_streak
-        ceiling = min(self.config.prefetch_max_entries, max(1, self.cmt.capacity_entries // 2))
-        return max(1, min(ceiling, depth))
-
-    def _load_with_prefetch(self, lpn: int, ppn: int) -> list[EvictedPage]:
-        depth = self._prefetch_length()
-        tvpn = self.directory.tvpn_of(lpn)
-        tvpn_lpns = self.directory.lpn_range_of_tvpn(tvpn)
+    def _load_with_prefetch(self, lpn: int, ppn: int, tvpn: int) -> list[EvictedPage]:
+        # Inlined prefetch-depth computation (TPFTL._prefetch_length is the
+        # documented reference); this runs for every CMT/model miss.
+        window = len(self._recent_request_lengths)
+        if window:
+            depth = int(round(self._recent_length_sum / window * 2)) + 2 * self._sequential_streak
+            if depth > self._prefetch_ceiling:
+                depth = self._prefetch_ceiling
+        else:
+            depth = 1
         batch: list[tuple[int, int]] = [(lpn, ppn)]
-        for neighbour in range(lpn + 1, min(lpn + depth, tvpn_lpns.stop)):
-            neighbour_ppn = self.directory.lookup(neighbour)
-            if neighbour_ppn is not None and neighbour not in self.cmt:
-                batch.append((neighbour, neighbour_ppn))
+        if depth > 1:
+            stop = (tvpn + 1) * self._mappings_per_page
+            if stop > self._num_logical_pages:
+                stop = self._num_logical_pages
+            if lpn + depth < stop:
+                stop = lpn + depth
+            # The neighbours stay inside this translation page, so the
+            # membership probe can use its cached node directly (the cache is
+            # only mutated by insert_many below, after the batch is complete).
+            node = self._cmt_pages.get(tvpn)
+            directory_lookup = self.directory.lookup
+            for neighbour in range(lpn + 1, stop):
+                neighbour_ppn = directory_lookup(neighbour)
+                if neighbour_ppn is not None and (node is None or neighbour not in node):
+                    batch.append((neighbour, neighbour_ppn))
         return self.cmt.insert_many(batch, dirty=False)
 
     # ----------------------------------------------------------------- write
-    def write(self, request: HostRequest, now: float) -> Transaction:
+    def write(self, request: HostRequest, now: float) -> None:
         self._observe_request(request)
-        txn = Transaction(request)
+        buffer = self.buffer
         # Overwritten physical copies are stale the moment the request is
         # accepted; invalidating them first lets the group GC triggered by this
         # very write reclaim their space.
@@ -197,29 +240,31 @@ class LearnedFTL(FTLBase):
             old = directory.lookup(lpn)
             if old is not None and flash.is_valid(old):
                 flash.invalidate(old)
-        program_cmds: list[FlashCommand] = []
+        # The program stage floats while per-page allocation may commit GC
+        # stages and CMT evictions may commit flush stages; it is committed
+        # after them, exactly as the object pipeline appended it.
+        program_stage = buffer.new_stage()
         written: list[tuple[int, int]] = []
         for lpn in request.lpns():
             tvpn = directory.tvpn_of(lpn)
             # Allocation may trigger group GC (which retrains models from the
             # *current* directory), so the bitmap bit of the overwritten LPN is
             # cleared only once the new mapping is installed.
-            ppn = self._allocate_for_lpn(lpn, txn, now)
+            ppn = self._allocate_for_lpn(lpn, now)
             directory.update(lpn, ppn)
             flash.program_data(ppn, lpn)
             self.models[tvpn].invalidate(lpn)
-            program_cmds.append(self.program_command(ppn))
+            self.program_command(program_stage, ppn)
             written.append((lpn, ppn))
-            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True), txn)
-        txn.add_stage(program_cmds)
+            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True))
+        buffer.commit_stage(program_stage)
         if len(written) >= self.config.sequential_init_min_pages:
             self._sequential_initialization(written)
         for hinted_group in self.allocator.take_gc_hints():
-            self._group_gc(hinted_group, txn, now)
-        self._maybe_translation_gc(txn)
-        return txn
+            self._group_gc(hinted_group, now)
+        self._maybe_translation_gc()
 
-    def _allocate_for_lpn(self, lpn: int, txn: Transaction, now: float) -> int:
+    def _allocate_for_lpn(self, lpn: int, now: float) -> int:
         group = self.allocator.group_of_lpn(lpn)
         # Proactive GC (Section III-D): once free space falls below a group's
         # worth plus one stripe of slack, collect groups with invalid pages
@@ -232,7 +277,7 @@ class LearnedFTL(FTLBase):
             if victim is None:
                 break
             before = self.allocator.total_free_pages()
-            self._group_gc(victim, txn, now)
+            self._group_gc(victim, now)
             if self.allocator.total_free_pages() <= before:
                 break
             guard += 1
@@ -241,7 +286,7 @@ class LearnedFTL(FTLBase):
                 ppn, _owner = self.allocator.allocate_page(group)
                 return ppn
             except GroupGCNeeded as need:
-                self._group_gc(need.victim_group, txn, now)
+                self._group_gc(need.victim_group, now)
         raise ConfigurationError("group allocation failed to converge after repeated GC")
 
     # ----------------------------------------------- sequential initialization
@@ -262,7 +307,7 @@ class LearnedFTL(FTLBase):
             self.models[tvpn].sequential_update(lpns, vppns)
 
     # ------------------------------------------------------------------- GC
-    def _group_gc(self, group: int, txn: Transaction, now: float) -> None:
+    def _group_gc(self, group: int, now: float) -> None:
         """Group-based garbage collection with model training (Section III-E2)."""
         collected = self._expand_collection_set(group)
         old_stripes = {
@@ -277,14 +322,14 @@ class LearnedFTL(FTLBase):
         compute_us_total = 0.0
         flash_time_total = 0.0
         for member in sorted(collected):
-            moved, translation_writes, compute_us, flash_time = self._move_group(member, txn)
+            moved, translation_writes, compute_us, flash_time = self._move_group(member)
             total_moved += moved
             total_translation_writes += translation_writes
             compute_us_total += compute_us
             flash_time_total += flash_time
             # Free stripes as soon as they become fully invalid so the next
             # member's write-back always has a destination.
-            blocks, erase_time = self._release_invalid_stripes(old_stripes, txn)
+            blocks, erase_time = self._release_invalid_stripes(old_stripes)
             total_blocks += blocks
             flash_time_total += erase_time
         for member in collected:
@@ -314,7 +359,7 @@ class LearnedFTL(FTLBase):
             collected |= residents
         return collected
 
-    def _move_group(self, group: int, txn: Transaction) -> tuple[int, int, float, float]:
+    def _move_group(self, group: int) -> tuple[int, int, float, float]:
         """Relocate a group's valid pages (sorted by LPN) and retrain its models."""
         # Only mappings whose physical copy is still valid *and still holds this
         # LPN* are relocated: a mapping whose copy was invalidated by an
@@ -335,8 +380,9 @@ class LearnedFTL(FTLBase):
             for lpn in self.allocator.lpn_range_of_group(group)
             if self.directory.is_mapped(lpn) and _relocatable(lpn)
         )
-        read_cmds: list[FlashCommand] = []
-        write_cmds: list[FlashCommand] = []
+        buffer = self.buffer
+        read_stage = buffer.new_stage()
+        write_stage = buffer.new_stage()
         pages_per_stripe = self.allocator.stripe_map.pages_per_stripe
         needed_stripes = -(-len(valid_lpns) // pages_per_stripe) if valid_lpns else 0
         try:
@@ -351,7 +397,7 @@ class LearnedFTL(FTLBase):
         cursor = 0
         for lpn in valid_lpns:
             old_ppn = self.directory.require(lpn)
-            read_cmds.append(self.data_read_command(old_ppn, CommandPurpose.GC_READ))
+            self.data_read_command(read_stage, old_ppn, _CODE_GC_READ)
             if new_stripes:
                 stripe = new_stripes[cursor // pages_per_stripe]
                 new_ppn = self.allocator.stripe_map.ppn_at(stripe, cursor % pages_per_stripe)
@@ -367,14 +413,14 @@ class LearnedFTL(FTLBase):
             # by an earlier training pass is stale until this entry is retrained.
             self.models[self.directory.tvpn_of(lpn)].invalidate(lpn)
             if lpn in self.cmt:
-                self._handle_evictions(self.cmt.insert(lpn, new_ppn, dirty=False), txn)
-            write_cmds.append(self.program_command(new_ppn, CommandPurpose.GC_WRITE))
+                self._handle_evictions(self.cmt.insert(lpn, new_ppn, dirty=False))
+            self.program_command(write_stage, new_ppn, _CODE_GC_WRITE)
         if new_stripes:
             self.allocator.assign_gc_destination(group, new_stripes, len(valid_lpns))
         # Per-GTD-entry sorting + training + bitmap evaluation, plus the
         # translation-page writes for the refreshed mappings.
         compute_us = 0.0
-        translation_cmds: list[FlashCommand] = []
+        translation_stage = buffer.new_stage()
         translation_writes = 0
         for tvpn in self.allocator.tvpns_of_group(group):
             entry_lpns = self.directory.mapped_lpns_of_tvpn(tvpn)
@@ -389,25 +435,23 @@ class LearnedFTL(FTLBase):
                 self.stats.train_time_us += self.timing.train_us_per_entry
                 self.stats.models_trained += 1
             if self.allocator.translation_pool.needs_gc():
-                translation_cmds.extend(self._collect_translation_block())
-            translation_cmds.extend(
-                self.translation_store.flush(tvpn, purpose=CommandPurpose.GC_WRITE)
-            )
+                self._collect_translation_block_into(translation_stage)
+            self.translation_store.flush_into(buffer, translation_stage, tvpn, _CODE_GC_WRITE)
             translation_writes += 1
-        txn.add_stage(read_cmds)
-        txn.add_stage(write_cmds, compute_us=compute_us)
-        txn.add_stage(translation_cmds)
+        buffer.commit_stage(read_stage)
+        buffer.commit_stage(write_stage, compute_us)
+        buffer.commit_stage(translation_stage)
+        translation_commands = buffer.stage_size(translation_stage)
         flash_time = (
-            len(read_cmds) * self.timing.read_us
-            + (len(write_cmds) + len(translation_cmds)) * self.timing.program_us
+            len(valid_lpns) * self.timing.read_us
+            + (len(valid_lpns) + translation_commands) * self.timing.program_us
         )
         return len(valid_lpns), translation_writes, compute_us, flash_time
 
-    def _release_invalid_stripes(
-        self, old_stripes: dict[int, list[int]], txn: Transaction
-    ) -> tuple[int, float]:
+    def _release_invalid_stripes(self, old_stripes: dict[int, list[int]]) -> tuple[int, float]:
         """Erase and free every pre-GC stripe that no longer holds valid pages."""
-        erase_cmds: list[FlashCommand] = []
+        buffer = self.buffer
+        erase_stage = buffer.new_stage()
         blocks_erased = 0
         for member, stripes in old_stripes.items():
             remaining: list[int] = []
@@ -419,41 +463,26 @@ class LearnedFTL(FTLBase):
                     for block in blocks:
                         if self.flash.block_programmed(block) > 0:
                             self.flash.erase(block)
-                            erase_cmds.append(self.erase_command(block))
+                            self.erase_command(erase_stage, block)
                             blocks_erased += 1
                     self.allocator.release_stripe(stripe)
                 else:
                     remaining.append(stripe)
             old_stripes[member] = remaining
-        txn.add_stage(erase_cmds)
+        buffer.commit_stage(erase_stage)
         return blocks_erased, blocks_erased * self.timing.erase_us
 
-    # ----------------------------------------------------- translation pool GC
-    def _maybe_translation_gc(self, txn: Transaction) -> None:
-        if not self.allocator.translation_pool.needs_gc():
-            return
-        txn.add_stage(self._collect_translation_block())
-
-    def _collect_translation_block(self) -> list[FlashCommand]:
-        pool = self.allocator.translation_pool
-        victim = pool.victim_block()
-        if victim is None:
-            return []
-        commands: list[FlashCommand] = []
-        for ppn in self.flash.valid_ppns_in_block(victim):
-            commands.append(self.data_read_command(ppn, CommandPurpose.GC_READ))
-            _, program_cmd = self.translation_store.relocate(ppn)
-            commands.append(program_cmd)
-        self.flash.erase(victim)
-        pool.release(victim)
-        commands.append(self.erase_command(victim))
-        return commands
-
-    def _handle_evictions(self, evicted: list[EvictedPage], txn: Transaction) -> None:
+    # ----------------------------------------------------- eviction handling
+    def _handle_evictions(self, evicted: list[EvictedPage]) -> None:
+        buffer = self.buffer
         for page in evicted:
             if self.allocator.translation_pool.needs_gc():
-                txn.add_stage(self._collect_translation_block())
-            txn.add_stage(self.translation_store.flush(page.tvpn))
+                gc_stage = buffer.new_stage()
+                self._collect_translation_block_into(gc_stage)
+                buffer.commit_stage(gc_stage)
+            stage = buffer.new_stage()
+            self.translation_store.flush_into(buffer, stage, page.tvpn)
+            buffer.commit_stage(stage)
 
     # ------------------------------------------------------ training via rewrite
     def train_on_rewrite(self, tvpn: int) -> bool:

@@ -22,15 +22,21 @@ from typing import Callable, Iterator
 from repro.nand.errors import MappingError
 from repro.nand.flash import FlashArray
 from repro.nand.geometry import SSDGeometry
-from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand
+from repro.ssd.request import (
+    CommandBuffer,
+    CommandKind,
+    CommandPurpose,
+    FlashCommand,
+    command_code,
+)
 
 __all__ = ["MappingDirectory", "TranslationPageStore"]
 
-# Hot-path constants: flush() runs for every dirty CMT eviction, so even the
-# enum attribute loads are worth hoisting.
-_READ = CommandKind.READ
-_PROGRAM = CommandKind.PROGRAM
-_TRANSLATION_READ = CommandPurpose.TRANSLATION_READ
+# Hot-path constants: flush_into() runs for every dirty CMT eviction, so the
+# command codes are precomputed at import time.
+_CODE_TRANSLATION_READ = command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ)
+_CODE_TRANSLATION_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.TRANSLATION_WRITE)
+_CODE_GC_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.GC_WRITE)
 
 #: Sentinel stored in the mapping column for "LPN never written".
 _UNMAPPED = -1
@@ -151,6 +157,12 @@ class TranslationPageStore:
     itself is two flat columns indexed by translation-page number: the flash
     location of each translation page and its dirty bit.
 
+    The hot-path entry points (:meth:`read_into`, :meth:`flush_into`,
+    :meth:`relocate_into`) append integer-coded commands straight into the
+    owning FTL's :class:`~repro.ssd.request.CommandBuffer`; the object-level
+    wrappers (:meth:`read_command`, :meth:`flush`, :meth:`relocate`) are kept
+    for tests and tools that want :class:`FlashCommand` values.
+
     Parameters
     ----------
     flash:
@@ -179,6 +191,7 @@ class TranslationPageStore:
         self._tp_dirty: set[int] = set()
         self._chip_index = flash.codec.chip_index
         self._touch_read = flash.touch_read
+        self._touch_read_chip = flash.touch_read_chip
         self._program_translation = flash.program_translation
         self._invalidate = flash.invalidate
         self.translation_reads = 0
@@ -202,42 +215,49 @@ class TranslationPageStore:
         return sorted(self._tp_dirty)
 
     # ------------------------------------------------------------- commands
-    def read_command(self, tvpn: int) -> FlashCommand | None:
-        """Build the flash read that fetches a translation page.
+    def read_into(self, buffer: CommandBuffer, stage: list, tvpn: int) -> bool:
+        """Append the flash read that fetches a translation page.
 
-        Returns ``None`` when the translation page has never been written to
-        flash (a fresh device); the caller then serves the lookup without a
-        flash read, which matches a real device whose mapping table region is
-        known-empty.
+        Returns ``False`` (and appends nothing) when the translation page has
+        never been written to flash (a fresh device); the caller then serves
+        the lookup without a flash read, which matches a real device whose
+        mapping table region is known-empty.
         """
         ppn = self._tp_ppn.get(tvpn)
         if ppn is None:
-            return None
-        self.flash.touch_read(ppn)
+            return False
         self.translation_reads += 1
-        return FlashCommand(
-            kind=CommandKind.READ,
-            chip=self._chip_index(ppn),
-            ppn=ppn,
-            purpose=CommandPurpose.TRANSLATION_READ,
-        )
+        # Inlined buffer.append (this runs for every CMT-miss read).
+        ops = buffer.ops
+        index = len(ops)
+        ops.extend((_CODE_TRANSLATION_READ, self._touch_read_chip(ppn), ppn, -1))
+        if len(stage) > 1 and stage[-1] == index:
+            stage[-1] = index + 4
+        else:
+            stage.append(index)
+            stage.append(index + 4)
+        return True
 
-    def flush(self, tvpn: int, *, purpose: CommandPurpose = CommandPurpose.TRANSLATION_WRITE) -> list[FlashCommand]:
+    def flush_into(
+        self, buffer: CommandBuffer, stage: list, tvpn: int, program_code: int = _CODE_TRANSLATION_WRITE
+    ) -> None:
         """Write back a translation page (read-modify-write).
 
-        Returns the flash commands: a read of the old copy (when one exists and
-        the page is only partially refreshed) followed by a program of the new
-        copy.  The old copy is invalidated.
+        Appends the flash commands: a read of the old copy (when one exists
+        and the page is only partially refreshed) followed by a program of the
+        new copy.  The old copy is invalidated.
         """
-        commands: list[FlashCommand] = []
         old_ppn = self._tp_ppn.get(tvpn)
+        ops = buffer.ops
         if old_ppn is not None:
-            self._touch_read(old_ppn)
             self.translation_reads += 1
-            # Positional construction: (kind, chip, ppn, block, purpose).
-            commands.append(
-                FlashCommand(_READ, self._chip_index(old_ppn), old_ppn, None, _TRANSLATION_READ)
-            )
+            index = len(ops)
+            ops.extend((_CODE_TRANSLATION_READ, self._touch_read_chip(old_ppn), old_ppn, -1))
+            if len(stage) > 1 and stage[-1] == index:
+                stage[-1] = index + 4
+            else:
+                stage.append(index)
+                stage.append(index + 4)
         new_ppn = self._allocate()
         self._program_translation(new_ppn, tvpn)
         if old_ppn is not None:
@@ -245,16 +265,19 @@ class TranslationPageStore:
         self._tp_ppn[tvpn] = new_ppn
         self._tp_dirty.discard(tvpn)
         self.translation_writes += 1
-        commands.append(
-            FlashCommand(_PROGRAM, self._chip_index(new_ppn), new_ppn, None, purpose)
-        )
-        return commands
+        index = len(ops)
+        ops.extend((program_code, self._chip_index(new_ppn), new_ppn, -1))
+        if len(stage) > 1 and stage[-1] == index:
+            stage[-1] = index + 4
+        else:
+            stage.append(index)
+            stage.append(index + 4)
 
-    def relocate(self, old_ppn: int) -> tuple[int, FlashCommand]:
+    def relocate_into(self, buffer: CommandBuffer, stage: list, old_ppn: int) -> int:
         """Move a live translation page during translation-pool GC.
 
-        Returns the new PPN and the program command (the GC read is issued by
-        the caller).
+        Appends the program command (the GC read is issued by the caller) and
+        returns the new PPN.
         """
         self.flash.touch_read(old_ppn)
         tvpn = self.flash.page_tvpn(old_ppn)
@@ -264,9 +287,30 @@ class TranslationPageStore:
         self.flash.program_translation(new_ppn, tvpn)
         self.flash.invalidate(old_ppn)
         self._tp_ppn[tvpn] = new_ppn
-        return new_ppn, FlashCommand(
-            kind=CommandKind.PROGRAM,
-            chip=self._chip_index(new_ppn),
-            ppn=new_ppn,
-            purpose=CommandPurpose.GC_WRITE,
-        )
+        buffer.append(stage, _CODE_GC_WRITE, self._chip_index(new_ppn), new_ppn)
+        return new_ppn
+
+    # ------------------------------------------------- object-level wrappers
+    def read_command(self, tvpn: int) -> FlashCommand | None:
+        """Object-level :meth:`read_into`: returns the command or ``None``."""
+        buffer = CommandBuffer()
+        stage = buffer.new_stage()
+        if not self.read_into(buffer, stage, tvpn):
+            return None
+        return buffer.commands_of(stage)[0]
+
+    def flush(
+        self, tvpn: int, *, purpose: CommandPurpose = CommandPurpose.TRANSLATION_WRITE
+    ) -> list[FlashCommand]:
+        """Object-level :meth:`flush_into`: returns the command list."""
+        buffer = CommandBuffer()
+        stage = buffer.new_stage()
+        self.flush_into(buffer, stage, tvpn, command_code(CommandKind.PROGRAM, purpose))
+        return buffer.commands_of(stage)
+
+    def relocate(self, old_ppn: int) -> tuple[int, FlashCommand]:
+        """Object-level :meth:`relocate_into`: returns ``(new_ppn, command)``."""
+        buffer = CommandBuffer()
+        stage = buffer.new_stage()
+        new_ppn = self.relocate_into(buffer, stage, old_ppn)
+        return new_ppn, buffer.commands_of(stage)[0]

@@ -21,10 +21,14 @@ from repro.core.base import FTLConfig, StripingFTLBase
 from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
-from repro.ssd.request import HostRequest, ReadOutcome, Transaction
+from repro.ssd.request import HostRequest, ReadOutcome
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["TPFTL"]
+
+_OUT_BUFFER_HIT = ReadOutcome.BUFFER_HIT.code
+_OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+_OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
 
 
 class TPFTL(StripingFTLBase):
@@ -47,48 +51,64 @@ class TPFTL(StripingFTLBase):
             mappings_per_page=geometry.mappings_per_translation_page,
         )
         self._recent_request_lengths: deque[int] = deque(maxlen=32)
+        #: Running sum of the deque (integer page counts, so the incremental
+        #: sum equals the recomputed one exactly); keeps the per-miss
+        #: prefetch-depth computation O(1) instead of O(window).
+        self._recent_length_sum = 0
         self._last_lpn_end: int | None = None
         self._sequential_streak = 0
+        self._mappings_per_page = geometry.mappings_per_translation_page
+        self._num_logical_pages = geometry.num_logical_pages
+        # The CMT's page dict and capacity never get reassigned, so the
+        # prefetch path can hold direct references.
+        self._cmt_pages = self.cmt._pages
+        self._prefetch_ceiling = min(
+            self.config.prefetch_max_entries, max(1, self.cmt.capacity_entries // 2)
+        )
 
     # ------------------------------------------------------------- requests
     def _observe_request(self, request: HostRequest) -> None:
         """Feed the workload-adaptive loading policy: request length and sequentiality."""
-        self._recent_request_lengths.append(request.npages)
+        lengths = self._recent_request_lengths
+        if len(lengths) == lengths.maxlen:
+            self._recent_length_sum -= lengths[0]
+        self._recent_length_sum += request.npages
+        lengths.append(request.npages)
         if self._last_lpn_end is not None and request.lpn == self._last_lpn_end:
             self._sequential_streak = min(self._sequential_streak + 1, 64)
         else:
             self._sequential_streak = 0
         self._last_lpn_end = request.lpn + request.npages
 
-    def read(self, request: HostRequest, now: float) -> Transaction:
+    def read(self, request: HostRequest, now: float) -> None:
         self._observe_request(request)
-        return super().read(request, now)
+        super().read(request, now)
 
-    def write(self, request: HostRequest, now: float) -> Transaction:
+    def write(self, request: HostRequest, now: float) -> None:
         self._observe_request(request)
-        return super().write(request, now)
+        super().write(request, now)
 
     # ----------------------------------------------------------------- read
-    def _translate_read(self, lpn, txn):
-        self.stats.cmt_lookups += 1
+    def _translate_read(self, lpn, head_stage):
+        stats = self.stats
+        stats.cmt_lookups += 1
         cached = self.cmt.lookup(lpn)
         if cached is not None:
-            self.stats.cmt_hits += 1
-            return cached, ReadOutcome.CMT_HIT, [], 0.0
+            stats.cmt_hits += 1
+            return cached, _OUT_CMT_HIT, 0.0
         ppn = self.directory.lookup(lpn)
         if ppn is None:
-            return None, ReadOutcome.BUFFER_HIT, [], 0.0
-        tvpn = self.directory.tvpn_of(lpn)
-        commands = []
-        read_cmd = self.translation_store.read_command(tvpn)
-        if read_cmd is not None:
-            commands.append(read_cmd)
-            outcome = ReadOutcome.DOUBLE_READ
+            return None, _OUT_BUFFER_HIT, 0.0
+        tvpn = lpn // self._mappings_per_page
+        if self.translation_store.read_into(self.buffer, head_stage, tvpn):
+            outcome = _OUT_DOUBLE_READ
         else:
-            outcome = ReadOutcome.CMT_HIT
-            self.stats.cmt_hits += 1
-        self._handle_evictions(self._load_with_prefetch(lpn, ppn), txn)
-        return ppn, outcome, commands, 0.0
+            outcome = _OUT_CMT_HIT
+            stats.cmt_hits += 1
+        evicted = self._load_with_prefetch(lpn, ppn, tvpn)
+        if evicted:
+            self._handle_evictions(evicted)
+        return ppn, outcome, 0.0
 
     def _prefetch_length(self) -> int:
         """Workload-adaptive prefetch depth.
@@ -99,31 +119,47 @@ class TPFTL(StripingFTLBase):
         random 4 KB reads stay at depth 1-2 — the behaviour TPFTL's loading
         policy is designed for.
         """
-        if not self._recent_request_lengths:
+        window = len(self._recent_request_lengths)
+        if window == 0:
             return 1
-        mean_len = sum(self._recent_request_lengths) / len(self._recent_request_lengths)
+        mean_len = self._recent_length_sum / window
         depth = int(round(mean_len * 2)) + 2 * self._sequential_streak
         # Never prefetch more than half the cache: loading one long run must not
         # evict the mappings another thread is about to use.
-        ceiling = min(self.config.prefetch_max_entries, max(1, self.cmt.capacity_entries // 2))
-        return max(1, min(ceiling, depth))
+        return max(1, min(self._prefetch_ceiling, depth))
 
-    def _load_with_prefetch(self, lpn: int, ppn: int) -> list[EvictedPage]:
+    def _load_with_prefetch(self, lpn: int, ppn: int, tvpn: int) -> list[EvictedPage]:
         """Insert the missed mapping plus prefetched neighbours from the same translation page."""
-        depth = self._prefetch_length()
-        tvpn = self.directory.tvpn_of(lpn)
-        tvpn_lpns = self.directory.lpn_range_of_tvpn(tvpn)
+        # Inlined _prefetch_length: this runs for every CMT miss.
+        window = len(self._recent_request_lengths)
+        if window:
+            depth = int(round(self._recent_length_sum / window * 2)) + 2 * self._sequential_streak
+            if depth > self._prefetch_ceiling:
+                depth = self._prefetch_ceiling
+        else:
+            depth = 1
         batch: list[tuple[int, int]] = [(lpn, ppn)]
-        for neighbour in range(lpn + 1, min(lpn + depth, tvpn_lpns.stop)):
-            neighbour_ppn = self.directory.lookup(neighbour)
-            if neighbour_ppn is not None and neighbour not in self.cmt:
-                batch.append((neighbour, neighbour_ppn))
+        if depth > 1:
+            stop = (tvpn + 1) * self._mappings_per_page
+            if stop > self._num_logical_pages:
+                stop = self._num_logical_pages
+            if lpn + depth < stop:
+                stop = lpn + depth
+            # Neighbours stay inside this translation page, so the membership
+            # probe can use its cached node directly (the cache is only
+            # mutated by insert_many below, after the batch is complete).
+            node = self._cmt_pages.get(tvpn)
+            directory_lookup = self.directory.lookup
+            for neighbour in range(lpn + 1, stop):
+                neighbour_ppn = directory_lookup(neighbour)
+                if neighbour_ppn is not None and (node is None or neighbour not in node):
+                    batch.append((neighbour, neighbour_ppn))
         return self.cmt.insert_many(batch, dirty=False)
 
     # ---------------------------------------------------------------- write
-    def _after_write(self, written, txn, now):
+    def _after_write(self, written, now):
         for lpn, ppn in written:
-            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True), txn)
+            self._handle_evictions(self.cmt.insert(lpn, ppn, dirty=True))
 
     def _after_gc_move(self, moved):
         for lpn, ppn in moved:
@@ -131,9 +167,9 @@ class TPFTL(StripingFTLBase):
                 self.cmt.insert(lpn, ppn, dirty=False)
 
     # ------------------------------------------------------------- internal
-    def _handle_evictions(self, evicted: list[EvictedPage], txn) -> None:
+    def _handle_evictions(self, evicted: list[EvictedPage]) -> None:
         for page in evicted:
-            self._flush_translation_page(page.tvpn, txn)
+            self._flush_translation_page(page.tvpn)
 
     def memory_report(self) -> dict[str, int]:
         """CMT occupancy in bytes (entries plus node overhead at 8 bytes/unit)."""

@@ -37,6 +37,7 @@ def run(
     )
     hit_rows: list[dict[str, object]] = []
     wa_rows: list[dict[str, object]] = []
+    device_stats: dict[str, dict[str, dict[str, float]]] = {}
     for ftl_name in ftls:
         row: dict[str, object] = {"ftl": ftl_name}
         for pattern in patterns:
@@ -47,6 +48,11 @@ def run(
             ssd.run(job.requests(spec.geometry), threads=spec.threads)
             stats = ssd.stats
             row[f"{pattern}_mb_s"] = round(stats.throughput_mb_s(), 1)
+            device_stats.setdefault(ftl_name, {})[pattern] = {
+                "iops": stats.iops(),
+                "read_p999_us": stats.read_latency_digest().p999_us,
+                "utilization": stats.utilization(),
+            }
             if is_read:
                 hit_rows.append(
                     {
@@ -71,6 +77,9 @@ def run(
         result.rows.append(row)
     result.extra_tables["fig14b: CMT and model hit ratios"] = hit_rows
     result.extra_tables["fig14c: write amplification"] = wa_rows
+    # Machine-readable per-(ftl, pattern) device metrics for the JSON artifact
+    # (schema v2); per-FTL shards deep-merge back into one mapping.
+    result.raw["device_stats"] = device_stats
     result.notes.append(
         "Expected shape: learnedftl > dftl/tpftl/leaftl on randread and close to ideal; "
         "learnedftl's randwrite write amplification is the lowest of the flash-resident-"

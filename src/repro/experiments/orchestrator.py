@@ -53,7 +53,10 @@ __all__ = [
 ]
 
 #: Version of the on-disk JSON artifact / cache entry layout.
-SCHEMA_VERSION = 1
+#: v2: artifacts carry the harness's machine-readable ``raw`` section (which
+#: now includes per-device ``iops`` / ``read_p999_us`` / ``utilization`` for
+#: the performance experiments).
+SCHEMA_VERSION = 2
 
 _SOURCE_FINGERPRINT: str | None = None
 
@@ -519,6 +522,7 @@ def write_json_artifact(
         "rows": result.rows,
         "notes": result.notes,
         "extra_tables": result.extra_tables,
+        "raw": result.raw,
     }
     path = directory / f"{outcome.name}.json"
     path.write_text(

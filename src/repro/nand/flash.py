@@ -195,6 +195,8 @@ class FlashArray:
         num_blocks = geometry.num_blocks
         self._num_pages = num_pages
         self._pages_per_block = geometry.pages_per_block
+        # Pages per chip (the codec's chip stride), for touch_read_chip.
+        self._chip_stride = self.codec._ppn_chip_stride
         # Page columns, indexed by PPN.
         self._page_state = bytearray(num_pages)
         self._page_lpn = array("q", [_NONE]) * num_pages
@@ -310,6 +312,20 @@ class FlashArray:
         if self._page_state[ppn] == PAGE_FREE:
             raise FlashStateError(f"read of unprogrammed page ppn={ppn}")
         self.total_reads += 1
+
+    def touch_read_chip(self, ppn: int) -> int:
+        """:meth:`touch_read` fused with the chip-index resolution.
+
+        The read paths need both the accounting and the owning chip of every
+        page they read; answering both from one call (and one bounds check)
+        halves the per-command call overhead of the simulation's hottest loop.
+        """
+        if not 0 <= ppn < self._num_pages:
+            self.geometry.check_ppn(ppn)
+        if self._page_state[ppn] == PAGE_FREE:
+            raise FlashStateError(f"read of unprogrammed page ppn={ppn}")
+        self.total_reads += 1
+        return ppn // self._chip_stride
 
     def program(
         self,

@@ -136,12 +136,12 @@ class SSD:
     def submit(self, request: HostRequest, issue_time_us: float | None = None) -> float:
         """Process a single host request; returns its completion time."""
         issue = self._clock_us if issue_time_us is None else issue_time_us
-        txn = self.ftl.process(request, issue)
-        result = self.engine.execute(txn, issue)
-        self.stats.record_latency(request.op is OpType.READ, result.latency_us)
-        self._clock_us = max(self._clock_us, result.finish_us)
+        buffer = self.ftl.encode(request, issue)
+        finish = self.engine.execute_buffer(buffer, issue)
+        self.stats.record_latency(request.op is OpType.READ, finish - issue)
+        self._clock_us = max(self._clock_us, finish)
         self.stats.finish_time_us = self._clock_us
-        return result.finish_us
+        return finish
 
     def run(
         self,
@@ -159,16 +159,22 @@ class SSD:
         # linear scan) in O(log threads) instead of O(threads).
         thread_free: list[tuple[float, int]] = [(start, slot) for slot in range(threads)]
         completed = 0
-        engine_execute = self.engine.execute
-        ftl_process = self.ftl.process
-        record_latency = self.stats.record_latency
+        engine_execute = self.engine.execute_buffer
+        ftl_encode = self.ftl.encode
+        read_latencies = self.stats.read_latencies_us.append
+        write_latencies = self.stats.write_latencies_us.append
+        heapreplace = heapq.heapreplace
+        read_op = OpType.READ
         iterator: Iterator[HostRequest] = iter(requests)
         for request in iterator:
             issue, slot = thread_free[0]
-            txn = ftl_process(request, issue)
-            result = engine_execute(txn, issue)
-            record_latency(request.op is OpType.READ, result.finish_us - issue)
-            heapq.heapreplace(thread_free, (result.finish_us, slot))
+            buffer = ftl_encode(request, issue)
+            finish = engine_execute(buffer, issue)
+            if request.op is read_op:
+                read_latencies(finish - issue)
+            else:
+                write_latencies(finish - issue)
+            heapreplace(thread_free, (finish, slot))
             completed += 1
             if progress is not None and completed % 10_000 == 0:
                 progress(completed)
@@ -177,23 +183,29 @@ class SSD:
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 
     def replay(self, requests: Iterable[HostRequest], *, streams: int = 1) -> RunResult:
-        """Open-loop trace replay honouring per-request arrival timestamps."""
+        """Open-loop trace replay honouring per-request arrival timestamps.
+
+        A request is issued at ``max(arrival, previous completion of its
+        stream)``; ``stream_id`` values beyond ``streams`` wrap around
+        (``stream_id % streams``), so traces recorded with more jobs than the
+        replay is configured for still make progress.
+        """
         if streams <= 0:
             raise ConfigurationError("streams must be positive")
         start = self._clock_us
         stream_free = [start] * streams
         completed = 0
-        engine_execute = self.engine.execute
-        ftl_process = self.ftl.process
+        engine_execute = self.engine.execute_buffer
+        ftl_encode = self.ftl.encode
         record_latency = self.stats.record_latency
         for request in requests:
             slot = request.stream_id % streams
             arrival = start + (request.issue_time_us or 0.0)
             issue = max(arrival, stream_free[slot])
-            txn = ftl_process(request, issue)
-            result = engine_execute(txn, issue)
-            record_latency(request.op is OpType.READ, result.finish_us - issue)
-            stream_free[slot] = result.finish_us
+            buffer = ftl_encode(request, issue)
+            finish = engine_execute(buffer, issue)
+            record_latency(request.op is OpType.READ, finish - issue)
+            stream_free[slot] = finish
             completed += 1
         self._clock_us = max(self._clock_us, max(stream_free))
         self.stats.finish_time_us = self._clock_us
@@ -201,8 +213,24 @@ class SSD:
 
     # --------------------------------------------------------- preconditioning
     def fill_sequential(self, *, io_pages: int = 128, fraction: float = 1.0) -> RunResult:
-        """Sequentially write the logical space once (or a fraction of it)."""
-        total = int(self.geometry.num_logical_pages * fraction)
+        """Sequentially write the logical space once (or a fraction of it).
+
+        ``io_pages`` is clamped to the remaining span at the tail of the
+        device; a request size exceeding the logical space itself (or a
+        non-positive one) cannot produce a meaningful request stream and
+        raises :class:`ConfigurationError`.
+        """
+        num_logical_pages = self.geometry.num_logical_pages
+        if io_pages <= 0:
+            raise ConfigurationError(f"io_pages must be positive, got {io_pages}")
+        if io_pages > num_logical_pages:
+            raise ConfigurationError(
+                f"io_pages={io_pages} exceeds the logical space of "
+                f"{num_logical_pages} pages; use a smaller request size for this geometry"
+            )
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        total = int(num_logical_pages * fraction)
         requests = (
             HostRequest(op=OpType.WRITE, lpn=lpn, npages=min(io_pages, total - lpn))
             for lpn in range(0, total, io_pages)
@@ -212,11 +240,26 @@ class SSD:
     def overwrite_random(
         self, *, pages: int, io_pages: int = 1, seed: int = 7, threads: int = 1
     ) -> RunResult:
-        """Randomly overwrite ``pages`` logical pages (steady-state conditioning)."""
+        """Randomly overwrite ``pages`` logical pages (steady-state conditioning).
+
+        ``io_pages`` must fit inside the logical space — otherwise every
+        generated request would spill past the end of the device — and
+        ``pages`` must be non-negative.
+        """
+        num_logical_pages = self.geometry.num_logical_pages
+        if io_pages <= 0:
+            raise ConfigurationError(f"io_pages must be positive, got {io_pages}")
+        if io_pages > num_logical_pages:
+            raise ConfigurationError(
+                f"io_pages={io_pages} exceeds the logical space of "
+                f"{num_logical_pages} pages; every overwrite would run past the device end"
+            )
+        if pages < 0:
+            raise ConfigurationError(f"pages must be non-negative, got {pages}")
         rng = random.Random(seed)
-        limit = self.geometry.num_logical_pages - io_pages
+        limit = num_logical_pages - io_pages
         requests = (
-            HostRequest(op=OpType.WRITE, lpn=rng.randint(0, max(0, limit)), npages=io_pages)
+            HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit), npages=io_pages)
             for _ in range(pages // io_pages)
         )
         return self.run(requests, threads=threads)

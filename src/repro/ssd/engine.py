@@ -2,7 +2,7 @@
 
 The engine owns one busy-until timestamp per flash chip (the parallel unit
 granularity used by the paper's FEMU configuration) and executes the staged
-transactions produced by the FTLs:
+flash work produced by the FTLs:
 
 * commands inside one stage may overlap on *different* chips;
 * commands targeting the same chip serialize on that chip's timeline;
@@ -10,6 +10,15 @@ transactions produced by the FTLs:
   (this is what makes a double read cost two serialized NAND reads);
 * per-stage ``compute_us`` models controller CPU time and delays only the
   issuing request, never the chips.
+
+The hot path is :meth:`TimingEngine.execute_buffer`, which consumes the flat
+:class:`~repro.ssd.request.CommandBuffer` encoding directly: per command it
+reads one integer code and one chip index, looks the latency up in a
+code-indexed table and buckets the statistics with a single list increment —
+no command objects, no enum dispatch.  :meth:`TimingEngine.execute` executes
+the object-level :class:`Transaction` view with identical timing arithmetic
+and counts through :meth:`SimulationStats.record_commands`, which encodes into
+the same flat buckets; the two paths therefore cannot drift apart.
 
 The host side is a closed-loop ("psync") thread model: each of the N threads
 issues its next request as soon as its previous one completes, exactly like
@@ -22,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.nand.timing import TimingModel
-from repro.ssd.request import CommandKind, FlashCommand, Stage, Transaction
+from repro.ssd.request import KIND_BY_CODE, CommandBuffer, CommandKind, Transaction
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["ChipTimeline", "TransactionResult", "TimingEngine"]
@@ -81,7 +90,7 @@ class ChipTimeline:
 
 
 class TimingEngine:
-    """Execute transactions against the chip timelines and record statistics."""
+    """Execute encoded transactions against the chip timelines and record statistics."""
 
     def __init__(self, num_chips: int, timing: TimingModel, stats: SimulationStats) -> None:
         self.timeline = ChipTimeline(num_chips)
@@ -90,35 +99,98 @@ class TimingEngine:
         # Per-kind latency table, precomputed once so the per-command cost is a
         # lookup instead of a string dispatch through the timing model.
         self._latency = {kind: timing.latency_of(kind.value) for kind in CommandKind}
-        self._read_us = self._latency[CommandKind.READ]
-        self._program_us = self._latency[CommandKind.PROGRAM]
-        self._erase_us = self._latency[CommandKind.ERASE]
+        # Per-code latency table: the latency depends only on the kind bits of
+        # the flat command code, so one list index resolves it.
+        self._duration_by_code = [self._latency[kind] for kind in KIND_BY_CODE]
         # The stats object is bound for the engine's lifetime (resetting stats
-        # builds a fresh engine), so its per-purpose counters can be cached and
-        # incremented inline in the stage loop.
-        self._reads_by_purpose = stats.flash_reads
-        self._programs_by_purpose = stats.flash_programs
-        self._erases_by_purpose = stats.flash_erases
+        # builds a fresh engine), so its flat count arrays can be cached and
+        # incremented inline in the buffer loop.
+        self._command_counts = stats.command_counts
+        self._outcome_counts = stats.outcome_counts
+        # Expose chip occupancy through the stats object (utilization metric):
+        # busy_time is aliased, not copied, so the view is always current.
+        stats.num_chips = num_chips
+        stats.chip_busy_time_us = self.timeline.busy_time
 
-    def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:
-        """Run every stage of a transaction starting no earlier than ``issue_time_us``.
+    def execute_buffer(self, buffer: CommandBuffer, issue_time_us: float) -> float:
+        """Run every stage of an encoded transaction starting no earlier than
+        ``issue_time_us``; returns the transaction's finish time.
 
         Stages execute strictly in order; commands inside a stage overlap
-        across chips and serialize per chip.  Commands are counted into the
-        statistics inline: this loop runs for every flash command of the
-        simulation, so it is written with all per-command state in locals.
+        across chips and serialize per chip.  This loop runs for every flash
+        command of the simulation, so all per-command state lives in locals
+        and every command costs two list indexings (code and chip), one
+        latency lookup and one statistics increment.  Unlike the object-level
+        :meth:`execute` it returns a bare float — callers on the hot path only
+        need the completion time, and per-request result objects were a
+        measurable share of the simulation loop.
+        """
+        cursor = issue_time_us
+        ops = buffer.ops
+        durations = self._duration_by_code
+        counts = self._command_counts
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
+        for record in buffer.stages:
+            dispatch = cursor + record[0]
+            stage_finish = dispatch
+            record_len = len(record)
+            k = 1
+            while k < record_len:
+                start_slot = record[k]
+                end_slot = record[k + 1]
+                k += 2
+                if end_slot - start_slot == 4:
+                    # Single-command segment: the overwhelmingly common case
+                    # (one translation read, one data read, one program).
+                    code = ops[start_slot]
+                    duration = durations[code]
+                    counts[code] += 1
+                    chip = ops[start_slot + 1]
+                    start = busy_until[chip]
+                    if start < dispatch:
+                        start = dispatch
+                    finish = start + duration
+                    busy_until[chip] = finish
+                    busy_time[chip] += duration
+                    if finish > stage_finish:
+                        stage_finish = finish
+                    continue
+                for i in range(start_slot, end_slot, 4):
+                    code = ops[i]
+                    duration = durations[code]
+                    counts[code] += 1
+                    chip = ops[i + 1]
+                    start = busy_until[chip]
+                    if start < dispatch:
+                        start = dispatch
+                    finish = start + duration
+                    busy_until[chip] = finish
+                    busy_time[chip] += duration
+                    if finish > stage_finish:
+                        stage_finish = finish
+            cursor = stage_finish
+        outcome_codes = buffer.outcome_codes
+        if outcome_codes:
+            outcome_counts = self._outcome_counts
+            for code in outcome_codes:
+                outcome_counts[code] += 1
+        return cursor if cursor > issue_time_us else issue_time_us
+
+    def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:
+        """Execute an object-level :class:`Transaction` view.
+
+        Kept for tests and introspection (hand-built transactions, parity
+        checks against :meth:`execute_buffer`).  The timing arithmetic is
+        identical to the buffer path and the commands are counted through
+        :meth:`SimulationStats.record_commands`, i.e. into the same flat
+        integer-coded buckets the buffer loop increments.
         """
         cursor = issue_time_us
         flash_time = 0.0
         compute_time = 0.0
-        read_kind = CommandKind.READ
-        program_kind = CommandKind.PROGRAM
-        read_us = self._read_us
-        program_us = self._program_us
-        erase_us = self._erase_us
-        reads = self._reads_by_purpose
-        programs = self._programs_by_purpose
-        erases = self._erases_by_purpose
+        latency = self._latency
+        record_commands = self.stats.record_commands
         busy_until = self.timeline._busy_until
         busy_time = self.timeline.busy_time
         for stage in transaction.stages:
@@ -126,29 +198,21 @@ class TimingEngine:
             dispatch = cursor + compute_us
             stage_finish = dispatch
             compute_time += compute_us
-            for command in stage.commands:
-                # Inline copy of SimulationStats.record_commands' dispatch —
-                # keep the two in sync if command bucketing ever changes.
-                kind = command.kind
-                if kind is read_kind:
-                    duration = read_us
-                    reads[command.purpose] += 1
-                elif kind is program_kind:
-                    duration = program_us
-                    programs[command.purpose] += 1
-                else:
-                    duration = erase_us
-                    erases[command.purpose] += 1
-                chip = command.chip
-                start = busy_until[chip]
-                if start < dispatch:
-                    start = dispatch
-                finish = start + duration
-                busy_until[chip] = finish
-                busy_time[chip] += duration
-                if finish > stage_finish:
-                    stage_finish = finish
-                flash_time += duration
+            commands = stage.commands
+            if commands:
+                record_commands(commands)
+                for command in commands:
+                    duration = latency[command.kind]
+                    chip = command.chip
+                    start = busy_until[chip]
+                    if start < dispatch:
+                        start = dispatch
+                    finish = start + duration
+                    busy_until[chip] = finish
+                    busy_time[chip] += duration
+                    if finish > stage_finish:
+                        stage_finish = finish
+                    flash_time += duration
             cursor = stage_finish
         if transaction.outcomes:
             self.stats.record_outcomes(transaction.outcomes)
@@ -159,35 +223,3 @@ class TimingEngine:
             flash_time_us=flash_time,
             compute_time_us=compute_time,
         )
-
-    def _execute_stage(self, stage: Stage, start_us: float) -> tuple[float, float, float]:
-        """Execute one stage; returns ``(stage_finish, flash_time, compute_time)``.
-
-        Kept for tests and external callers; :meth:`execute` inlines this loop.
-        """
-        dispatch = start_us + stage.compute_us
-        stage_finish = dispatch
-        flash_time = 0.0
-        commands = stage.commands
-        if commands:
-            timeline = self.timeline
-            busy_until = timeline._busy_until
-            busy_time = timeline.busy_time
-            latency = self._latency
-            for command in commands:
-                duration = latency[command.kind]
-                chip = command.chip
-                start = busy_until[chip]
-                if start < dispatch:
-                    start = dispatch
-                finish = start + duration
-                busy_until[chip] = finish
-                busy_time[chip] += duration
-                if finish > stage_finish:
-                    stage_finish = finish
-                flash_time += duration
-            self.stats.record_commands(commands)
-        return stage_finish, flash_time, stage.compute_us
-
-    def _duration(self, command: FlashCommand) -> float:
-        return self._latency[command.kind]

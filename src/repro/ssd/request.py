@@ -1,11 +1,31 @@
-"""Host request and flash command representations.
+"""Host request representation and the flat flash-command encoding.
 
 The host talks to the simulated SSD in page-granular requests
-(:class:`HostRequest`).  The FTL turns each host request into a
-:class:`Transaction`: an ordered list of :class:`Stage` objects.  Commands
-inside a stage may execute in parallel on different chips; stages execute
-strictly one after another (e.g. the translation-page read of a double read
-must finish before the data read can start).
+(:class:`HostRequest`).  The FTL turns each host request into flash work that
+is organized in *stages*: commands inside a stage may execute in parallel on
+different chips; stages execute strictly one after another (e.g. the
+translation-page read of a double read must finish before the data read can
+start).
+
+Two representations of that staged work exist:
+
+* :class:`CommandBuffer` — the **flat transaction encoding** used on the hot
+  path.  One buffer per FTL, reset per request: parallel arrays of command
+  code / chip / ppn / block plus per-stage segment offsets and an outcome
+  array.  FTL helpers append integer-coded commands into it and
+  :meth:`repro.ssd.engine.TimingEngine.execute_buffer` consumes it directly —
+  no per-command object is ever allocated.
+
+* :class:`Transaction` / :class:`Stage` / :class:`FlashCommand` — the thin
+  object view kept for tests and introspection, materialized on demand from a
+  buffer via :meth:`CommandBuffer.to_transaction`.
+
+Command identity is a single small integer::
+
+    code = kind.code * NUM_PURPOSES + purpose.code
+
+so the timing engine can look up both the latency (a function of the kind
+bits) and the statistics bucket with one list index.
 """
 
 from __future__ import annotations
@@ -23,6 +43,14 @@ __all__ = [
     "Stage",
     "Transaction",
     "ReadOutcome",
+    "CommandBuffer",
+    "OP_STRIDE",
+    "command_code",
+    "NUM_PURPOSES",
+    "NUM_COMMAND_CODES",
+    "KIND_BY_CODE",
+    "PURPOSE_BY_CODE",
+    "OUTCOME_BY_CODE",
 ]
 
 
@@ -96,16 +124,62 @@ class CommandPurpose(enum.Enum):
     __hash__ = object.__hash__
 
 
+class ReadOutcome(enum.Enum):
+    """Classification of a single host page read (Figure 6b / 14b)."""
+
+    BUFFER_HIT = "buffer_hit"
+    CMT_HIT = "cmt_hit"
+    MODEL_HIT = "model_hit"
+    DOUBLE_READ = "double_read"
+    TRIPLE_READ = "triple_read"
+
+    __hash__ = object.__hash__
+
+
+# --------------------------------------------------------------------- codes
+#: Canonical kind order used by the integer encoding (index == ``kind.code``).
+_KINDS: tuple[CommandKind, ...] = (CommandKind.READ, CommandKind.PROGRAM, CommandKind.ERASE)
+
+#: Number of distinct command purposes (the stride of the kind bits).
+NUM_PURPOSES = len(CommandPurpose)
+
+#: Total number of distinct (kind, purpose) command codes.
+NUM_COMMAND_CODES = len(_KINDS) * NUM_PURPOSES
+
+# Each enum member carries its integer code as a plain attribute so hot paths
+# can encode without a dict lookup.
+for _index, _kind in enumerate(_KINDS):
+    _kind.code = _index
+for _index, _purpose in enumerate(CommandPurpose):
+    _purpose.code = _index
+for _index, _outcome in enumerate(ReadOutcome):
+    _outcome.code = _index
+
+#: Decode tables: command code -> kind / purpose enum member.
+KIND_BY_CODE: tuple[CommandKind, ...] = tuple(
+    kind for kind in _KINDS for _ in range(NUM_PURPOSES)
+)
+PURPOSE_BY_CODE: tuple[CommandPurpose, ...] = tuple(CommandPurpose) * len(_KINDS)
+
+#: Decode table: outcome code -> :class:`ReadOutcome` member.
+OUTCOME_BY_CODE: tuple[ReadOutcome, ...] = tuple(ReadOutcome)
+
+
+def command_code(kind: CommandKind, purpose: CommandPurpose) -> int:
+    """Encode a (kind, purpose) pair into its flat integer command code."""
+    return kind.code * NUM_PURPOSES + purpose.code
+
+
 class FlashCommand(NamedTuple):
-    """A single NAND operation bound for one chip.
+    """A single NAND operation bound for one chip (object view).
 
     ``ppn`` addresses reads/programs; ``block`` addresses erases.  The flat
     ``chip`` index is resolved by the FTL (which owns the address codec) so the
     timing engine needs no geometry knowledge.
 
-    A ``NamedTuple`` rather than a frozen dataclass: millions of commands are
-    created per simulated run and tuple construction is several times cheaper,
-    with the same immutable attribute interface.
+    The hot path never allocates these: FTLs encode commands as integers in a
+    :class:`CommandBuffer` and the object form is materialized only for tests
+    and introspection (:meth:`CommandBuffer.to_transaction`).
     """
 
     kind: CommandKind
@@ -114,10 +188,15 @@ class FlashCommand(NamedTuple):
     block: int | None = None
     purpose: CommandPurpose = CommandPurpose.DATA_READ
 
+    @property
+    def code(self) -> int:
+        """The flat integer command code of this command."""
+        return self.kind.code * NUM_PURPOSES + self.purpose.code
+
 
 @dataclass(slots=True)
 class Stage:
-    """One serialization point of a transaction.
+    """One serialization point of a transaction (object view).
 
     ``compute_us`` models controller CPU time (model prediction, sorting,
     training) charged before the stage's flash commands are dispatched.
@@ -131,21 +210,9 @@ class Stage:
         return not self.commands and self.compute_us <= 0.0
 
 
-class ReadOutcome(enum.Enum):
-    """Classification of a single host page read (Figure 6b / 14b)."""
-
-    BUFFER_HIT = "buffer_hit"
-    CMT_HIT = "cmt_hit"
-    MODEL_HIT = "model_hit"
-    DOUBLE_READ = "double_read"
-    TRIPLE_READ = "triple_read"
-
-    __hash__ = object.__hash__
-
-
 @dataclass(slots=True)
 class Transaction:
-    """The full set of flash work generated by one host request."""
+    """The full set of flash work generated by one host request (object view)."""
 
     request: HostRequest
     stages: list[Stage] = field(default_factory=list)
@@ -178,3 +245,142 @@ class Transaction:
     def flash_program_count(self) -> int:
         """Number of NAND program commands in the transaction."""
         return sum(1 for c in self.iter_commands() if c.kind is CommandKind.PROGRAM)
+
+
+#: Number of slots one command occupies in :attr:`CommandBuffer.ops`.
+OP_STRIDE = 4
+
+
+class CommandBuffer:
+    """Reusable flat encoding of one transaction.
+
+    Commands live in a single interleaved list :attr:`ops` with a stride of
+    :data:`OP_STRIDE` slots per command — ``code, chip, ppn, block`` (``-1``
+    stands for "not applicable") — so emitting a command is one C-level
+    ``list.extend`` of a tuple.  The timing engine reads only the ``code`` and
+    ``chip`` slots; ``ppn``/``block`` exist for the object view and debugging.
+
+    A stage is a flat record list ``[compute_us, s0, e0, s1, e1, ...]`` whose
+    tail holds ``start, end`` slot ranges (segments) into ``ops``.  A stage
+    usually owns a single contiguous segment, but interleaved emission (GC
+    reads and writes built in one pass, the head translation stage of a read
+    assembled while eviction flushes commit) produces several.
+
+    Stage records are *floating* until committed: creating one is just ``[0.0]``
+    (:meth:`new_stage`), commands are appended to it in any order relative to
+    other stages, and :meth:`commit_stage` fixes its position in the execution
+    order (appended, or at the front for the translation stage of a read).
+    Within a stage the command order never affects timing — commands on
+    distinct chips are independent and same-chip commands serialize to the
+    same finish time — so segment interleaving is purely an encoding concern.
+    """
+
+    __slots__ = ("request", "ops", "outcome_codes", "stages")
+
+    def __init__(self) -> None:
+        self.request: HostRequest | None = None
+        #: Interleaved command slots: ``code, chip, ppn, block`` per command.
+        self.ops: list[int] = []
+        self.outcome_codes: list[int] = []
+        #: Committed stage records in execution order.
+        self.stages: list[list] = []
+
+    # -------------------------------------------------------------- lifecycle
+    def reset(self, request: HostRequest | None = None) -> "CommandBuffer":
+        """Empty the buffer (keeping its storage) and bind it to a new request."""
+        self.request = request
+        self.ops.clear()
+        self.outcome_codes.clear()
+        self.stages.clear()
+        return self
+
+    # ----------------------------------------------------------------- stages
+    @staticmethod
+    def new_stage() -> list:
+        """Create a floating stage record.
+
+        The record does not participate in execution until
+        :meth:`commit_stage` places it; several floating stages may be filled
+        concurrently.  Hot paths build the record literal ``[0.0]`` inline —
+        this constructor exists for readability elsewhere.
+        """
+        return [0.0]
+
+    def append(self, stage: list, code: int, chip: int, ppn: int = -1, block: int = -1) -> None:
+        """Append one integer-coded command to ``ops`` and to ``stage``.
+
+        Hot paths inline this body (one ``ops.extend`` plus the segment
+        update); the method form serves the colder GC/flush paths.
+        """
+        ops = self.ops
+        index = len(ops)
+        ops.extend((code, chip, ppn, block))
+        if len(stage) > 1 and stage[-1] == index:
+            stage[-1] = index + OP_STRIDE
+        else:
+            stage.append(index)
+            stage.append(index + OP_STRIDE)
+
+    def commit_stage(self, stage: list, compute_us: float = 0.0, *, front: bool = False) -> bool:
+        """Fix a floating stage's position in the execution order.
+
+        Stages with neither commands nor compute time are dropped, matching
+        :meth:`Transaction.add_stage`.  ``front=True`` reproduces the
+        ``stages.insert(0, ...)`` of the read path, where the translation
+        stage must precede eviction flushes emitted while it was still open.
+        """
+        if len(stage) == 1 and compute_us <= 0.0:
+            return False
+        stage[0] = compute_us
+        if front:
+            self.stages.insert(0, stage)
+        else:
+            self.stages.append(stage)
+        return True
+
+    def stage_size(self, stage: list) -> int:
+        """Number of commands recorded in a stage (committed or floating)."""
+        return sum(stage[i + 1] - stage[i] for i in range(1, len(stage), 2)) // OP_STRIDE
+
+    # --------------------------------------------------------------- outcomes
+    def add_outcome(self, code: int) -> None:
+        """Record the integer-coded classification of one host page read."""
+        self.outcome_codes.append(code)
+
+    # ------------------------------------------------------------ object view
+    def commands_of(self, stage: list) -> list[FlashCommand]:
+        """Materialize one stage's commands as :class:`FlashCommand` objects."""
+        ops = self.ops
+        commands: list[FlashCommand] = []
+        for k in range(1, len(stage), 2):
+            for i in range(stage[k], stage[k + 1], OP_STRIDE):
+                code = ops[i]
+                ppn = ops[i + 2]
+                block = ops[i + 3]
+                commands.append(
+                    FlashCommand(
+                        KIND_BY_CODE[code],
+                        ops[i + 1],
+                        None if ppn < 0 else ppn,
+                        None if block < 0 else block,
+                        PURPOSE_BY_CODE[code],
+                    )
+                )
+        return commands
+
+    def to_transaction(self) -> Transaction:
+        """Materialize the thin :class:`Transaction` view (tests/introspection)."""
+        if self.request is None:
+            raise ValueError("buffer is not bound to a request; call reset(request) first")
+        txn = Transaction(self.request)
+        for record in self.stages:
+            txn.stages.append(Stage(commands=self.commands_of(record), compute_us=record[0]))
+        outcome_by_code = OUTCOME_BY_CODE
+        txn.outcomes = [outcome_by_code[code] for code in self.outcome_codes]
+        return txn
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def command_count(self) -> int:
+        """Total commands encoded for the current request."""
+        return len(self.ops) // OP_STRIDE

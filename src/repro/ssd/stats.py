@@ -11,6 +11,13 @@ engine and the FTL.  Everything the paper's figures report is derived from it:
   (Figures 14(a), 18, 19(a), 20 and 21);
 * controller-computation time for Figures 15, 17 and 18(a);
 * flash-operation energy for Figure 22.
+
+Flash commands and read outcomes are bucketed from their **integer codes**
+(see :mod:`repro.ssd.request`) into flat count arrays — the one accounting
+path shared by the buffer-executing engine hot loop and the object-level
+:meth:`SimulationStats.record_commands`.  The familiar per-purpose ``Counter``
+views (``flash_reads``/``flash_programs``/``flash_erases``/``read_outcomes``)
+are derived properties over those arrays.
 """
 
 from __future__ import annotations
@@ -21,9 +28,19 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.ssd.request import CommandKind, CommandPurpose, FlashCommand, ReadOutcome
+from repro.ssd.request import (
+    NUM_COMMAND_CODES,
+    NUM_PURPOSES,
+    CommandKind,
+    CommandPurpose,
+    FlashCommand,
+    ReadOutcome,
+)
 
 __all__ = ["GCEvent", "LatencyDigest", "SimulationStats"]
+
+#: Number of distinct read-outcome codes.
+_NUM_OUTCOMES = len(ReadOutcome)
 
 
 @dataclass(frozen=True)
@@ -81,13 +98,14 @@ class SimulationStats:
     host_read_pages: int = 0
     host_write_pages: int = 0
 
-    # Flash command breakdown ----------------------------------------------
-    flash_reads: Counter = field(default_factory=Counter)
-    flash_programs: Counter = field(default_factory=Counter)
-    flash_erases: Counter = field(default_factory=Counter)
+    # Flash command / outcome buckets ---------------------------------------
+    #: Commands counted by flat integer code (kind * NUM_PURPOSES + purpose);
+    #: incremented directly by the timing engine's buffer hot loop.
+    command_counts: list[int] = field(default_factory=lambda: [0] * NUM_COMMAND_CODES)
+    #: Host page reads counted by :class:`ReadOutcome` code.
+    outcome_counts: list[int] = field(default_factory=lambda: [0] * _NUM_OUTCOMES)
 
     # Read-path classification ----------------------------------------------
-    read_outcomes: Counter = field(default_factory=Counter)
     cmt_lookups: int = 0
     cmt_hits: int = 0
     model_lookups: int = 0
@@ -108,6 +126,13 @@ class SimulationStats:
     write_latencies_us: list[float] = field(default_factory=list)
     finish_time_us: float = 0.0
 
+    # Chip occupancy (wired by the timing engine) ------------------------------
+    #: Number of chips in the device driving these stats (0 = no engine bound).
+    num_chips: int = 0
+    #: Per-chip busy time; aliased to the engine timeline's accumulator so the
+    #: values are always current without per-command bookkeeping here.
+    chip_busy_time_us: list[float] = field(default_factory=list)
+
     # ------------------------------------------------------------ recording
     def record_host_request(self, is_read: bool, npages: int) -> None:
         """Count one host request of ``npages`` logical pages."""
@@ -120,34 +145,29 @@ class SimulationStats:
 
     def record_command(self, command: FlashCommand) -> None:
         """Count a flash command by kind and purpose."""
-        self.record_commands((command,))
+        self.command_counts[command.kind.code * NUM_PURPOSES + command.purpose.code] += 1
 
     def record_commands(self, commands: Iterable[FlashCommand]) -> None:
-        """Count a batch of flash commands (one stage) in a single pass.
+        """Count a batch of flash commands through the flat integer encoding.
 
-        NOTE: ``TimingEngine.execute`` inlines this kind-to-counter dispatch in
-        its per-command loop for speed; a change to how kinds are bucketed here
-        must be mirrored there.
+        This is the same ``command_counts`` bucket the buffer-executing engine
+        increments inline, so object-level and buffer-level execution share one
+        accounting path.
         """
-        reads = self.flash_reads
-        programs = self.flash_programs
-        erases = self.flash_erases
+        counts = self.command_counts
+        stride = NUM_PURPOSES
         for command in commands:
-            kind = command.kind
-            if kind is CommandKind.READ:
-                reads[command.purpose] += 1
-            elif kind is CommandKind.PROGRAM:
-                programs[command.purpose] += 1
-            else:
-                erases[command.purpose] += 1
+            counts[command.kind.code * stride + command.purpose.code] += 1
 
     def record_outcome(self, outcome: ReadOutcome) -> None:
         """Record the classification of one host page read."""
-        self.read_outcomes[outcome] += 1
+        self.outcome_counts[outcome.code] += 1
 
     def record_outcomes(self, outcomes: Iterable[ReadOutcome]) -> None:
         """Record a batch of read classifications (one transaction) at once."""
-        self.read_outcomes.update(outcomes)
+        counts = self.outcome_counts
+        for outcome in outcomes:
+            counts[outcome.code] += 1
 
     def record_latency(self, is_read: bool, latency_us: float) -> None:
         """Record the completion latency of one host request."""
@@ -156,21 +176,59 @@ class SimulationStats:
         else:
             self.write_latencies_us.append(latency_us)
 
+    # --------------------------------------------------------- counter views
+    def _purpose_counter(self, kind: CommandKind) -> Counter:
+        base = kind.code * NUM_PURPOSES
+        counts = self.command_counts
+        return Counter(
+            {
+                purpose: counts[base + purpose.code]
+                for purpose in CommandPurpose
+                if counts[base + purpose.code]
+            }
+        )
+
+    @property
+    def flash_reads(self) -> Counter:
+        """NAND read commands by :class:`CommandPurpose` (derived view)."""
+        return self._purpose_counter(CommandKind.READ)
+
+    @property
+    def flash_programs(self) -> Counter:
+        """NAND program commands by :class:`CommandPurpose` (derived view)."""
+        return self._purpose_counter(CommandKind.PROGRAM)
+
+    @property
+    def flash_erases(self) -> Counter:
+        """NAND erase commands by :class:`CommandPurpose` (derived view)."""
+        return self._purpose_counter(CommandKind.ERASE)
+
+    @property
+    def read_outcomes(self) -> Counter:
+        """Host page reads by :class:`ReadOutcome` (derived view)."""
+        counts = self.outcome_counts
+        return Counter(
+            {outcome: counts[outcome.code] for outcome in ReadOutcome if counts[outcome.code]}
+        )
+
     # ------------------------------------------------------------- derived
     @property
     def total_flash_reads(self) -> int:
         """Total NAND read commands issued."""
-        return sum(self.flash_reads.values())
+        base = CommandKind.READ.code * NUM_PURPOSES
+        return sum(self.command_counts[base : base + NUM_PURPOSES])
 
     @property
     def total_flash_programs(self) -> int:
         """Total NAND program commands issued."""
-        return sum(self.flash_programs.values())
+        base = CommandKind.PROGRAM.code * NUM_PURPOSES
+        return sum(self.command_counts[base : base + NUM_PURPOSES])
 
     @property
     def total_flash_erases(self) -> int:
         """Total NAND erase commands issued."""
-        return sum(self.flash_erases.values())
+        base = CommandKind.ERASE.code * NUM_PURPOSES
+        return sum(self.command_counts[base : base + NUM_PURPOSES])
 
     @property
     def gc_count(self) -> int:
@@ -196,17 +254,18 @@ class SimulationStats:
 
     def model_hit_ratio(self) -> float:
         """Fraction of host page reads resolved by an accurate model prediction."""
-        reads = sum(self.read_outcomes.values())
+        reads = sum(self.outcome_counts)
         if reads == 0:
             return 0.0
-        return self.read_outcomes[ReadOutcome.MODEL_HIT] / reads
+        return self.outcome_counts[ReadOutcome.MODEL_HIT.code] / reads
 
     def outcome_fractions(self) -> dict[str, float]:
         """Per-outcome fraction of host page reads (single/double/triple breakdown)."""
-        total = sum(self.read_outcomes.values())
+        counts = self.outcome_counts
+        total = sum(counts)
         if total == 0:
             return {outcome.value: 0.0 for outcome in ReadOutcome}
-        return {outcome.value: self.read_outcomes[outcome] / total for outcome in ReadOutcome}
+        return {outcome.value: counts[outcome.code] / total for outcome in ReadOutcome}
 
     def single_read_fraction(self) -> float:
         """Fraction of host page reads needing exactly one flash read (or none)."""
@@ -261,12 +320,23 @@ class SimulationStats:
         requests = self.host_read_requests + self.host_write_requests
         return requests / (self.finish_time_us / 1_000_000.0)
 
+    def utilization(self) -> float:
+        """Average fraction of the run the flash chips spent busy.
+
+        Derived from the engine timeline's per-chip busy time; 0.0 when no
+        engine is bound to these stats (bare unit-test instances).
+        """
+        if self.finish_time_us <= 0.0 or self.num_chips <= 0:
+            return 0.0
+        return sum(self.chip_busy_time_us) / (self.finish_time_us * self.num_chips)
+
     def compute_time_us(self) -> float:
         """Total controller computation time charged (sort + train + predict)."""
         return self.sort_time_us + self.train_time_us + self.predict_time_us
 
     def summary(self) -> dict[str, float]:
         """Return a flat dictionary of headline metrics, used by reports and tests."""
+        read_digest = self.read_latency_digest()
         return {
             "host_read_pages": float(self.host_read_pages),
             "host_write_pages": float(self.host_write_pages),
@@ -281,6 +351,9 @@ class SimulationStats:
             "triple_read_fraction": self.triple_read_fraction(),
             "gc_count": float(self.gc_count),
             "throughput_mb_s": self.throughput_mb_s(),
-            "read_p99_us": self.read_latency_digest().p99_us,
+            "iops": self.iops(),
+            "read_p99_us": read_digest.p99_us,
+            "read_p999_us": read_digest.p999_us,
+            "utilization": self.utilization(),
             "finish_time_us": self.finish_time_us,
         }

@@ -60,12 +60,22 @@ def _fake_boom(scale="tiny", **kwargs):
     raise RuntimeError("intentional fake failure")
 
 
+def _fake_gamma(scale="tiny", **kwargs):
+    return ExperimentResult(
+        name="fakegamma",
+        description="fake experiment with raw metrics",
+        rows=[{"ftl": "dftl", "value": 1.5}],
+        raw={"metric": {"dftl": 1.5}},
+    )
+
+
 @pytest.fixture
 def fake_registry(monkeypatch):
     """Register the fake experiments (removed again on teardown)."""
     monkeypatch.setitem(EXPERIMENTS, "fakealpha", (_fake_alpha, "fake experiment alpha"))
     monkeypatch.setitem(EXPERIMENTS, "fakebeta", (_fake_beta, "fake experiment beta"))
     monkeypatch.setitem(EXPERIMENTS, "fakeboom", (_fake_boom, "always fails"))
+    monkeypatch.setitem(EXPERIMENTS, "fakegamma", (_fake_gamma, "fake with raw"))
     _FAKE_CALLS.clear()
     yield
 
@@ -96,7 +106,7 @@ class TestCLIBasics:
         json_dir = tmp_path / "json"
         assert cli_main(["fig15", "--scale", "tiny", "--json-dir", str(json_dir)]) == 0
         payload = json.loads((json_dir / "fig15.json").read_text())
-        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["schema_version"] == SCHEMA_VERSION == 2
         assert payload["experiment"] == "fig15"
         assert payload["scale"] == "tiny"
         assert payload["elapsed_s"] >= 0.0
@@ -104,6 +114,25 @@ class TestCLIBasics:
             "sorting", "training", "prediction",
         ]
         assert payload["notes"]
+        # Schema v2 carries the machine-readable raw section in the artifact.
+        assert "raw" in payload
+
+    def test_artifact_preserves_raw_metrics(self, tmp_path, capsys, fake_registry):
+        json_dir = tmp_path / "json"
+        assert cli_main(["fakegamma", "--scale", "tiny", "--json-dir", str(json_dir)]) == 0
+        payload = json.loads((json_dir / "fakegamma.json").read_text())
+        assert payload["raw"] == {"metric": {"dftl": 1.5}}
+
+    def test_fig14_raw_exposes_device_stats(self):
+        # The headline performance experiment reports iops / read_p999_us /
+        # chip utilization per (ftl, pattern) in its raw section, which the
+        # v2 artifacts serialize verbatim (one cheap cell keeps this fast).
+        result = run_experiment("fig14", scale="tiny", ftls=("ideal",), patterns=("randread",))
+        metrics = result.raw["device_stats"]["ideal"]["randread"]
+        assert set(metrics) == {"iops", "read_p999_us", "utilization"}
+        assert metrics["iops"] > 0.0
+        assert metrics["read_p999_us"] > 0.0
+        assert 0.0 < metrics["utilization"] <= 1.0
 
     def test_csv_artifact_matches_result_rows(self, tmp_path, capsys, fake_registry):
         assert cli_main(["fakealpha", "--scale", "tiny", "--csv-dir", str(tmp_path)]) == 0

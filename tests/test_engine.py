@@ -2,18 +2,24 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.nand.timing import TimingModel
+from repro.ssd.device import SSD
 from repro.ssd.engine import ChipTimeline, TimingEngine
 from repro.ssd.request import (
+    CommandBuffer,
     CommandKind,
+    CommandPurpose,
     FlashCommand,
     HostRequest,
     OpType,
     ReadOutcome,
     Stage,
     Transaction,
+    command_code,
 )
 from repro.ssd.stats import SimulationStats
 
@@ -119,3 +125,88 @@ class TestTimingEngine:
         stage = Stage(commands=[_read(0), _read(1)])
         result = engine.execute(_txn(stage), 0.0)
         assert result.flash_time_us == pytest.approx(80.0)  # 2 x 40us of chip time
+
+
+class TestExecuteBuffer:
+    """The buffer-encoded hot path must behave exactly like the object path."""
+
+    def _buffer(self, *stages: list[tuple[CommandKind, int]], compute: float = 0.0) -> CommandBuffer:
+        buffer = CommandBuffer()
+        buffer.reset(HostRequest(op=OpType.READ, lpn=0))
+        for commands in stages:
+            stage = buffer.new_stage()
+            for kind, chip in commands:
+                buffer.append(stage, command_code(kind, CommandPurpose.DATA_READ), chip, 0)
+            buffer.commit_stage(stage, compute)
+        return buffer
+
+    def test_single_read_latency(self, engine):
+        finish = engine.execute_buffer(self._buffer([(CommandKind.READ, 0)]), 0.0)
+        assert finish == pytest.approx(40.0)
+
+    def test_stages_serialize(self, engine):
+        buffer = self._buffer([(CommandKind.READ, 0)], [(CommandKind.READ, 1)])
+        assert engine.execute_buffer(buffer, 0.0) == pytest.approx(80.0)
+
+    def test_parallel_commands_overlap(self, engine):
+        buffer = self._buffer([(CommandKind.READ, 0), (CommandKind.READ, 1), (CommandKind.READ, 2)])
+        assert engine.execute_buffer(buffer, 0.0) == pytest.approx(40.0)
+
+    def test_same_chip_commands_serialize(self, engine):
+        buffer = self._buffer([(CommandKind.READ, 0), (CommandKind.READ, 0)])
+        assert engine.execute_buffer(buffer, 0.0) == pytest.approx(80.0)
+
+    def test_compute_only_stage_advances_cursor(self, engine):
+        buffer = self._buffer([(CommandKind.READ, 0)], compute=5.0)
+        assert engine.execute_buffer(buffer, 0.0) == pytest.approx(45.0)
+
+    def test_commands_counted_into_flat_buckets(self, engine):
+        engine.execute_buffer(self._buffer([(CommandKind.READ, 0), (CommandKind.READ, 1)]), 0.0)
+        assert engine.stats.total_flash_reads == 2
+        assert engine.stats.flash_reads[CommandPurpose.DATA_READ] == 2
+
+    def test_outcomes_recorded(self, engine):
+        buffer = self._buffer([(CommandKind.READ, 0)])
+        buffer.add_outcome(ReadOutcome.DOUBLE_READ.code)
+        engine.execute_buffer(buffer, 0.0)
+        assert engine.stats.read_outcomes[ReadOutcome.DOUBLE_READ] == 1
+
+
+class TestBufferObjectParity:
+    """Satellite contract: object-view execution and buffer execution count
+    (and time) identically, because both bucket commands through the same
+    flat integer encoding."""
+
+    @pytest.mark.parametrize("ftl_name", ["dftl", "learnedftl"])
+    def test_full_workload_parity(self, tiny_geometry, ftl_name):
+        ssd = SSD.create(ftl_name, tiny_geometry)
+        shadow_stats = SimulationStats()
+        shadow_engine = TimingEngine(tiny_geometry.num_chips, ssd.timing, shadow_stats)
+        rng = random.Random(99)
+        limit = tiny_geometry.num_logical_pages
+        requests = [
+            HostRequest(op=OpType.WRITE, lpn=lpn, npages=min(8, limit - lpn))
+            for lpn in range(0, limit, 8)
+        ]
+        requests += [
+            HostRequest(
+                op=OpType.READ if rng.random() < 0.6 else OpType.WRITE,
+                lpn=rng.randint(0, limit - 2),
+                npages=rng.choice((1, 2)),
+            )
+            for _ in range(300)
+        ]
+        clock = 0.0
+        for request in requests:
+            buffer = ssd.ftl.encode(request, clock)
+            txn = buffer.to_transaction()
+            finish_buffer = ssd.engine.execute_buffer(buffer, clock)
+            result_object = shadow_engine.execute(txn, clock)
+            assert result_object.finish_us == finish_buffer
+            clock = finish_buffer
+        # Same flat buckets, bit-identical counts for every (kind, purpose).
+        assert ssd.stats.command_counts == shadow_stats.command_counts
+        assert ssd.stats.outcome_counts == shadow_stats.outcome_counts
+        assert ssd.stats.flash_reads == shadow_stats.flash_reads
+        assert ssd.stats.flash_programs == shadow_stats.flash_programs
+        assert ssd.stats.flash_erases == shadow_stats.flash_erases

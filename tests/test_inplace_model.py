@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.learned.inplace_model import InPlaceLinearModel
+from repro.core.learned.inplace_model import BIT_NOT_SET, InPlaceLinearModel
 
 
 @pytest.fixture
@@ -150,3 +150,32 @@ class TestBitmapGuarantee:
         for lpn in lpns:
             if model.can_predict(lpn):
                 assert model.predict(lpn) == truth[lpn]
+
+
+class TestPredictExactParity:
+    """predict_exact (the fused read-hot-path entry) must agree with the
+    unfused can_predict + predict pair for every LPN — it inlines the bitmap
+    layout and piece arithmetic, so this parity is its only guard."""
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fused_matches_unfused(self, data):
+        span = 64
+        model = InPlaceLinearModel(start_lpn=128, span=span, max_pieces=4)
+        count = data.draw(st.integers(1, span))
+        lpns = sorted(
+            data.draw(
+                st.sets(st.integers(128, 128 + span - 1), min_size=count, max_size=count)
+            )
+        )
+        vppns = sorted(data.draw(st.integers(0, 5000)) for _ in lpns)
+        model.train(lpns, vppns)
+        # Some overwrites clear bits, exercising the BIT_NOT_SET branch.
+        for lpn in lpns[::3]:
+            model.invalidate(lpn)
+        for lpn in range(128 - 2, 128 + span + 2):
+            fused = model.predict_exact(lpn)
+            if not model.can_predict(lpn):
+                assert fused is BIT_NOT_SET
+            else:
+                assert fused == model.predict(lpn)

@@ -1,0 +1,135 @@
+"""Tests for the CI perf-regression gate (``benchmarks/check_perf_regression.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_perf_regression.py"
+_spec = importlib.util.spec_from_file_location("check_perf_regression", _MODULE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _report(dftl_rps: float, dftl_rand: float) -> dict:
+    return {
+        "results": {
+            "dftl": {
+                "requests_per_second": dftl_rps,
+                "randread_requests_per_second": dftl_rand,
+            }
+        }
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = _report(1000.0, 5000.0)
+        assert perf_gate.compare(report, report, max_slowdown=0.25) == []
+
+    def test_speedup_passes(self):
+        assert perf_gate.compare(_report(1000.0, 5000.0), _report(3000.0, 9000.0), max_slowdown=0.25) == []
+
+    def test_slowdown_within_tolerance_passes(self):
+        assert perf_gate.compare(_report(1000.0, 5000.0), _report(800.0, 4000.0), max_slowdown=0.25) == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        failures = perf_gate.compare(_report(1000.0, 5000.0), _report(700.0, 5000.0), max_slowdown=0.25)
+        assert len(failures) == 1
+        assert "requests_per_second" in failures[0]
+
+    def test_each_metric_gated_independently(self):
+        failures = perf_gate.compare(_report(1000.0, 5000.0), _report(700.0, 3000.0), max_slowdown=0.25)
+        assert len(failures) == 2
+
+    def test_missing_ftl_in_fresh_report_fails(self):
+        failures = perf_gate.compare(_report(1000.0, 5000.0), {"results": {}}, max_slowdown=0.25)
+        assert failures and "missing" in failures[0]
+
+    def test_zero_baseline_metric_is_skipped(self):
+        baseline = _report(0.0, 0.0)
+        assert perf_gate.compare(baseline, _report(1.0, 1.0), max_slowdown=0.25) == []
+
+
+class TestCalibration:
+    """Cross-machine gating: the baseline scales with the machine-speed ratio."""
+
+    def _with_cal(self, report: dict, cal: float) -> dict:
+        return {**report, "calibration_iters_per_second": cal}
+
+    def test_slower_machine_scales_the_baseline_down(self):
+        # Fresh machine at half speed, metrics at half the baseline: a raw
+        # comparison fails, a calibrated one passes.
+        baseline = self._with_cal(_report(1000.0, 5000.0), 10_000_000.0)
+        fresh = self._with_cal(_report(500.0, 2500.0), 5_000_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True) == []
+
+    def test_faster_machine_never_raises_the_bar(self):
+        baseline = self._with_cal(_report(1000.0, 5000.0), 5_000_000.0)
+        fresh = self._with_cal(_report(1000.0, 5000.0), 10_000_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True) == []
+
+    def test_code_regression_still_fails_when_calibrated(self):
+        # Same machine speed, genuinely slower code: calibration must not mask it.
+        baseline = self._with_cal(_report(1000.0, 5000.0), 10_000_000.0)
+        fresh = self._with_cal(_report(500.0, 2500.0), 10_000_000.0)
+        assert len(perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True)) == 2
+
+    def test_missing_calibration_falls_back_to_absolute(self):
+        baseline = _report(1000.0, 5000.0)
+        fresh = self._with_cal(_report(1000.0, 5000.0), 5_000_000.0)
+        assert perf_gate.machine_scale(baseline, fresh) == 1.0
+
+    def test_committed_baseline_carries_calibration(self):
+        baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
+        assert baseline.get("calibration_iters_per_second", 0.0) > 0.0
+
+
+class TestMergeBest:
+    def test_single_report_is_unchanged(self):
+        report = _report(1000.0, 5000.0)
+        merged = perf_gate.merge_best([report])
+        assert merged["results"] == report["results"]
+
+    def test_per_metric_best_across_reports(self):
+        # Each run is best at a different metric; the merge takes both peaks,
+        # so one noisy run cannot fail the gate by itself.
+        merged = perf_gate.merge_best([_report(1000.0, 3000.0), _report(700.0, 5000.0)])
+        row = merged["results"]["dftl"]
+        assert row["requests_per_second"] == 1000.0
+        assert row["randread_requests_per_second"] == 5000.0
+
+    def test_calibration_is_the_maximum_observed(self):
+        a = {**_report(1.0, 1.0), "calibration_iters_per_second": 4e6}
+        b = {**_report(1.0, 1.0), "calibration_iters_per_second": 6e6}
+        assert perf_gate.merge_best([a, b])["calibration_iters_per_second"] == 6e6
+
+
+class TestMain:
+    def _write(self, path: Path, report: dict) -> Path:
+        path.write_text(json.dumps(report), encoding="utf-8")
+        return path
+
+    def test_exit_zero_on_pass(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", _report(1000.0, 5000.0))
+        fresh = self._write(tmp_path / "fresh.json", _report(1000.0, 5000.0))
+        assert perf_gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", _report(1000.0, 5000.0))
+        fresh = self._write(tmp_path / "fresh.json", _report(100.0, 500.0))
+        assert perf_gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
+
+    def test_multiple_fresh_reports_gate_on_their_best(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", _report(1000.0, 5000.0))
+        slow = self._write(tmp_path / "slow.json", _report(100.0, 500.0))
+        good = self._write(tmp_path / "good.json", _report(1000.0, 5000.0))
+        assert (
+            perf_gate.main(["--baseline", str(baseline), "--fresh", str(slow), str(good)]) == 0
+        )
+
+    def test_default_baseline_is_the_committed_one(self):
+        assert perf_gate.DEFAULT_BASELINE.name == "BENCH_kernel.json"
+        assert perf_gate.DEFAULT_BASELINE.exists()

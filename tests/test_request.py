@@ -1,8 +1,17 @@
-"""Tests for host requests, flash commands and transactions."""
+"""Tests for host requests, flash commands, the flat command buffer and
+transactions."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.ssd.request import (
+    KIND_BY_CODE,
+    NUM_COMMAND_CODES,
+    NUM_PURPOSES,
+    OUTCOME_BY_CODE,
+    PURPOSE_BY_CODE,
+    CommandBuffer,
     CommandKind,
     CommandPurpose,
     FlashCommand,
@@ -11,6 +20,7 @@ from repro.ssd.request import (
     ReadOutcome,
     Stage,
     Transaction,
+    command_code,
 )
 
 
@@ -90,3 +100,114 @@ class TestEnums:
     def test_read_outcomes_cover_paper_categories(self):
         names = {outcome.value for outcome in ReadOutcome}
         assert {"cmt_hit", "model_hit", "double_read", "triple_read"} <= names
+
+
+class TestCommandCodes:
+    def test_codes_roundtrip_through_decode_tables(self):
+        for kind in CommandKind:
+            for purpose in CommandPurpose:
+                code = command_code(kind, purpose)
+                assert 0 <= code < NUM_COMMAND_CODES
+                assert KIND_BY_CODE[code] is kind
+                assert PURPOSE_BY_CODE[code] is purpose
+
+    def test_codes_are_distinct(self):
+        codes = {
+            command_code(kind, purpose)
+            for kind in CommandKind
+            for purpose in CommandPurpose
+        }
+        assert len(codes) == len(CommandKind) * NUM_PURPOSES
+
+    def test_outcome_codes_roundtrip(self):
+        for outcome in ReadOutcome:
+            assert OUTCOME_BY_CODE[outcome.code] is outcome
+
+    def test_flash_command_exposes_its_code(self):
+        command = FlashCommand(CommandKind.ERASE, 0, None, 3, CommandPurpose.GC_ERASE)
+        assert command.code == command_code(CommandKind.ERASE, CommandPurpose.GC_ERASE)
+
+
+class TestCommandBuffer:
+    def _request(self):
+        return HostRequest(op=OpType.READ, lpn=0)
+
+    def test_empty_stage_is_dropped(self):
+        buffer = CommandBuffer().reset(self._request())
+        stage = buffer.new_stage()
+        assert not buffer.commit_stage(stage)
+        assert buffer.stages == []
+
+    def test_compute_only_stage_is_kept(self):
+        buffer = CommandBuffer().reset(self._request())
+        stage = buffer.new_stage()
+        assert buffer.commit_stage(stage, 3.0)
+        txn = buffer.to_transaction()
+        assert len(txn.stages) == 1
+        assert txn.stages[0].compute_us == 3.0
+        assert txn.stages[0].commands == []
+
+    def test_roundtrip_to_transaction(self):
+        buffer = CommandBuffer().reset(self._request())
+        stage = buffer.new_stage()
+        buffer.append(stage, command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ), 1, 42)
+        buffer.append(stage, command_code(CommandKind.ERASE, CommandPurpose.GC_ERASE), 0, -1, 7)
+        buffer.commit_stage(stage)
+        buffer.add_outcome(ReadOutcome.DOUBLE_READ.code)
+        txn = buffer.to_transaction()
+        assert txn.outcomes == [ReadOutcome.DOUBLE_READ]
+        read, erase = txn.stages[0].commands
+        assert read == FlashCommand(
+            CommandKind.READ, 1, 42, None, CommandPurpose.TRANSLATION_READ
+        )
+        assert erase == FlashCommand(CommandKind.ERASE, 0, None, 7, CommandPurpose.GC_ERASE)
+
+    def test_front_commit_reproduces_insert_at_zero(self):
+        buffer = CommandBuffer().reset(self._request())
+        head = buffer.new_stage()
+        flush = buffer.new_stage()
+        buffer.append(flush, command_code(CommandKind.PROGRAM, CommandPurpose.TRANSLATION_WRITE), 0, 9)
+        buffer.commit_stage(flush)
+        buffer.append(head, command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ), 0, 5)
+        buffer.commit_stage(head, front=True)
+        txn = buffer.to_transaction()
+        assert [c.purpose for c in txn.iter_commands()] == [
+            CommandPurpose.TRANSLATION_READ,
+            CommandPurpose.TRANSLATION_WRITE,
+        ]
+
+    def test_interleaved_floating_stages_keep_their_grouping(self):
+        # GC emits reads and writes in one pass over the victim block; the
+        # stage records must still partition the interleaved command stream.
+        buffer = CommandBuffer().reset(self._request())
+        reads = buffer.new_stage()
+        writes = buffer.new_stage()
+        read_code = command_code(CommandKind.READ, CommandPurpose.GC_READ)
+        write_code = command_code(CommandKind.PROGRAM, CommandPurpose.GC_WRITE)
+        for ppn in range(3):
+            buffer.append(reads, read_code, 0, ppn)
+            buffer.append(writes, write_code, 1, 100 + ppn)
+        buffer.commit_stage(reads)
+        buffer.commit_stage(writes)
+        assert buffer.stage_size(reads) == 3
+        assert buffer.stage_size(writes) == 3
+        txn = buffer.to_transaction()
+        assert [c.purpose for c in txn.stages[0].commands] == [CommandPurpose.GC_READ] * 3
+        assert [c.purpose for c in txn.stages[1].commands] == [CommandPurpose.GC_WRITE] * 3
+        assert [c.ppn for c in txn.stages[1].commands] == [100, 101, 102]
+
+    def test_reset_reuses_storage(self):
+        buffer = CommandBuffer().reset(self._request())
+        stage = buffer.new_stage()
+        buffer.append(stage, command_code(CommandKind.READ, CommandPurpose.DATA_READ), 0, 1)
+        buffer.commit_stage(stage)
+        buffer.add_outcome(ReadOutcome.CMT_HIT.code)
+        buffer.reset(HostRequest(op=OpType.WRITE, lpn=5))
+        assert buffer.command_count == 0
+        assert buffer.outcome_codes == []
+        assert buffer.stages == []
+        assert buffer.to_transaction().stages == []
+
+    def test_to_transaction_requires_request(self):
+        with pytest.raises(ValueError):
+            CommandBuffer().to_transaction()

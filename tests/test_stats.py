@@ -135,5 +135,59 @@ class TestGCAndCompute:
 
     def test_summary_contains_headline_metrics(self):
         summary = SimulationStats().summary()
-        for key in ("write_amplification", "cmt_hit_ratio", "throughput_mb_s", "gc_count"):
+        for key in (
+            "write_amplification",
+            "cmt_hit_ratio",
+            "throughput_mb_s",
+            "gc_count",
+            "iops",
+            "read_p999_us",
+            "utilization",
+        ):
             assert key in summary
+
+
+class TestFlatAccounting:
+    """Commands and outcomes are bucketed from integer codes into flat count
+    arrays; the Counter views are derived from them."""
+
+    def test_record_commands_routes_through_command_counts(self):
+        stats = SimulationStats()
+        stats.record_commands(
+            [
+                _cmd(CommandKind.READ, CommandPurpose.TRANSLATION_READ),
+                _cmd(CommandKind.READ, CommandPurpose.DATA_READ),
+                _cmd(CommandKind.PROGRAM, CommandPurpose.GC_WRITE),
+            ]
+        )
+        read_code = _cmd(CommandKind.READ, CommandPurpose.DATA_READ).code
+        assert stats.command_counts[read_code] == 1
+        assert sum(stats.command_counts) == 3
+        assert stats.flash_reads[CommandPurpose.TRANSLATION_READ] == 1
+        assert stats.flash_programs[CommandPurpose.GC_WRITE] == 1
+
+    def test_counter_views_only_list_nonzero_purposes(self):
+        stats = SimulationStats()
+        stats.record_command(_cmd(CommandKind.READ, CommandPurpose.DATA_READ))
+        assert list(stats.flash_reads) == [CommandPurpose.DATA_READ]
+        assert stats.flash_reads[CommandPurpose.GC_READ] == 0  # Counter default
+        assert stats.flash_erases == {}
+
+    def test_outcome_counts_back_the_counter_view(self):
+        stats = SimulationStats()
+        stats.record_outcomes([ReadOutcome.MODEL_HIT, ReadOutcome.MODEL_HIT, ReadOutcome.DOUBLE_READ])
+        assert stats.outcome_counts[ReadOutcome.MODEL_HIT.code] == 2
+        assert stats.read_outcomes[ReadOutcome.MODEL_HIT] == 2
+        assert stats.read_outcomes[ReadOutcome.DOUBLE_READ] == 1
+
+
+class TestUtilization:
+    def test_no_engine_bound_is_zero(self):
+        assert SimulationStats().utilization() == 0.0
+
+    def test_utilization_from_chip_busy_time(self):
+        stats = SimulationStats()
+        stats.num_chips = 2
+        stats.chip_busy_time_us = [50.0, 25.0]
+        stats.finish_time_us = 100.0
+        assert stats.utilization() == pytest.approx(0.375)
