@@ -29,6 +29,7 @@ by :class:`TranslationPool`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.nand.address import AddressCodec, FlashAddress
 from repro.nand.errors import AllocationError, ConfigurationError, OutOfSpaceError
@@ -183,6 +184,24 @@ class TranslationPool:
             raise AllocationError(f"block {block} does not belong to the translation pool")
         self._free_blocks.append(block)
 
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture the pool's free list (in order), active block and cursor."""
+        return {
+            "free_blocks": list(self._free_blocks),
+            "active": self._active,
+            "cursor": self._cursor,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the pool.  Free-list order matters: allocation pops from the front."""
+        self._free_blocks = list(state["free_blocks"])
+        self._active = state["active"]
+        self._cursor = int(state["cursor"])
+        self._active_base_ppn = (
+            self.flash.codec.block_base_ppn(self._active) if self._active is not None else 0
+        )
+
 
 def _reserve_translation_blocks(geometry: SSDGeometry, stripe_map: StripeMap) -> tuple[list[int], set[int]]:
     """Pick whole tail stripes to hold translation pages; returns (blocks, stripe ids)."""
@@ -303,6 +322,30 @@ class StripingAllocator:
         if self._active_block.get(chip) == block:
             self._active_block[chip] = None
         self._free_blocks_per_chip[chip].append(block)
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture free lists (in pop order), active blocks, cursors and the RR pointer."""
+        return {
+            "free_blocks_per_chip": [
+                list(self._free_blocks_per_chip[chip]) for chip in range(self.geometry.num_chips)
+            ],
+            "active_block": [
+                self._active_block[chip] for chip in range(self.geometry.num_chips)
+            ],
+            "block_cursor": [[block, cursor] for block, cursor in self._block_cursor.items()],
+            "rr_pointer": self._rr_pointer,
+            "translation_pool": self.translation_pool.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore allocation state; free-list order is allocation order."""
+        for chip in range(self.geometry.num_chips):
+            self._free_blocks_per_chip[chip] = list(state["free_blocks_per_chip"][chip])
+            self._active_block[chip] = state["active_block"][chip]
+        self._block_cursor = {block: cursor for block, cursor in state["block_cursor"]}
+        self._rr_pointer = int(state["rr_pointer"])
+        self.translation_pool.load_state(state["translation_pool"])
 
     def victim_block(self) -> int | None:
         """Greedy GC victim: written, non-active data block with fewest valid pages."""
@@ -648,3 +691,52 @@ class GroupAllocator:
     def allocate_translation(self) -> int:
         """Allocate one translation-page PPN from the reserved pool."""
         return self.translation_pool.allocate()
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture stripe ownership, per-group state and free lists.
+
+        List orders are allocation orders and are preserved exactly;
+        ``lenders`` sets are stored sorted (the simulation never depends on
+        their iteration order — group GC sorts the collection set before
+        using it).
+        """
+        return {
+            "free_stripes": list(self._free_stripes),
+            "groups": [
+                {
+                    "stripes": list(state.stripes),
+                    "borrowed_pages": state.borrowed_pages,
+                    "lenders": sorted(state.lenders),
+                    "writes": state.writes,
+                    "gc_hint": state.gc_hint,
+                }
+                for state in self._groups
+            ],
+            "stripe_owner": [[stripe, owner] for stripe, owner in self._stripe_owner.items()],
+            "stripe_cursor": [[stripe, cursor] for stripe, cursor in self._stripe_cursor.items()],
+            "free_pages_total": self._free_pages_total,
+            "layout_epoch": self._layout_epoch,
+            "translation_pool": self.translation_pool.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the allocator; the memoized GC-victim cache is simply dropped
+        (it is recomputed deterministically from the restored epochs)."""
+        if len(state["groups"]) != self.num_groups:
+            raise AllocationError(
+                f"snapshot has {len(state['groups'])} groups, allocator has {self.num_groups}"
+            )
+        self._free_stripes = list(state["free_stripes"])
+        for group_state, saved in zip(self._groups, state["groups"]):
+            group_state.stripes = list(saved["stripes"])
+            group_state.borrowed_pages = int(saved["borrowed_pages"])
+            group_state.lenders = set(saved["lenders"])
+            group_state.writes = int(saved["writes"])
+            group_state.gc_hint = bool(saved["gc_hint"])
+        self._stripe_owner = {stripe: owner for stripe, owner in state["stripe_owner"]}
+        self._stripe_cursor = {stripe: cursor for stripe, cursor in state["stripe_cursor"]}
+        self._free_pages_total = int(state["free_pages_total"])
+        self._layout_epoch = int(state["layout_epoch"])
+        self._gc_candidate_cache.clear()
+        self.translation_pool.load_state(state["translation_pool"])

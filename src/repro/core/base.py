@@ -306,6 +306,30 @@ class FTLBase(ABC):
         pool.release(victim)
         self.erase_command(stage, victim)
 
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        """Capture the design-independent state; subclasses extend the dict.
+
+        The command buffer is deliberately absent: it only carries state
+        *during* one request, and snapshots are taken between requests.
+        """
+        return {
+            "flash": self.flash.state_dict(),
+            "directory": self.directory.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict` **in place**.
+
+        Every layer restores into its existing objects (columns are
+        slice-assigned, dicts cleared and refilled) so the direct references
+        the hot paths cache — entry dicts, mapping columns, bound methods —
+        stay valid.
+        """
+        self.flash.load_state(state["flash"])
+        self.directory.load_state(state["directory"])
+        self.buffer.reset()
+
     # ------------------------------------------------------------ invariants
     def verify_integrity(self) -> None:
         """Assert that every mapped LPN resolves to its newest valid flash copy.
@@ -485,6 +509,18 @@ class StripingFTLBase(FTLBase):
 
     def _after_gc_move(self, moved: list[tuple[int, int]]) -> None:
         """Hook: let caches/models observe GC relocations."""
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["allocator"] = self.allocator.state_dict()
+        state["translation_store"] = self.translation_store.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.allocator.load_state(state["allocator"])
+        self.translation_store.load_state(state["translation_store"])
 
     # -------------------------------------------------------------- flushes
     def _flush_translation_page(self, tvpn: int) -> None:

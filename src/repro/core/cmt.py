@@ -21,7 +21,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, NamedTuple
+from typing import Any, Iterable, NamedTuple
+
+import numpy as np
 
 from repro.nand.errors import ConfigurationError
 
@@ -117,6 +119,31 @@ class EntryLevelCMT:
     def hit_capacity(self) -> int:
         """Configured capacity in entry units."""
         return self.capacity_entries
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture the cached entries in LRU-to-MRU order."""
+        lpns = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+        ppns = np.fromiter(
+            (entry[0] for entry in self._entries.values()),
+            dtype=np.int64,
+            count=len(self._entries),
+        )
+        dirty = np.fromiter(
+            (entry[1] for entry in self._entries.values()),
+            dtype=np.uint8,
+            count=len(self._entries),
+        )
+        return {"lpns": lpns, "ppns": ppns, "dirty": dirty}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the cache **in place**, preserving exact recency order
+        (hot paths hold direct references to the entry dict)."""
+        self._entries.clear()
+        for lpn, ppn, dirty in zip(
+            state["lpns"].tolist(), state["ppns"].tolist(), state["dirty"].tolist()
+        ):
+            self._entries[lpn] = [ppn, bool(dirty)]
 
 
 class PageGroupedCMT:
@@ -233,6 +260,48 @@ class PageGroupedCMT:
             if dirty_lpns:
                 evicted.append(EvictedPage(tvpn=tvpn, dirty_lpns=tuple(dirty_lpns)))
         return evicted
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture nodes (LRU-to-MRU) and their entries (LRU-to-MRU within a node)."""
+        total = len(self)
+        node_tvpns = np.fromiter(self._pages.keys(), dtype=np.int64, count=len(self._pages))
+        node_sizes = np.fromiter(
+            (len(node) for node in self._pages.values()), dtype=np.int64, count=len(self._pages)
+        )
+        lpns = np.empty(total, dtype=np.int64)
+        ppns = np.empty(total, dtype=np.int64)
+        dirty = np.empty(total, dtype=np.uint8)
+        index = 0
+        for node in self._pages.values():
+            for lpn, entry in node.items():
+                lpns[index] = lpn
+                ppns[index] = entry[0]
+                dirty[index] = entry[1]
+                index += 1
+        return {
+            "node_tvpns": node_tvpns,
+            "node_sizes": node_sizes,
+            "lpns": lpns,
+            "ppns": ppns,
+            "dirty": dirty,
+            "size_entries": self._size_entries,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the two-level cache **in place** with exact recency orders."""
+        self._pages.clear()
+        lpns = state["lpns"].tolist()
+        ppns = state["ppns"].tolist()
+        dirty = state["dirty"].tolist()
+        index = 0
+        for tvpn, size in zip(state["node_tvpns"].tolist(), state["node_sizes"].tolist()):
+            node: OrderedDict[int, list] = OrderedDict()
+            for _ in range(size):
+                node[lpns[index]] = [ppns[index], bool(dirty[index])]
+                index += 1
+            self._pages[tvpn] = node
+        self._size_entries = int(state["size_entries"])
 
     def flush_all(self) -> list[EvictedPage]:
         """Return (and clean) every dirty entry grouped by translation page."""

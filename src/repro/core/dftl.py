@@ -101,3 +101,13 @@ class DFTL(StripingFTLBase):
     def memory_report(self) -> dict[str, int]:
         """CMT occupancy in bytes (8 bytes per cached entry)."""
         return {"cmt_bytes": self.cmt.memory_entries() * 8}
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["cmt"] = self.cmt.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.cmt.load_state(state["cmt"])

@@ -26,7 +26,13 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.base import FTLConfig, StripingFTLBase
-from repro.core.learned.segment import LearnedSegment, LogStructuredSegmentTable, build_segments
+from repro.core.learned.segment import (
+    LearnedSegment,
+    LogStructuredSegmentTable,
+    build_segments,
+    pack_tables,
+    unpack_tables,
+)
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.request import HostRequest, OpType, ReadOutcome, Stage, Transaction
@@ -231,3 +237,21 @@ class LeaFTL(StripingFTLBase):
             "buffer_bytes": len(self._buffer) * 8,
             "all_segments_bytes": sum(t.memory_bytes() for t in self._tables.values()),
         }
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["tables"] = pack_tables(self._tables)
+        state["write_buffer"] = [[lpn, ppn] for lpn, ppn in self._buffer.items()]
+        state["model_cache"] = [[tvpn, size] for tvpn, size in self._model_cache.items()]
+        state["cache_bytes"] = self._cache_bytes
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._tables = unpack_tables(state["tables"])
+        self._buffer = {lpn: ppn for lpn, ppn in state["write_buffer"]}
+        self._model_cache.clear()
+        for tvpn, size in state["model_cache"]:
+            self._model_cache[tvpn] = size
+        self._cache_bytes = int(state["cache_bytes"])

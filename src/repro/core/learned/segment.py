@@ -16,11 +16,19 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.learned.plr import LinearPiece, fit_greedy_plr
 
-__all__ = ["LearnedSegment", "LogStructuredSegmentTable", "build_segments"]
+__all__ = [
+    "LearnedSegment",
+    "LogStructuredSegmentTable",
+    "build_segments",
+    "pack_tables",
+    "unpack_tables",
+]
 
 #: DRAM bytes consumed by one learned segment (S, K, L, I at 4 bytes each),
 #: matching LeaFTL's compact encoding.
@@ -176,6 +184,78 @@ class LogStructuredSegmentTable:
     def memory_bytes(self) -> int:
         """DRAM bytes consumed when the whole table is held in memory."""
         return self.segment_count() * SEGMENT_BYTES
+
+
+# --------------------------------------------------------- snapshot support
+def pack_tables(tables: Mapping[int, LogStructuredSegmentTable]) -> dict[str, Any]:
+    """Serialize per-translation-page segment tables into flat NumPy columns.
+
+    The ragged (table -> level -> segment) structure flattens into a level
+    count per table, a segment count per level, and five parallel segment
+    field columns — compact enough to snapshot a long LeaFTL run.
+    """
+    tvpns: list[int] = []
+    level_counts: list[int] = []
+    segment_counts: list[int] = []
+    starts: list[int] = []
+    slopes: list[float] = []
+    lengths: list[int] = []
+    intercepts: list[float] = []
+    errors: list[float] = []
+    for tvpn, table in tables.items():
+        tvpns.append(tvpn)
+        level_counts.append(len(table._levels))
+        for level in table._levels:
+            segment_counts.append(len(level))
+            for segment in level:
+                starts.append(segment.start_lpn)
+                slopes.append(segment.slope)
+                lengths.append(segment.length)
+                intercepts.append(segment.intercept)
+                errors.append(segment.max_error)
+    return {
+        "tvpns": np.asarray(tvpns, dtype=np.int64),
+        "level_counts": np.asarray(level_counts, dtype=np.int64),
+        "segment_counts": np.asarray(segment_counts, dtype=np.int64),
+        "starts": np.asarray(starts, dtype=np.int64),
+        "slopes": np.asarray(slopes, dtype=np.float64),
+        "lengths": np.asarray(lengths, dtype=np.int64),
+        "intercepts": np.asarray(intercepts, dtype=np.float64),
+        "errors": np.asarray(errors, dtype=np.float64),
+    }
+
+
+def unpack_tables(state: dict[str, Any]) -> dict[int, LogStructuredSegmentTable]:
+    """Rebuild the ``tvpn -> LogStructuredSegmentTable`` mapping from :func:`pack_tables`."""
+    tables: dict[int, LogStructuredSegmentTable] = {}
+    level_cursor = 0
+    segment_cursor = 0
+    segment_counts = state["segment_counts"].tolist()
+    starts = state["starts"].tolist()
+    slopes = state["slopes"].tolist()
+    lengths = state["lengths"].tolist()
+    intercepts = state["intercepts"].tolist()
+    errors = state["errors"].tolist()
+    for tvpn, num_levels in zip(state["tvpns"].tolist(), state["level_counts"].tolist()):
+        table = LogStructuredSegmentTable()
+        for _ in range(num_levels):
+            count = segment_counts[level_cursor]
+            level_cursor += 1
+            table._levels.append(
+                [
+                    LearnedSegment(
+                        start_lpn=starts[i],
+                        slope=slopes[i],
+                        length=lengths[i],
+                        intercept=intercepts[i],
+                        max_error=errors[i],
+                    )
+                    for i in range(segment_cursor, segment_cursor + count)
+                ]
+            )
+            segment_cursor += count
+        tables[tvpn] = table
+    return tables
 
 
 def _fully_covered(segment: LearnedSegment, covered: list[tuple[int, int]]) -> bool:

@@ -30,7 +30,12 @@ from collections import deque
 from repro.core.allocation import GroupAllocator, GroupGCNeeded
 from repro.core.base import FTLBase, FTLConfig
 from repro.core.cmt import EvictedPage, PageGroupedCMT
-from repro.core.learned.inplace_model import BIT_NOT_SET, InPlaceLinearModel
+from repro.core.learned.inplace_model import (
+    BIT_NOT_SET,
+    InPlaceLinearModel,
+    pack_models,
+    unpack_models,
+)
 from repro.core.mapping import TranslationPageStore
 from repro.nand.errors import ConfigurationError, OutOfSpaceError
 from repro.nand.flash import PAGE_VALID
@@ -310,8 +315,11 @@ class LearnedFTL(FTLBase):
     def _group_gc(self, group: int, now: float) -> None:
         """Group-based garbage collection with model training (Section III-E2)."""
         collected = self._expand_collection_set(group)
+        # Sorted member order: the release order of reclaimed stripes feeds the
+        # allocator's free list, so it must not depend on set iteration order
+        # (which a snapshot restore cannot reproduce bit-exactly).
         old_stripes = {
-            member: self.allocator.stripes_of_group(member) for member in collected
+            member: self.allocator.stripes_of_group(member) for member in sorted(collected)
         }
         # Emergency write-back allocations must stay out of the stripes we are
         # trying to empty, otherwise they can never be erased.
@@ -545,3 +553,31 @@ class LearnedFTL(FTLBase):
             "cmt_bytes": self.cmt.memory_entries() * 8,
             "models_bytes": sum(model.memory_bytes() for model in self.models),
         }
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["allocator"] = self.allocator.state_dict()
+        state["translation_store"] = self.translation_store.state_dict()
+        state["cmt"] = self.cmt.state_dict()
+        state["models"] = pack_models(self.models)
+        state["locality"] = {
+            "recent_lengths": list(self._recent_request_lengths),
+            "last_lpn_end": self._last_lpn_end,
+            "sequential_streak": self._sequential_streak,
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.allocator.load_state(state["allocator"])
+        self.translation_store.load_state(state["translation_store"])
+        self.cmt.load_state(state["cmt"])
+        unpack_models(self.models, state["models"])
+        locality = state["locality"]
+        self._recent_request_lengths.clear()
+        self._recent_request_lengths.extend(locality["recent_lengths"])
+        self._recent_length_sum = sum(self._recent_request_lengths)
+        self._last_lpn_end = locality["last_lpn_end"]
+        self._sequential_streak = int(locality["sequential_streak"])
+        self._gc_old_stripes = set()

@@ -17,7 +17,9 @@ flushes, and tracks which translation pages are dirty.
 from __future__ import annotations
 
 from array import array
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
+
+import numpy as np
 
 from repro.nand.errors import MappingError
 from repro.nand.flash import FlashArray
@@ -112,6 +114,24 @@ class MappingDirectory:
         self._ppn[lpn] = _UNMAPPED
         self._mapped_count -= 1
         return old
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture the mapping column as one int64 buffer."""
+        return {
+            "ppn": np.frombuffer(self._ppn, dtype=np.int64).copy(),
+            "mapped_count": self._mapped_count,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the mapping column **in place** (FTLs cache references to it)."""
+        column = np.asarray(state["ppn"], dtype=np.int64)
+        if len(column) != self._size:
+            raise MappingError(
+                f"snapshot maps {len(column)} logical pages, directory has {self._size}"
+            )
+        self._ppn[:] = array("q", column.tobytes())
+        self._mapped_count = int(state["mapped_count"])
 
     # ------------------------------------------------------- translation geo
     def tvpn_of(self, lpn: int) -> int:
@@ -213,6 +233,26 @@ class TranslationPageStore:
     def dirty_tvpns(self) -> list[int]:
         """All translation pages currently dirty."""
         return sorted(self._tp_dirty)
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture the GTD (translation-page locations, dirty set, counters)."""
+        return {
+            "tp_ppn": [[tvpn, ppn] for tvpn, ppn in self._tp_ppn.items()],
+            "tp_dirty": sorted(self._tp_dirty),
+            "translation_reads": self.translation_reads,
+            "translation_writes": self.translation_writes,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the GTD in place (the owning FTL keeps references into it)."""
+        self._tp_ppn.clear()
+        for tvpn, ppn in state["tp_ppn"]:
+            self._tp_ppn[tvpn] = ppn
+        self._tp_dirty.clear()
+        self._tp_dirty.update(state["tp_dirty"])
+        self.translation_reads = int(state["translation_reads"])
+        self.translation_writes = int(state["translation_writes"])
 
     # ------------------------------------------------------------- commands
     def read_into(self, buffer: CommandBuffer, stage: list, tvpn: int) -> bool:

@@ -174,3 +174,24 @@ class TPFTL(StripingFTLBase):
     def memory_report(self) -> dict[str, int]:
         """CMT occupancy in bytes (entries plus node overhead at 8 bytes/unit)."""
         return {"cmt_bytes": self.cmt.memory_entries() * 8}
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["cmt"] = self.cmt.state_dict()
+        state["locality"] = {
+            "recent_lengths": list(self._recent_request_lengths),
+            "last_lpn_end": self._last_lpn_end,
+            "sequential_streak": self._sequential_streak,
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.cmt.load_state(state["cmt"])
+        locality = state["locality"]
+        self._recent_request_lengths.clear()
+        self._recent_request_lengths.extend(locality["recent_lengths"])
+        self._recent_length_sum = sum(self._recent_request_lengths)
+        self._last_lpn_end = locality["last_lpn_end"]
+        self._sequential_streak = int(locality["sequential_streak"])

@@ -6,6 +6,8 @@ Examples::
     python -m repro.experiments fig14 --scale tiny
     python -m repro.experiments all --scale default --csv-dir results/
     python -m repro.experiments all --scale tiny --jobs 4 --cache-dir .cache/
+    python -m repro.experiments all --scale tiny --snapshot-dir .snapshots/
+    python -m repro.experiments all --scale tiny --cache-dir .cache/ --dry-run
     python -m repro.experiments fig21 fig22 --json-dir results/json/
     python -m repro.experiments fig06 --scale tiny --profile
 
@@ -27,8 +29,8 @@ import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.orchestrator import run_orchestrated, write_json_artifact
-from repro.experiments.runner import Scale
+from repro.experiments.orchestrator import describe_plan, run_orchestrated, write_json_artifact
+from repro.experiments.runner import Scale, set_snapshot_dir
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +78,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache per-task results here, keyed on experiment+scale+kwargs+version; "
         "re-running recomputes only what changed",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        help="store/restore warmed-device snapshots here; warm-up (fill + overwrite) "
+        "is paid once per (FTL, geometry, config, recipe) and restored afterwards",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the planned shard tasks with their cache (and snapshot) hit/miss "
+        "status without executing anything",
     )
     parser.add_argument(
         "--no-split",
@@ -133,7 +148,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    if args.dry_run:
+        for line in describe_plan(
+            names,
+            scale=args.scale,
+            split=not args.no_split,
+            cache_dir=args.cache_dir,
+            snapshot_dir=args.snapshot_dir,
+        ):
+            print(line)
+        return 0
+
     if args.profile:
+        set_snapshot_dir(args.snapshot_dir)
         return _profile_experiments(names, args.scale, args.csv_dir)
 
     def progress(line: str) -> None:
@@ -146,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         split=not args.no_split,
         cache_dir=args.cache_dir,
+        snapshot_dir=args.snapshot_dir,
         progress=progress,
     )
     wall_s = time.time() - started

@@ -39,7 +39,17 @@ from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.fig20_filebench import WORKLOADS as _FILEBENCH
 from repro.experiments.fig21_tail_latency import TAIL_LATENCY_FTLS
 from repro.experiments.fig22_energy import ENERGY_FTLS
-from repro.experiments.runner import ALL_FTLS, ExperimentResult, Scale
+from repro.experiments.runner import (
+    ALL_FTLS,
+    BASELINE_FTLS,
+    ExperimentResult,
+    Scale,
+    ScaleSpec,
+    set_snapshot_dir,
+)
+from repro.snapshot.fingerprint import source_fingerprint
+from repro.snapshot.store import SnapshotStore
+from repro.snapshot.warm import warmup_recipe
 from repro.workloads.traces import TRACE_PRESETS
 
 __all__ = [
@@ -48,6 +58,7 @@ __all__ = [
     "ExperimentOutcome",
     "ResultCache",
     "plan_tasks",
+    "describe_plan",
     "merge_results",
     "run_orchestrated",
 ]
@@ -66,18 +77,13 @@ def _source_fingerprint() -> str:
 
     Folding this into the cache key means cached experiment results go stale
     the moment any simulator or harness code changes — not only on version
-    bumps.
+    bumps.  The digest itself is shared with the snapshot store
+    (:mod:`repro.snapshot.fingerprint`); the module-level cache here exists so
+    tests can simulate a source edit by overriding it.
     """
     global _SOURCE_FINGERPRINT
     if _SOURCE_FINGERPRINT is None:
-        import repro
-
-        digest = hashlib.sha256()
-        root = Path(repro.__file__).resolve().parent
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode("utf-8"))
-            digest.update(path.read_bytes())
-        _SOURCE_FINGERPRINT = digest.hexdigest()
+        _SOURCE_FINGERPRINT = source_fingerprint()
     return _SOURCE_FINGERPRINT
 
 #: The four traces of Figures 21/22 (canonical TRACE_PRESETS order — the
@@ -189,6 +195,99 @@ def plan_tasks(name: str, *, split: bool = True) -> list[ExperimentTask]:
             for ftl in ftls
         ]
     return [ExperimentTask.create(name)]
+
+
+# -------------------------------------------------------------------- dry run
+#: Experiment -> (warmup mode, default FTLs) for harnesses that warm devices
+#: through ``prepare_ssd`` with the **default** config and timing; used by
+#: ``--dry-run`` to predict snapshot-store hits.  Experiments that sweep
+#: custom configs/timings ("custom") resolve their keys only at run time, and
+#: experiments without a device warm-up map to ``None``.
+_WARM_PLANS: dict[str, tuple[str, tuple[str, ...]] | str | None] = {
+    "fig02": ("steady", ("tpftl",)),
+    "fig03": "custom",
+    "fig06": ("steady", BASELINE_FTLS),
+    "fig07": ("fill", BASELINE_FTLS),
+    "fig14": ("steady", ALL_FTLS),
+    "fig15": None,
+    "fig16": ("steady", ALL_FTLS),
+    "fig17": ("steady", ("learnedftl",)),
+    "fig18": "custom",
+    "fig19": None,
+    "fig20": ("fill", ALL_FTLS),
+    "fig21": ("steady", TAIL_LATENCY_FTLS),
+    "fig22": ("steady", ENERGY_FTLS),
+    "table02": None,
+}
+
+
+def _snapshot_status(task: ExperimentTask, scale: str, store: SnapshotStore | None) -> str:
+    """Predicted snapshot-store status of one task (for the dry-run listing)."""
+    plan = _WARM_PLANS.get(task.experiment)
+    if plan is None:
+        return "none needed"
+    if plan == "custom":
+        return "custom warm-up (keys resolved at run time)"
+    if store is None:
+        return "no store"
+    warmup, default_ftls = plan
+    ftls = task.run_kwargs().get("ftls", default_ftls)
+    spec = ScaleSpec.for_scale(scale)
+    recipe = warmup_recipe(
+        warmup=warmup,
+        io_pages=128,
+        overwrite_factor=spec.warmup_overwrite_factor,
+        threads=min(8, spec.threads),
+        seed=7,
+    )
+    hits = sum(
+        1
+        for ftl in ftls
+        if store.contains(
+            store.key_for(ftl_name=ftl, geometry=spec.geometry, recipe=recipe)
+        )
+    )
+    return f"{hits}/{len(ftls)} warm"
+
+
+def describe_plan(
+    names: Sequence[str],
+    *,
+    scale: Scale | str = Scale.DEFAULT,
+    split: bool = True,
+    cache_dir: str | Path | None = None,
+    snapshot_dir: str | Path | None = None,
+) -> list[str]:
+    """Describe what a run would do, without executing anything (``--dry-run``).
+
+    One line per planned shard task with its result-cache status (hit/miss)
+    and its predicted snapshot-store status, followed by a totals line.
+    """
+    scale_value = Scale.parse(scale).value
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    store = SnapshotStore(snapshot_dir) if snapshot_dir is not None else None
+    lines: list[str] = []
+    total = 0
+    cached = 0
+    for name in names:
+        for task in plan_tasks(name, split=split):
+            total += 1
+            if cache is None:
+                cache_status = "no cache"
+            elif cache.load(task, scale_value) is not None:
+                cache_status = "hit"
+                cached += 1
+            else:
+                cache_status = "miss"
+            lines.append(
+                f"{task.label}: cache {cache_status}; "
+                f"snapshots: {_snapshot_status(task, scale_value, store)}"
+            )
+    summary = f"{total} tasks planned at scale={scale_value}"
+    if cache is not None:
+        summary += f", {cached} cached, {total - cached} to run"
+    lines.append(summary)
+    return lines
 
 
 # -------------------------------------------------------------------- merging
@@ -362,12 +461,21 @@ class ResultCache:
 
 
 # ------------------------------------------------------------------ execution
-def _execute_task(experiment: str, scale: str, kwargs: dict[str, Any]) -> tuple[dict, float]:
+def _execute_task(
+    experiment: str,
+    scale: str,
+    kwargs: dict[str, Any],
+    snapshot_dir: str | None = None,
+) -> tuple[dict, float]:
     """Worker entry point: run one task and return (result dict, elapsed seconds).
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; results cross
-    the process boundary as plain dicts.
+    the process boundary as plain dicts.  ``snapshot_dir`` installs the shared
+    warm-image store in whichever process the task lands in — the first task
+    to warm a given (FTL, geometry, recipe) publishes the image, every other
+    task (in any process) restores it.
     """
+    set_snapshot_dir(snapshot_dir)
     started = time.perf_counter()
     result = run_experiment(experiment, scale=scale, **kwargs)
     return result.to_dict(), time.perf_counter() - started
@@ -389,6 +497,7 @@ def run_orchestrated(
     jobs: int = 1,
     split: bool = True,
     cache_dir: str | Path | None = None,
+    snapshot_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[ExperimentOutcome]:
     """Run experiments (possibly sharded) across up to ``jobs`` processes.
@@ -398,12 +507,17 @@ def run_orchestrated(
     into one :class:`ExperimentResult` per experiment — identical for any
     ``jobs`` value.  A failing task marks its experiment failed (with the
     traceback in :attr:`ExperimentOutcome.error`) without stopping the batch.
+
+    ``snapshot_dir`` points every task at a shared warm-image store (see
+    :mod:`repro.snapshot`): tasks restore warmed devices instead of re-paying
+    the fill/overwrite phase, with results bit-identical either way.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
     scale_value = Scale.parse(scale).value
     emit = progress or (lambda line: None)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    snapshot_arg = str(snapshot_dir) if snapshot_dir is not None else None
 
     plan: dict[str, list[_TaskState]] = {
         name: [_TaskState(task) for task in plan_tasks(name, split=split)] for name in names
@@ -443,7 +557,9 @@ def run_orchestrated(
     if jobs == 1 or len(pending) <= 1:
         for state in pending:
             try:
-                payload = _execute_task(state.task.experiment, scale_value, state.task.run_kwargs())
+                payload = _execute_task(
+                    state.task.experiment, scale_value, state.task.run_kwargs(), snapshot_arg
+                )
             except Exception:
                 finish(state, None, traceback.format_exc())
             else:
@@ -452,7 +568,11 @@ def run_orchestrated(
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
                 pool.submit(
-                    _execute_task, state.task.experiment, scale_value, state.task.run_kwargs()
+                    _execute_task,
+                    state.task.experiment,
+                    scale_value,
+                    state.task.run_kwargs(),
+                    snapshot_arg,
                 ): state
                 for state in pending
             }

@@ -18,16 +18,28 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.report import format_table, rows_to_csv
 from repro.core.base import FTLConfig
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
+from repro.snapshot.store import SnapshotStore
+from repro.snapshot.warm import warm_device
 from repro.ssd.device import SSD
-from repro.workloads.fio import FioJob, warmup_writes
+from repro.workloads.fio import FioJob
 
-__all__ = ["Scale", "ScaleSpec", "ExperimentResult", "prepare_ssd", "ALL_FTLS", "BASELINE_FTLS"]
+__all__ = [
+    "Scale",
+    "ScaleSpec",
+    "ExperimentResult",
+    "prepare_ssd",
+    "ALL_FTLS",
+    "BASELINE_FTLS",
+    "set_snapshot_dir",
+    "active_snapshot_store",
+]
 
 #: FTLs compared in the full figures (order matches the paper's legends).
 ALL_FTLS: tuple[str, ...] = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
@@ -157,6 +169,32 @@ class ExperimentResult:
         )
 
 
+#: Process-wide snapshot store the harnesses warm through (set by the CLI /
+#: orchestrator via :func:`set_snapshot_dir`; ``None`` = warm from scratch).
+_SNAPSHOT_STORE: SnapshotStore | None = None
+
+
+def set_snapshot_dir(path: "str | Path | None") -> SnapshotStore | None:
+    """Point every subsequent :func:`prepare_ssd` at a snapshot store.
+
+    ``None`` disables snapshotting.  Re-pointing at the same directory keeps
+    the existing store object (and its hit/miss counters); worker processes
+    call this once per task, so the counters accumulate across one process's
+    tasks.
+    """
+    global _SNAPSHOT_STORE
+    if path is None:
+        _SNAPSHOT_STORE = None
+    elif _SNAPSHOT_STORE is None or _SNAPSHOT_STORE.root != Path(path):
+        _SNAPSHOT_STORE = SnapshotStore(path)
+    return _SNAPSHOT_STORE
+
+
+def active_snapshot_store() -> SnapshotStore | None:
+    """The store :func:`prepare_ssd` currently warms through (or ``None``)."""
+    return _SNAPSHOT_STORE
+
+
 def prepare_ssd(
     ftl_name: str,
     spec: ScaleSpec,
@@ -166,6 +204,7 @@ def prepare_ssd(
     warmup: str = "steady",
     warmup_io_pages: int = 128,
     seed: int = 7,
+    snapshot_store: SnapshotStore | None = None,
 ) -> SSD:
     """Create and precondition an SSD the way the paper's evaluation does.
 
@@ -178,21 +217,26 @@ def prepare_ssd(
       128-page (512 KB at 4 KB pages) requests, matching Section IV-B's
       warm-up that lets LeaFTL build its learned index.
 
-    Statistics are reset afterwards so the measured phase starts clean.
+    The warm-up runs through :func:`repro.snapshot.warm.warm_device`: when a
+    snapshot store is active (``snapshot_store`` argument, else the
+    process-wide store installed by :func:`set_snapshot_dir`), the warm image
+    is restored from disk when present and published after the first warm-up
+    — bit-identical either way.  Statistics are reset afterwards so the
+    measured phase starts clean.
     """
-    ssd = SSD.create(ftl_name, spec.geometry, timing=timing, config=config)
-    if warmup not in ("none", "fill", "steady"):
-        raise ValueError(f"unknown warmup mode {warmup!r}")
-    if warmup in ("fill", "steady"):
-        ssd.fill_sequential(io_pages=warmup_io_pages)
-    if warmup == "steady":
-        stream = warmup_writes(
-            spec.geometry,
-            overwrite_factor=spec.warmup_overwrite_factor,
-            io_pages=warmup_io_pages,
-            seed=seed,
-        )
-        ssd.run(stream, threads=min(8, spec.threads))
+    store = snapshot_store if snapshot_store is not None else _SNAPSHOT_STORE
+    ssd = warm_device(
+        ftl_name,
+        spec.geometry,
+        warmup=warmup,
+        io_pages=warmup_io_pages,
+        overwrite_factor=spec.warmup_overwrite_factor,
+        threads=min(8, spec.threads),
+        seed=seed,
+        config=config,
+        timing=timing,
+        store=store,
+    )
     ssd.reset_stats()
     return ssd
 

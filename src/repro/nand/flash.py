@@ -24,9 +24,12 @@ hot paths use the raw accessors (:meth:`FlashArray.page_state_code`,
 
 from __future__ import annotations
 
+import json
 from array import array
 from enum import Enum
 from typing import Any, Iterator
+
+import numpy as np
 
 from repro.nand.address import AddressCodec
 from repro.nand.errors import FlashStateError
@@ -453,6 +456,79 @@ class FlashArray:
         self.total_erases += 1
         self.data_invalidation_epoch += 1
         return reclaimed
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture every column and counter as NumPy buffers / scalars.
+
+        The sparse OOB payloads are JSON-encoded (they must be JSON-safe — in
+        practice they are small dicts like ``{"tvpn": n}`` or LeaFTL error
+        intervals).
+        """
+        return {
+            "page_state": np.frombuffer(bytes(self._page_state), dtype=np.uint8),
+            "page_lpn": np.frombuffer(self._page_lpn, dtype=np.int64).copy(),
+            "page_version": np.frombuffer(self._page_version, dtype=np.int64).copy(),
+            "page_translation": np.frombuffer(bytes(self._page_translation), dtype=np.uint8),
+            "page_tvpn": np.frombuffer(self._page_tvpn, dtype=np.int64).copy(),
+            "block_next": np.frombuffer(self._block_next, dtype=np.intc).copy(),
+            "block_valid": np.frombuffer(self._block_valid, dtype=np.intc).copy(),
+            "block_invalid": np.frombuffer(self._block_invalid, dtype=np.intc).copy(),
+            "block_erase": np.frombuffer(self._block_erase, dtype=np.intc).copy(),
+            "block_translation": np.frombuffer(bytes(self._block_translation), dtype=np.uint8),
+            "page_oob": json.dumps(
+                [[ppn, payload] for ppn, payload in self._page_oob.items()]
+            ),
+            "version_counter": self._version_counter,
+            "free_pages": self._free_pages,
+            "total_programs": self.total_programs,
+            "total_erases": self.total_erases,
+            "total_reads": self.total_reads,
+            "data_invalidation_epoch": self.data_invalidation_epoch,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore the columns captured by :meth:`state_dict` **in place**.
+
+        In-place slice assignment preserves the identity of every column, so
+        references FTLs hold into this array stay valid after a restore.
+        """
+        if len(state["page_state"]) != self._num_pages:
+            raise FlashStateError(
+                f"snapshot covers {len(state['page_state'])} pages, "
+                f"device has {self._num_pages}"
+            )
+        self._page_state[:] = np.asarray(state["page_state"], dtype=np.uint8).tobytes()
+        self._page_lpn[:] = array("q", np.asarray(state["page_lpn"], dtype=np.int64).tobytes())
+        self._page_version[:] = array(
+            "q", np.asarray(state["page_version"], dtype=np.int64).tobytes()
+        )
+        self._page_translation[:] = np.asarray(
+            state["page_translation"], dtype=np.uint8
+        ).tobytes()
+        self._page_tvpn[:] = array("q", np.asarray(state["page_tvpn"], dtype=np.int64).tobytes())
+        self._block_next[:] = array("i", np.asarray(state["block_next"], dtype=np.intc).tobytes())
+        self._block_valid[:] = array(
+            "i", np.asarray(state["block_valid"], dtype=np.intc).tobytes()
+        )
+        self._block_invalid[:] = array(
+            "i", np.asarray(state["block_invalid"], dtype=np.intc).tobytes()
+        )
+        self._block_erase[:] = array(
+            "i", np.asarray(state["block_erase"], dtype=np.intc).tobytes()
+        )
+        self._block_translation[:] = np.asarray(
+            state["block_translation"], dtype=np.uint8
+        ).tobytes()
+        self._page_oob.clear()
+        for ppn, payload in json.loads(state["page_oob"]):
+            self._page_oob[ppn] = payload
+        self._version_counter = int(state["version_counter"])
+        self._free_pages = int(state["free_pages"])
+        self.total_programs = int(state["total_programs"])
+        self.total_erases = int(state["total_erases"])
+        self.total_reads = int(state["total_reads"])
+        self.data_invalidation_epoch = int(state["data_invalidation_epoch"])
 
     # -------------------------------------------------------------- analysis
     def latest_version_of(self, lpn: int) -> tuple[int, int] | None:

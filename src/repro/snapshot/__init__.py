@@ -1,0 +1,44 @@
+"""Device-state snapshots: checkpoint and restore warm SSD images.
+
+Every figure experiment pays the same dominant cost before measuring anything:
+``fill_sequential`` plus randomized overwrites to bring the simulated device to
+steady state.  This package turns that warm-up into a one-time cost per
+(FTL, geometry, warm-up recipe):
+
+* :mod:`repro.snapshot.serialization` — the on-disk snapshot format: a
+  versioned JSON manifest plus an ``.npz`` holding every NumPy-encoded column
+  (flash state, mapping directory, model bitmaps, latency populations, ...).
+* :mod:`repro.snapshot.store` — :class:`SnapshotStore`, a content-addressed
+  store keyed on sha256(ftl + geometry + config + timing + warm-up recipe +
+  snapshot format version + source-tree fingerprint); editing any simulator
+  code invalidates every stored image automatically.
+* :mod:`repro.snapshot.warm` — :func:`warm_device`, the "give me a warm SSD"
+  entry point the experiment harnesses call: restore from the store when an
+  image exists, otherwise warm from scratch and publish the image.
+
+The non-negotiable invariant (pinned by ``tests/test_snapshot.py``): for every
+FTL design, snapshot-then-resume produces statistics **bit-identical** to an
+uninterrupted run.  Each stateful layer therefore exposes ``state_dict()`` /
+``load_state()`` methods that capture and restore its exact in-memory state,
+including iteration orders of LRU structures and allocator free lists.
+"""
+
+from repro.snapshot.fingerprint import source_fingerprint
+from repro.snapshot.serialization import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.snapshot.store import SnapshotStore
+from repro.snapshot.warm import warm_device
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotStore",
+    "load_snapshot",
+    "save_snapshot",
+    "source_fingerprint",
+    "warm_device",
+]

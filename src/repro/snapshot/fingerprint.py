@@ -1,0 +1,30 @@
+"""Source-tree fingerprint shared by the snapshot store and the result cache.
+
+Both caches key their entries on a digest of every ``repro`` source file so
+that editing any simulator or harness code invalidates stored artifacts
+without requiring a version bump.  The digest is computed once per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["source_fingerprint"]
+
+_FINGERPRINT: str | None = None
+
+
+def source_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT

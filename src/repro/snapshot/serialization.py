@@ -1,0 +1,118 @@
+"""On-disk snapshot format: versioned JSON manifest + NumPy ``.npz`` columns.
+
+A snapshot is a directory of two files:
+
+* ``manifest.json`` — ``{"format": N, "state": <nested structure>}``.  The
+  state is the nested ``state_dict()`` tree produced by the device; every
+  :class:`numpy.ndarray` leaf is replaced by an ``{"__ndarray__": key}``
+  placeholder.
+* ``arrays.npz`` — the array leaves, keyed by placeholder key, compressed.
+
+The split keeps the big flat columns (flash page state, the mapping
+directory's int64 array, model bitmaps, latency populations) in binary NumPy
+buffers while everything else — allocator free lists, LRU orders, counters —
+stays human-inspectable JSON.  The format version is part of both the manifest
+and the snapshot-store cache key, so a format change can never load (or hit)
+a stale image.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: Version of the snapshot directory layout and of every layer's state schema.
+#: Bump whenever a ``state_dict()`` shape changes.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+_NDARRAY_KEY = "__ndarray__"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be written, read or applied."""
+
+
+def _flatten(value: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Replace ndarray leaves with placeholders, collecting them into ``arrays``."""
+    if isinstance(value, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = value
+        return {_NDARRAY_KEY: key}
+    if isinstance(value, dict):
+        flattened = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SnapshotError(f"state keys must be strings, got {key!r}")
+            flattened[key] = _flatten(item, arrays)
+        return flattened
+    if isinstance(value, (list, tuple)):
+        return [_flatten(item, arrays) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SnapshotError(f"state value of type {type(value).__name__} is not serializable")
+
+
+def _inflate(value: Any, arrays: Any) -> Any:
+    """Inverse of :func:`_flatten`: resolve placeholders back into arrays."""
+    if isinstance(value, dict):
+        if set(value) == {_NDARRAY_KEY}:
+            return np.asarray(arrays[value[_NDARRAY_KEY]])
+        return {key: _inflate(item, arrays) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_inflate(item, arrays) for item in value]
+    return value
+
+
+def save_snapshot(path: str | Path, state: dict[str, Any]) -> Path:
+    """Write one snapshot directory; returns its path.
+
+    ``state`` is a nested structure of dicts/lists/scalars with
+    :class:`numpy.ndarray` leaves for bulk columns.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    flattened = _flatten(state, arrays)
+    manifest = {"format": SNAPSHOT_FORMAT_VERSION, "state": flattened}
+    np.savez_compressed(path / _ARRAYS, **arrays)
+    (path / _MANIFEST).write_text(json.dumps(manifest, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a snapshot directory back into the nested state structure.
+
+    Raises :class:`SnapshotError` for missing/corrupt files or a format
+    version mismatch.
+    """
+    path = Path(path)
+    try:
+        manifest = json.loads((path / _MANIFEST).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot read snapshot manifest at {path}: {exc}") from exc
+    version = manifest.get("format")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot at {path} has format {version!r}; "
+            f"this build reads format {SNAPSHOT_FORMAT_VERSION}"
+        )
+    try:
+        with np.load(path / _ARRAYS) as arrays:
+            return _inflate(manifest["state"], arrays)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        # BadZipFile subclasses Exception directly (not ValueError/OSError), so
+        # a truncated archive must be named explicitly to count as corruption.
+        raise SnapshotError(f"cannot read snapshot arrays at {path}: {exc}") from exc

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.base import FTLBase, FTLConfig
 from repro.core.dftl import DFTL
@@ -263,6 +264,74 @@ class SSD:
             for _ in range(pages // io_pages)
         )
         return self.run(requests, threads=threads)
+
+    # ------------------------------------------------------------ snapshots
+    def state_dict(self) -> dict[str, Any]:
+        """Capture the complete device state (for :func:`repro.snapshot.save_snapshot`).
+
+        Includes the creation parameters (FTL name, geometry, config, timing)
+        so :meth:`restore` can rebuild an identical device, plus the full
+        runtime state: the FTL (flash columns, mapping directory, allocators,
+        caches, learned models), the statistics and the chip timelines.
+        """
+        return {
+            "ftl_name": self.ftl.name,
+            "geometry": asdict(self.geometry),
+            "config": asdict(self.ftl.config),
+            "timing": asdict(self.timing),
+            "clock_us": self._clock_us,
+            "ftl": self.ftl.state_dict(),
+            "stats": self.stats.state_dict(),
+            "engine": self.engine.timeline.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` capture into this device **in place**.
+
+        The device must have been created with the same FTL design, geometry,
+        config and timing as the snapshot source; anything else raises
+        :class:`ConfigurationError` rather than silently mixing states.
+        """
+        for field_name, current in (
+            ("ftl_name", self.ftl.name),
+            ("geometry", asdict(self.geometry)),
+            ("config", asdict(self.ftl.config)),
+            ("timing", asdict(self.timing)),
+        ):
+            if state[field_name] != current:
+                raise ConfigurationError(
+                    f"snapshot {field_name} {state[field_name]!r} does not match "
+                    f"this device's {current!r}"
+                )
+        self.ftl.load_state(state["ftl"])
+        self.stats.load_state(state["stats"])
+        self.engine.timeline.load_state(state["engine"])
+        self._clock_us = float(state["clock_us"])
+
+    def save_state(self, path: "str | Path") -> "Path":
+        """Checkpoint the device to a snapshot directory; returns the path."""
+        from repro.snapshot.serialization import save_snapshot
+
+        return save_snapshot(path, self.state_dict())
+
+    @classmethod
+    def restore(cls, path: "str | Path") -> "SSD":
+        """Rebuild a device bit-identically from a :meth:`save_state` snapshot.
+
+        The restored device uses the default energy model (the model is a set
+        of stateless constants applied to the statistics after the fact, not
+        simulation state); pass a custom one to :class:`SSD` directly if
+        needed.
+        """
+        from repro.snapshot.serialization import load_snapshot
+
+        state = load_snapshot(path)
+        geometry = SSDGeometry(**state["geometry"])
+        config = FTLConfig(**state["config"])
+        timing = TimingModel(**state["timing"])
+        ssd = cls.create(state["ftl_name"], geometry, timing=timing, config=config)
+        ssd.load_state(state)
+        return ssd
 
     # ------------------------------------------------------------- analysis
     def energy(self) -> EnergyBreakdown:

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.nand.timing import TimingModel
 from repro.ssd.request import KIND_BY_CODE, CommandBuffer, CommandKind, Transaction
 from repro.ssd.stats import SimulationStats
@@ -87,6 +89,25 @@ class ChipTimeline:
         if elapsed_us <= 0.0:
             return 0.0
         return sum(self.busy_time) / (elapsed_us * self.num_chips)
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict:
+        """Capture the per-chip busy-until horizon and accumulated busy time."""
+        return {
+            "busy_until": np.asarray(self._busy_until, dtype=np.float64),
+            "busy_time": np.asarray(self.busy_time, dtype=np.float64),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the timelines **in place** (``busy_time`` is aliased by the stats)."""
+        busy_until = state["busy_until"].tolist()
+        if len(busy_until) != len(self._busy_until):
+            raise ValueError(
+                f"snapshot has {len(busy_until)} chip timelines, engine has "
+                f"{len(self._busy_until)}"
+            )
+        self._busy_until[:] = busy_until
+        self.busy_time[:] = state["busy_time"].tolist()
 
 
 class TimingEngine:

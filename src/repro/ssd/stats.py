@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -175,6 +175,92 @@ class SimulationStats:
             self.read_latencies_us.append(latency_us)
         else:
             self.write_latencies_us.append(latency_us)
+
+    # ------------------------------------------------------ snapshot support
+    def state_dict(self) -> dict[str, Any]:
+        """Capture every counter and latency population.
+
+        ``num_chips`` / ``chip_busy_time_us`` are deliberately excluded: they
+        are owned (and aliased) by the timing engine, which the device
+        snapshots separately.
+        """
+        events = self.gc_events
+        return {
+            "page_size": self.page_size,
+            "host_read_requests": self.host_read_requests,
+            "host_write_requests": self.host_write_requests,
+            "host_read_pages": self.host_read_pages,
+            "host_write_pages": self.host_write_pages,
+            "command_counts": np.asarray(self.command_counts, dtype=np.int64),
+            "outcome_counts": np.asarray(self.outcome_counts, dtype=np.int64),
+            "cmt_lookups": self.cmt_lookups,
+            "cmt_hits": self.cmt_hits,
+            "model_lookups": self.model_lookups,
+            "model_hits": self.model_hits,
+            "gc_time_us": np.asarray([e.time_us for e in events], dtype=np.float64),
+            "gc_blocks_erased": np.asarray([e.blocks_erased for e in events], dtype=np.int64),
+            "gc_pages_moved": np.asarray([e.pages_moved for e in events], dtype=np.int64),
+            "gc_translation_pages": np.asarray(
+                [e.translation_pages_written for e in events], dtype=np.int64
+            ),
+            "gc_flash_time_us": np.asarray([e.flash_time_us for e in events], dtype=np.float64),
+            "gc_compute_time_us": np.asarray(
+                [e.compute_time_us for e in events], dtype=np.float64
+            ),
+            "gc_group": np.asarray(
+                [-1 if e.group is None else e.group for e in events], dtype=np.int64
+            ),
+            "sort_time_us": self.sort_time_us,
+            "train_time_us": self.train_time_us,
+            "predict_time_us": self.predict_time_us,
+            "predictions": self.predictions,
+            "models_trained": self.models_trained,
+            "read_latencies_us": np.asarray(self.read_latencies_us, dtype=np.float64),
+            "write_latencies_us": np.asarray(self.write_latencies_us, dtype=np.float64),
+            "finish_time_us": self.finish_time_us,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore counters **in place** (the engine aliases the count arrays)."""
+        self.page_size = int(state["page_size"])
+        self.host_read_requests = int(state["host_read_requests"])
+        self.host_write_requests = int(state["host_write_requests"])
+        self.host_read_pages = int(state["host_read_pages"])
+        self.host_write_pages = int(state["host_write_pages"])
+        self.command_counts[:] = state["command_counts"].tolist()
+        self.outcome_counts[:] = state["outcome_counts"].tolist()
+        self.cmt_lookups = int(state["cmt_lookups"])
+        self.cmt_hits = int(state["cmt_hits"])
+        self.model_lookups = int(state["model_lookups"])
+        self.model_hits = int(state["model_hits"])
+        self.gc_events[:] = [
+            GCEvent(
+                time_us=time_us,
+                blocks_erased=blocks,
+                pages_moved=pages,
+                translation_pages_written=translation,
+                flash_time_us=flash_time,
+                compute_time_us=compute_time,
+                group=None if group < 0 else group,
+            )
+            for time_us, blocks, pages, translation, flash_time, compute_time, group in zip(
+                state["gc_time_us"].tolist(),
+                state["gc_blocks_erased"].tolist(),
+                state["gc_pages_moved"].tolist(),
+                state["gc_translation_pages"].tolist(),
+                state["gc_flash_time_us"].tolist(),
+                state["gc_compute_time_us"].tolist(),
+                state["gc_group"].tolist(),
+            )
+        ]
+        self.sort_time_us = float(state["sort_time_us"])
+        self.train_time_us = float(state["train_time_us"])
+        self.predict_time_us = float(state["predict_time_us"])
+        self.predictions = int(state["predictions"])
+        self.models_trained = int(state["models_trained"])
+        self.read_latencies_us[:] = state["read_latencies_us"].tolist()
+        self.write_latencies_us[:] = state["write_latencies_us"].tolist()
+        self.finish_time_us = float(state["finish_time_us"])
 
     # --------------------------------------------------------- counter views
     def _purpose_counter(self, kind: CommandKind) -> Counter:

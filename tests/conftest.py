@@ -21,6 +21,19 @@ from repro.ssd.request import HostRequest, OpType
 ALL_FTL_NAMES = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
 
 
+@pytest.fixture(autouse=True)
+def _reset_snapshot_store():
+    """Clear the process-wide snapshot store between tests.
+
+    CLI/orchestrator tests install a store rooted in a pytest tmp_path; a
+    later test calling ``prepare_ssd`` directly must never warm through it.
+    """
+    yield
+    from repro.experiments.runner import set_snapshot_dir
+
+    set_snapshot_dir(None)
+
+
 @pytest.fixture
 def tiny_geometry() -> SSDGeometry:
     """A very small geometry for unit tests that run workloads."""

@@ -269,6 +269,112 @@ class TestCache:
         assert "fakealpha" in captured.out
 
 
+class TestWarmPlanTable:
+    """The dry-run's _WARM_PLANS table must track the harness call sites.
+
+    The table duplicates each harness's warm-up knowledge (mode, custom
+    config, or no device at all); these checks fail whenever a harness
+    changes its ``prepare_ssd`` usage without the table following.
+    """
+
+    def test_every_experiment_is_classified(self):
+        from repro.experiments.orchestrator import _WARM_PLANS
+
+        assert set(_WARM_PLANS) == set(EXPERIMENTS)
+
+    def test_plans_match_harness_sources(self):
+        import inspect
+        import sys
+
+        from repro.experiments.orchestrator import _WARM_PLANS
+
+        for name, plan in _WARM_PLANS.items():
+            runner, _ = EXPERIMENTS[name]
+            source = inspect.getsource(sys.modules[runner.__module__])
+            if plan is None:
+                assert "prepare_ssd(" not in source, (
+                    f"{name} warms devices but _WARM_PLANS says it does not"
+                )
+            elif plan == "custom":
+                assert "prepare_ssd(" in source and "config=" in source, (
+                    f"{name} is marked 'custom' but does not sweep configs"
+                )
+            else:
+                warmup, ftls = plan
+                assert f'warmup="{warmup}"' in source, (
+                    f"{name}: _WARM_PLANS says warmup={warmup!r} but the harness differs"
+                )
+                others = {"steady", "fill", "none"} - {warmup}
+                assert not any(f'warmup="{other}"' in source for other in others), (
+                    f"{name} uses several warm-up modes; _WARM_PLANS only predicts {warmup!r}"
+                )
+                assert "config=" not in source, (
+                    f"{name} passes a custom config; mark it 'custom' in _WARM_PLANS"
+                )
+                assert ftls, f"{name}: empty FTL list in _WARM_PLANS"
+
+
+class TestDryRun:
+    def test_dry_run_plans_without_executing(self, tmp_path, capsys, fake_registry):
+        code = cli_main(
+            ["fakealpha", "--scale", "tiny", "--dry-run",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fakealpha: cache miss" in out
+        assert "1 tasks planned at scale=tiny, 0 cached, 1 to run" in out
+        assert _FAKE_CALLS == []  # nothing ran
+
+    def test_dry_run_reports_cache_hits_and_shards(self, tmp_path, capsys, fake_registry):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["fakealpha", "--scale", "tiny", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        code = cli_main(
+            ["fakealpha", "fig14", "--scale", "tiny", "--dry-run",
+             "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fakealpha: cache hit" in out
+        # fig14 shards per FTL, and each shard predicts its snapshot needs.
+        assert "fig14[dftl]: cache miss; snapshots: no store" in out
+        assert "6 tasks planned at scale=tiny, 1 cached, 5 to run" in out
+        assert _FAKE_CALLS == ["alpha"]
+
+    def test_dry_run_predicts_snapshot_hits(self, tmp_path, capsys):
+        # Warm one tpftl image via the CLI, then the dry run must see it.
+        snap_dir = tmp_path / "snap"
+        assert cli_main(
+            ["fig02", "--scale", "tiny", "--snapshot-dir", str(snap_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["fig02", "--scale", "tiny", "--dry-run", "--snapshot-dir", str(snap_dir)]
+        ) == 0
+        assert "fig02: cache no cache; snapshots: 1/1 warm" in capsys.readouterr().out
+
+
+class TestSnapshotDirFlag:
+    def test_snapshot_rerun_is_identical(self, tmp_path, capsys):
+        snap_dir = tmp_path / "snap"
+        cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+        assert cli_main(
+            ["fig06", "--scale", "tiny", "--snapshot-dir", str(snap_dir),
+             "--json-dir", str(cold_dir)]
+        ) == 0
+        assert any(snap_dir.iterdir()), "no warm image was published"
+        assert cli_main(
+            ["fig06", "--scale", "tiny", "--snapshot-dir", str(snap_dir),
+             "--json-dir", str(warm_dir)]
+        ) == 0
+        capsys.readouterr()
+        cold = json.loads((cold_dir / "fig06.json").read_text())
+        warm = json.loads((warm_dir / "fig06.json").read_text())
+        assert cold["rows"] == warm["rows"]
+        assert cold["extra_tables"] == warm["extra_tables"]
+
+
 class TestParallelAll:
     @fork_only
     def test_parallel_all_matches_serial(self, tmp_path, capsys, fake_registry, monkeypatch):

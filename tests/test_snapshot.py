@@ -1,0 +1,323 @@
+"""Tests for the device-state snapshot subsystem.
+
+The headline guarantee is pinned by :class:`TestResumeBitIdentical`: for every
+FTL design, running a workload straight through and running it with a
+checkpoint/restore in the middle produce **bit-identical** statistics — the
+same fingerprint the kernel golden-equivalence test pins.  Everything the
+snapshot store and the experiment integration do rests on that invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from golden_workload import WORKLOAD_SEED, golden_geometry
+from repro import SSD, SSDGeometry
+from repro.core.base import FTLConfig
+from repro.experiments import EXPERIMENTS
+from repro.experiments import runner as runner_module
+from repro.experiments.orchestrator import describe_plan, run_orchestrated
+from repro.experiments.runner import ScaleSpec, prepare_ssd, set_snapshot_dir
+from repro.nand.errors import ConfigurationError
+from repro.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+    warm_device,
+)
+from repro.ssd.request import HostRequest, OpType
+
+ALL_FTL_NAMES = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
+
+
+# The process-wide snapshot store is cleared between tests by an autouse
+# fixture in conftest.py, so orchestrated runs here cannot leak their store.
+
+
+def _phase_requests(geometry: SSDGeometry):
+    """The golden workload's request phases, pre-generated so the same lists
+    can drive both the straight-through and the snapshot-resumed device."""
+    rng = random.Random(WORKLOAD_SEED)
+    limit = geometry.num_logical_pages
+    overwrites = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 4), npages=4)
+        for _ in range(150)
+    ]
+    reads = [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1)
+        for _ in range(400)
+    ]
+    mix = []
+    for _ in range(300):
+        if rng.random() < 0.3:
+            mix.append(HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 2), npages=2))
+        else:
+            mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 8), npages=8))
+    return overwrites, reads, mix
+
+
+def _fingerprint(ssd: SSD) -> dict:
+    stats = ssd.stats
+    fingerprint = dict(stats.summary())
+    fingerprint.update(
+        {
+            "clock_us": ssd.now_us,
+            "flash_total_programs": ssd.ftl.flash.total_programs,
+            "flash_total_erases": ssd.ftl.flash.total_erases,
+            "flash_total_reads": ssd.ftl.flash.total_reads,
+            "gc_pages_moved": stats.gc_pages_moved,
+            "read_latency_sum_us": sum(stats.read_latencies_us),
+            "write_latency_sum_us": sum(stats.write_latencies_us),
+            "chip_busy_us": tuple(stats.chip_busy_time_us),
+        }
+    )
+    return fingerprint
+
+
+def _assert_state_equal(a, b, path="state"):
+    """Deep equality over nested state dicts with NumPy leaves."""
+    assert type(a) is type(b), f"{path}: {type(a)} vs {type(b)}"
+    if isinstance(a, dict):
+        assert set(a) == set(b), f"{path}: keys differ"
+        for key in a:
+            _assert_state_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and np.array_equal(a, b), f"{path}: arrays differ"
+    elif isinstance(a, list):
+        assert len(a) == len(b), f"{path}: lengths differ"
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_state_equal(x, y, f"{path}[{i}]")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+class TestResumeBitIdentical:
+    """The golden invariant: snapshot-then-resume == run-straight-through."""
+
+    @pytest.mark.parametrize("ftl_name", ALL_FTL_NAMES)
+    def test_resume_matches_uninterrupted_run(self, ftl_name, tmp_path):
+        geometry = golden_geometry()
+        overwrites, reads, mix = _phase_requests(geometry)
+
+        straight = SSD.create(ftl_name, geometry)
+        straight.fill_sequential(io_pages=16)
+        straight.run(overwrites, threads=2)
+        path = straight.save_state(tmp_path / "image")
+        resumed = SSD.restore(path)
+
+        # The restored device is immediately coherent and its captured state
+        # round-trips exactly.
+        resumed.verify()
+        _assert_state_equal(straight.state_dict(), resumed.state_dict())
+
+        for device in (straight, resumed):
+            device.run(reads, threads=4)
+            device.run(mix, threads=4)
+            device.verify()
+        assert _fingerprint(straight) == _fingerprint(resumed)
+
+    @pytest.mark.parametrize("ftl_name", ALL_FTL_NAMES)
+    def test_restored_device_state_survives_a_second_checkpoint(self, ftl_name, tmp_path):
+        geometry = golden_geometry()
+        overwrites, _, _ = _phase_requests(geometry)
+        ssd = SSD.create(ftl_name, geometry)
+        ssd.fill_sequential(io_pages=16)
+        ssd.run(overwrites, threads=2)
+        first = ssd.save_state(tmp_path / "first")
+        second = SSD.restore(first).save_state(tmp_path / "second")
+        _assert_state_equal(load_snapshot(first), load_snapshot(second))
+
+
+class TestSnapshotFormat:
+    def test_roundtrip_nested_structures(self, tmp_path):
+        state = {
+            "scalars": {"a": 1, "b": 2.5, "c": None, "d": True, "e": "text"},
+            "nested": [[1, 2], {"x": np.arange(5, dtype=np.int64)}],
+            "column": np.asarray([1.5, 2.5], dtype=np.float64),
+        }
+        save_snapshot(tmp_path / "snap", state)
+        loaded = load_snapshot(tmp_path / "snap")
+        _assert_state_equal(
+            {**state, "nested": [[1, 2], {"x": state["nested"][1]["x"]}]}, loaded
+        )
+
+    def test_format_version_mismatch_is_rejected(self, tmp_path):
+        save_snapshot(tmp_path / "snap", {"x": 1})
+        manifest = json.loads((tmp_path / "snap" / "manifest.json").read_text())
+        manifest["format"] = SNAPSHOT_FORMAT_VERSION + 1
+        (tmp_path / "snap" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "snap")
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "absent")
+
+    def test_unserializable_state_is_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            save_snapshot(tmp_path / "snap", {"bad": object()})
+
+    def test_load_state_rejects_mismatched_device(self, tmp_path):
+        small = SSD.create("dftl", golden_geometry())
+        small.fill_sequential(io_pages=16)
+        path = small.save_state(tmp_path / "image")
+        other = SSD.create("tpftl", golden_geometry())
+        with pytest.raises(ConfigurationError):
+            other.load_state(load_snapshot(path))
+
+
+class TestSnapshotStore:
+    def _key(self, store, **overrides):
+        params = dict(
+            ftl_name="dftl",
+            geometry=golden_geometry(),
+            recipe={"warmup": "steady", "io_pages": 16, "overwrite_factor": 1.0,
+                    "threads": 2, "seed": 7},
+        )
+        params.update(overrides)
+        return store.key_for(**params)
+
+    def test_key_distinguishes_inputs(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        base = self._key(store)
+        assert base == self._key(store)
+        assert base != self._key(store, ftl_name="tpftl")
+        assert base != self._key(store, geometry=SSDGeometry.small())
+        assert base != self._key(store, config=FTLConfig(cmt_ratio=0.5))
+        other_recipe = {"warmup": "fill", "io_pages": 16, "overwrite_factor": 1.0,
+                        "threads": 2, "seed": 7}
+        assert base != self._key(store, recipe=other_recipe)
+
+    def test_save_load_and_counters(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        ssd = SSD.create("dftl", golden_geometry())
+        ssd.fill_sequential(io_pages=16)
+        key = self._key(store)
+        assert store.load(key) is None
+        assert store.misses == 1
+        store.save(key, ssd)
+        assert store.contains(key)
+        restored = store.load(key)
+        assert restored is not None and store.hits == 1
+        assert restored.stats.summary() == ssd.stats.summary()
+
+    @pytest.mark.parametrize("corruption", [
+        b"garbage",  # not zip-structured at all -> ValueError
+        # A zip local-file-header prefix then truncation -> zipfile.BadZipFile,
+        # which subclasses Exception directly and must still count as a miss.
+        b"PK\x03\x04truncated",
+    ])
+    def test_corrupt_image_counts_as_miss_and_is_repaired(self, tmp_path, corruption):
+        store = SnapshotStore(tmp_path)
+        ssd = SSD.create("dftl", golden_geometry())
+        ssd.fill_sequential(io_pages=16)
+        key = self._key(store)
+        path = store.save(key, ssd)
+        (path / "arrays.npz").write_bytes(corruption)
+        assert store.load(key) is None
+        assert store.misses == 1
+        # The bad image was dropped, so the rewarmed device can republish
+        # under the same key and the next lookup hits again.
+        assert not store.contains(key)
+        store.save(key, ssd)
+        assert store.load(key) is not None
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        ssd = SSD.create("dftl", golden_geometry())
+        ssd.fill_sequential(io_pages=16)
+        key = self._key(store)
+        first = store.save(key, ssd)
+        second = store.save(key, ssd)
+        assert first == second
+        assert store.load(key) is not None
+
+
+class TestWarmDevice:
+    def test_first_call_materializes_second_restores(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        geometry = golden_geometry()
+        kwargs = dict(warmup="steady", io_pages=16, overwrite_factor=0.5,
+                      threads=2, seed=7, store=store)
+        cold = warm_device("dftl", geometry, **kwargs)
+        assert (store.hits, store.misses, store.stores) == (0, 1, 1)
+        warm = warm_device("dftl", geometry, **kwargs)
+        assert (store.hits, store.misses, store.stores) == (1, 1, 1)
+        assert warm.stats.summary() == cold.stats.summary()
+        assert warm.now_us == cold.now_us
+        # A restored device keeps simulating identically.
+        reads = [HostRequest(op=OpType.READ, lpn=lpn, npages=1) for lpn in range(64)]
+        assert cold.run(list(reads), threads=2).stats.summary() == \
+            warm.run(list(reads), threads=2).stats.summary()
+
+    def test_warmup_none_bypasses_the_store(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        warm_device("dftl", golden_geometry(), warmup="none", store=store)
+        assert (store.hits, store.misses, store.stores) == (0, 0, 0)
+
+    def test_unknown_warmup_mode_rejected(self):
+        with pytest.raises(ValueError):
+            warm_device("dftl", golden_geometry(), warmup="hot")
+
+    def test_prepare_ssd_uses_store_and_stays_identical(self, tmp_path):
+        spec = ScaleSpec.for_scale("tiny")
+        plain = prepare_ssd("leaftl", spec, warmup="steady")
+        store = SnapshotStore(tmp_path)
+        cold = prepare_ssd("leaftl", spec, warmup="steady", snapshot_store=store)
+        warm = prepare_ssd("leaftl", spec, warmup="steady", snapshot_store=store)
+        assert store.hits == 1 and store.misses == 1
+        # All three devices are the same warm image (stats were reset).
+        for device in (cold, warm):
+            assert device.stats.summary() == plain.stats.summary()
+            assert device.ftl.flash.total_programs == plain.ftl.flash.total_programs
+            assert device.ftl.directory.state_dict()["mapped_count"] == \
+                plain.ftl.directory.state_dict()["mapped_count"]
+
+
+class TestExperimentIntegration:
+    """Acceptance: a warm ``all --scale tiny`` rerun skips every fill phase."""
+
+    def test_all_tiny_rerun_hits_every_snapshot(self, tmp_path):
+        names = list(EXPERIMENTS)
+        snap_dir = tmp_path / "snapshots"
+
+        cold = run_orchestrated(
+            names, scale="tiny", jobs=1, snapshot_dir=snap_dir,
+            cache_dir=tmp_path / "cache-cold",
+        )
+        assert all(outcome.ok for outcome in cold), [o.error for o in cold if not o.ok]
+        store = runner_module.active_snapshot_store()
+        assert store is not None and store.stores > 0
+
+        # Fresh result cache forces every task to re-execute; the warm images
+        # must serve every single warm-up (zero misses == zero fill phases).
+        store.reset_counters()
+        warm = run_orchestrated(
+            names, scale="tiny", jobs=1, snapshot_dir=snap_dir,
+            cache_dir=tmp_path / "cache-warm",
+        )
+        assert all(outcome.ok for outcome in warm), [o.error for o in warm if not o.ok]
+        assert store.misses == 0, "a warm rerun re-paid a fill phase"
+        assert store.stores == 0
+        assert store.hits > 0
+
+        # And the snapshot-restored results are identical to the cold run.
+        for cold_outcome, warm_outcome in zip(cold, warm):
+            if cold_outcome.name == "fig15":
+                continue  # measures real host CPU time
+            assert cold_outcome.result.rows == warm_outcome.result.rows, cold_outcome.name
+
+    def test_describe_plan_reports_cache_and_snapshots(self, tmp_path):
+        lines = describe_plan(
+            ["fig06", "table02"], scale="tiny",
+            cache_dir=tmp_path / "cache", snapshot_dir=tmp_path / "snap",
+        )
+        assert any("fig06: cache miss; snapshots: 0/2 warm" in line for line in lines)
+        assert any("table02: cache miss; snapshots: none needed" in line for line in lines)
+        assert lines[-1].startswith("2 tasks planned")

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+#: Committed miniature excerpts in the two real on-disk trace formats.
+DATA_DIR = Path(__file__).parent / "data"
+SPC_FIXTURE = DATA_DIR / "websearch_sample.spc"
+SYSTOR_FIXTURE = DATA_DIR / "systor17_sample.csv"
 
 from repro.nand.errors import TraceFormatError
 from repro.nand.geometry import SSDGeometry
@@ -71,6 +78,67 @@ class TestParsers:
         path.write_text("0.1,0.001,R,0,xyz,8192\n")
         with pytest.raises(TraceFormatError):
             parse_systor_csv(path)
+
+
+class TestRealFormatFixtures:
+    """The committed SPC / Systor '17 excerpts parse and replay end to end."""
+
+    def test_spc_fixture_parses_fully(self):
+        records = parse_spc(SPC_FIXTURE)
+        assert len(records) == 8  # comment and blank lines skipped
+        # Field mapping: LBA is in 512-byte sectors, opcode is case-insensitive.
+        assert records[0].offset_bytes == 303567 * 512
+        assert records[0].size_bytes == 8192
+        assert records[0].stream_id == 0
+        assert records[3].is_read  # lower-case "r" opcode
+        assert not records[5].is_read  # the one write
+        assert records[2].stream_id == 1  # ASU becomes the stream id
+        timestamps = [r.timestamp_s for r in records]
+        assert timestamps == sorted(timestamps)
+        assert parse_spc(SPC_FIXTURE, limit=3) == records[:3]
+
+    def test_spc_fixture_characteristics(self):
+        stats = characterize("websearch_sample", parse_spc(SPC_FIXTURE))
+        assert stats.num_ios == 8
+        assert stats.read_ratio == pytest.approx(7 / 8)
+        # WebSearch-like: multi-KB mean request size.
+        assert stats.average_io_kb > 8.0
+
+    def test_systor_fixture_parses_fully(self):
+        records = parse_systor_csv(SYSTOR_FIXTURE)
+        assert len(records) == 6  # header skipped
+        assert records[0].offset_bytes == 706617344
+        assert records[0].size_bytes == 16384
+        assert records[0].stream_id == 1
+        assert records[3].is_read  # "READ" spelled out
+        assert records[4].stream_id == 0  # empty LUN field defaults to 0
+        assert not records[1].is_read and not records[4].is_read
+        assert parse_systor_csv(SYSTOR_FIXTURE, limit=2) == records[:2]
+
+    @pytest.mark.parametrize("parse,fixture", [
+        (parse_spc, SPC_FIXTURE),
+        (parse_systor_csv, SYSTOR_FIXTURE),
+    ])
+    def test_fixtures_convert_and_replay(self, geometry, parse, fixture):
+        # Round-trip: parse -> page-granular requests -> open-loop replay.
+        from repro.ssd.device import SSD
+
+        records = parse(fixture)
+        requests = list(trace_to_requests(records, geometry))
+        page = geometry.page_size
+        assert sum(r.npages for r in requests) == sum(
+            max(1, -(-rec.size_bytes // page)) for rec in records
+        )
+        for request in requests:
+            assert 0 <= request.lpn < geometry.num_logical_pages
+            assert request.lpn + request.npages <= geometry.num_logical_pages
+            assert request.issue_time_us is not None
+        ssd = SSD.create("dftl", geometry)
+        ssd.fill_sequential()
+        ssd.reset_stats()
+        result = ssd.replay(requests, streams=4)
+        assert result.requests == len(requests)
+        assert result.stats.iops() > 0.0
 
 
 class TestSynthesis:
