@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that every relative Markdown link in the docs resolves.
+
+Scans ``README.md`` plus every ``*.md`` under ``docs/`` and ``examples/`` for
+inline links and images (``[text](target)``), resolves each relative target
+against the file that contains it, and fails when the target file does not
+exist.  External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped; an anchor suffix on a relative link is stripped
+before the existence check.  CI runs this after the API-reference check, so a
+renamed or deleted page breaks the build instead of the reader.
+
+Usage::
+
+    python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images; deliberately simple (no reference-style links
+#: are used in this repository) and tolerant of surrounding formatting.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """The Markdown files under the documentation surface, in stable order."""
+    files = [root / "README.md"]
+    for directory in ("docs", "examples"):
+        files.extend(sorted((root / directory).rglob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain bracket syntax that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link {target!r} "
+                f"(resolves to {resolved})"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        file_errors = check_file(path, root)
+        errors.extend(file_errors)
+        checked += 1
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    print(f"checked {checked} Markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Worked example: a declarative study sweeping CMT budget x FTL x workload.
+
+This is the runnable companion of ``docs/studies.md`` and of the reference
+spec ``examples/sweep_cmt_budget.yaml``.  It loads the spec, runs the 18-cell
+grid through the orchestrator (result cache + warm-device snapshot store, so
+a second run is nearly free), prints the merged comparison table and then
+answers the study's question from the per-axis columns: how much CMT does
+each demand-based design need before skew stops mattering?
+
+Run with::
+
+    PYTHONPATH=src python examples/sweep_cmt_budget.py                 # tiny, seconds
+    PYTHONPATH=src python examples/sweep_cmt_budget.py --scale default # ~1 GB device
+    PYTHONPATH=src python examples/sweep_cmt_budget.py --jobs 4        # parallel cells
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.studies import load_study_file, run_study
+
+SPEC_PATH = Path(__file__).with_suffix(".yaml")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "default", "full"])
+    parser.add_argument("--jobs", type=int, default=2, help="worker processes")
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=Path(".study-artifacts"),
+        help="directory for the cache, snapshots and result files",
+    )
+    args = parser.parse_args()
+
+    spec = load_study_file(SPEC_PATH)
+    print(f"study {spec.name}: axes "
+          + " x ".join(f"{axis}({len(values)})" for axis, values in spec.axis_values().items()
+                       if len(values) > 1))
+
+    outcome = run_study(
+        spec,
+        scale=args.scale,
+        jobs=args.jobs,
+        cache_dir=args.artifacts / "cache",
+        snapshot_dir=args.artifacts / "snapshots",
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if not outcome.ok:
+        print(outcome.error, file=sys.stderr)
+        return 1
+
+    print()
+    print(outcome.result.render())
+    print()
+
+    # The question the sweep answers: with enough CMT, does the skewed
+    # workload still beat uniform reads?  Read it off the merged raw metrics.
+    cells = outcome.result.raw["cells"]
+    for ftl in ("dftl", "tpftl", "leaftl"):
+        small = cells[f"{ftl}/cmt_ratio=0.01/zipf0.99"]["metrics"]["throughput_mb_s"]
+        large = cells[f"{ftl}/cmt_ratio=0.1/zipf0.99"]["metrics"]["throughput_mb_s"]
+        gain = large / small if small else float("inf")
+        print(f"{ftl:10s}: growing the CMT 1% -> 10% buys {gain:.2f}x on zipf reads")
+
+    csv_path = args.artifacts / f"{spec.name}.csv"
+    csv_path.parent.mkdir(parents=True, exist_ok=True)
+    csv_path.write_text(outcome.result.csv())
+    print(f"\nwrote {csv_path} ({outcome.cached_tasks}/{outcome.tasks} cells served from cache)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,8 @@ from :class:`FTLBase`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import get_type_hints
 
 from repro.core.allocation import StripingAllocator
 from repro.core.mapping import MappingDirectory, TranslationPageStore
@@ -122,6 +123,52 @@ class FTLConfig:
     def with_cmt_ratio(self, ratio: float) -> "FTLConfig":
         """Copy of this config with a different CMT ratio (Figure 3 sweep)."""
         return replace(self, cmt_ratio=ratio)
+
+    # ------------------------------------------------------------- sweeping
+    @classmethod
+    def sweepable_fields(cls) -> dict[str, type]:
+        """Enumerate every tunable knob by name (``{field: type}``).
+
+        This is the config surface declarative studies sweep over: every
+        dataclass field of :class:`FTLConfig` is sweepable, and
+        :meth:`with_overrides` applies a ``{name: value}`` mapping with
+        validation.  Keeping the enumeration here (rather than in the study
+        layer) means a new knob becomes sweepable the moment it is added.
+        Field types come from the resolved annotations (``from __future__
+        import annotations`` turns ``fields()``'s own ``type`` into strings).
+        """
+        hints = get_type_hints(cls)
+        return {spec.name: hints[spec.name] for spec in fields(cls)}
+
+    def with_overrides(self, **overrides: object) -> "FTLConfig":
+        """Copy of this config with named knobs replaced.
+
+        Unknown knob names and type-incompatible values raise
+        :class:`~repro.nand.errors.ConfigurationError` naming the offending
+        key, so a typo in a study spec fails at validation time instead of
+        silently running the default configuration.
+        """
+        valid = self.sweepable_fields()
+        for key, value in overrides.items():
+            if key not in valid:
+                raise ConfigurationError(
+                    f"unknown FTLConfig knob {key!r}; sweepable knobs: {sorted(valid)}"
+                )
+            expected = valid[key]
+            if expected is bool:
+                ok = isinstance(value, bool)
+            elif expected is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            elif expected is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, expected)
+            if not ok:
+                raise ConfigurationError(
+                    f"FTLConfig knob {key!r} expects {expected.__name__}, "
+                    f"got {value!r} ({type(value).__name__})"
+                )
+        return replace(self, **overrides)  # type: ignore[arg-type]
 
 
 class FTLBase(ABC):

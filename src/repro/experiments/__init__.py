@@ -28,7 +28,15 @@ from repro.experiments import (
 )
 from repro.experiments.runner import ExperimentResult, Scale, ScaleSpec, prepare_ssd
 
-__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult", "Scale", "ScaleSpec", "prepare_ssd"]
+__all__ = [
+    "EXPERIMENTS",
+    "INTERNAL_EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "Scale",
+    "ScaleSpec",
+    "prepare_ssd",
+]
 
 #: name -> (run callable, one-line description)
 EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
@@ -48,6 +56,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "table02": (table02_traces.run, "Workload characteristics of the four traces"),
 }
 
+#: Experiments that are execution units of another front end; ``all`` and the
+#: pytest experiment sweeps skip them (they need generated kwargs to run).
+INTERNAL_EXPERIMENTS: frozenset[str] = frozenset({"studycell"})
+
 
 def run_experiment(name: str, scale: Scale | str = Scale.DEFAULT, **kwargs) -> ExperimentResult:
     """Run one experiment by name."""
@@ -56,3 +68,16 @@ def run_experiment(name: str, scale: Scale | str = Scale.DEFAULT, **kwargs) -> E
     except KeyError as exc:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}") from exc
     return runner(scale=scale, **kwargs)
+
+
+# The study-cell experiment lives in repro.studies (it is the execution unit
+# of declarative scenario sweeps) but registers here so the orchestrator's
+# task machinery — worker processes, result cache, dry-run — applies to study
+# cells unchanged.  Imported last: the studies planner imports this package
+# back for the registry and run_experiment defined above.
+from repro.studies import cell as _study_cell  # noqa: E402
+
+EXPERIMENTS["studycell"] = (
+    _study_cell.run,
+    "One cell of a declarative study (driven by the 'study' verb, not run directly)",
+)

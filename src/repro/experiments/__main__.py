@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments all --scale tiny --cache-dir .cache/ --dry-run
     python -m repro.experiments fig21 fig22 --json-dir results/json/
     python -m repro.experiments fig06 --scale tiny --profile
+    python -m repro.experiments study my_sweep.yaml --scale tiny --jobs 4
 
 ``all`` (or several experiment names) runs through the orchestrator: the
 multi-FTL figures are split into per-(FTL, workload) tasks, ``--jobs N``
@@ -17,6 +18,11 @@ fans the tasks out over worker processes, ``--cache-dir`` reuses any task
 whose (experiment, scale, kwargs, package version) content key is unchanged,
 and per-experiment failures are collected into a summary instead of aborting
 the batch.
+
+``study <spec.yaml|spec.json>`` runs a declarative scenario sweep (see
+``docs/studies.md``): the spec's axes are expanded into cells, executed
+through the same orchestrator (``--jobs``/``--cache-dir``/``--snapshot-dir``
+apply unchanged) and merged into one comparison table per study.
 """
 
 from __future__ import annotations
@@ -28,9 +34,10 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, INTERNAL_EXPERIMENTS, run_experiment
 from repro.experiments.orchestrator import describe_plan, run_orchestrated, write_json_artifact
 from repro.experiments.runner import Scale, set_snapshot_dir
+from repro.nand.errors import ConfigurationError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,7 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         metavar="experiment",
-        help="experiment names (e.g. fig14 fig21), or 'all' to run every experiment",
+        help="experiment names (e.g. fig14 fig21), 'all' to run every experiment, "
+        "or 'study <spec.yaml>...' to run declarative scenario sweeps",
     )
     parser.add_argument(
         "--scale",
@@ -126,21 +134,138 @@ def _profile_experiments(names: list[str], scale: str, csv_dir: Path | None) -> 
     return 0
 
 
+def _report_outcomes(outcomes, args) -> list:
+    """Render results, write artifacts and return the failed outcomes."""
+    failed = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            failed.append(outcome)
+            print(f"[{outcome.name} FAILED at scale={args.scale}]", file=sys.stderr)
+            print(outcome.error, file=sys.stderr)
+            continue
+        print(outcome.result.render())
+        # elapsed_s sums per-task compute; it equals wall-clock only for a
+        # serial, cache-less run, so label it honestly otherwise.
+        if outcome.cached_tasks == outcome.tasks:
+            print(
+                f"[{outcome.name} completed from cache at scale={args.scale} "
+                f"({outcome.elapsed_s:.1f} s of compute saved)]"
+            )
+        elif args.jobs == 1 and outcome.cached_tasks == 0:
+            print(f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s at scale={args.scale}]")
+        else:
+            print(
+                f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s of task compute at "
+                f"scale={args.scale}, {outcome.cached_tasks}/{outcome.tasks} tasks cached]"
+            )
+        print()
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            (args.csv_dir / f"{outcome.name}.csv").write_text(outcome.result.csv())
+        if args.json_dir is not None:
+            write_json_artifact(args.json_dir, outcome, args.scale)
+    return failed
+
+
+def _run_studies(args) -> int:
+    """The ``study`` verb: run (or dry-run) declarative scenario sweeps."""
+    from repro.studies import describe_study_plan, run_study
+
+    specs = args.experiments[1:]
+    if not specs:
+        print("study requires at least one spec file (YAML or JSON)", file=sys.stderr)
+        return 2
+    if args.profile:
+        print("--profile is not supported for studies", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        try:
+            for spec in specs:
+                for line in describe_study_plan(
+                    spec,
+                    scale=args.scale,
+                    cache_dir=args.cache_dir,
+                    snapshot_dir=args.snapshot_dir,
+                ):
+                    print(line)
+        except ConfigurationError as exc:
+            print(f"invalid study spec: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    # Validate every spec before running any: a typo in the last spec must
+    # not surface only after the earlier studies' cells have been paid for.
+    from repro.studies.planner import resolve_spec
+
+    resolved = []
+    for spec in specs:
+        try:
+            resolved.append(resolve_spec(spec))
+        except ConfigurationError as exc:
+            print(f"invalid study spec {spec}: {exc}", file=sys.stderr)
+            return 2
+
+    started = time.time()
+    outcomes = [
+        run_study(
+            study,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            snapshot_dir=args.snapshot_dir,
+            progress=progress,
+        )
+        for study in resolved
+    ]
+    wall_s = time.time() - started
+
+    failed = _report_outcomes(outcomes, args)
+    if len(outcomes) > 1:
+        status = "all ok" if not failed else f"{len(failed)} failed"
+        print(
+            f"[{len(outcomes) - len(failed)}/{len(outcomes)} studies succeeded in "
+            f"{wall_s:.1f} s wall-clock with --jobs {args.jobs} ({status})]"
+        )
+    if failed:
+        print(
+            f"failed studies: {', '.join(outcome.name for outcome in failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list or not args.experiments:
-        width = max(len(name) for name in EXPERIMENTS)
+        study_verb = "study <spec>..."
+        width = max(max(len(name) for name in EXPERIMENTS), len(study_verb))
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        print(
+            f"{study_verb.ljust(width)}  Declarative scenario sweep from YAML/JSON specs "
+            "(see docs/studies.md)"
+        )
         return 0
     if args.jobs <= 0:
         print("--jobs must be positive", file=sys.stderr)
         return 2
+    if args.experiments[0] == "study":
+        return _run_studies(args)
     names: list[str] = []
     for name in args.experiments:
-        for resolved in EXPERIMENTS if name == "all" else [name]:
+        resolved_names = (
+            [key for key in EXPERIMENTS if key not in INTERNAL_EXPERIMENTS]
+            if name == "all"
+            else [name]
+        )
+        for resolved in resolved_names:
             if resolved not in names:
                 names.append(resolved)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -178,35 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     wall_s = time.time() - started
 
-    failed = []
-    for outcome in outcomes:
-        if not outcome.ok:
-            failed.append(outcome)
-            print(f"[{outcome.name} FAILED at scale={args.scale}]", file=sys.stderr)
-            print(outcome.error, file=sys.stderr)
-            continue
-        print(outcome.result.render())
-        # elapsed_s sums per-task compute; it equals wall-clock only for a
-        # serial, cache-less run, so label it honestly otherwise.
-        if outcome.cached_tasks == outcome.tasks:
-            print(
-                f"[{outcome.name} completed from cache at scale={args.scale} "
-                f"({outcome.elapsed_s:.1f} s of compute saved)]"
-            )
-        elif args.jobs == 1 and outcome.cached_tasks == 0:
-            print(f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s at scale={args.scale}]")
-        else:
-            print(
-                f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s of task compute at "
-                f"scale={args.scale}, {outcome.cached_tasks}/{outcome.tasks} tasks cached]"
-            )
-        print()
-        if args.csv_dir is not None:
-            args.csv_dir.mkdir(parents=True, exist_ok=True)
-            (args.csv_dir / f"{outcome.name}.csv").write_text(outcome.result.csv())
-        if args.json_dir is not None:
-            write_json_artifact(args.json_dir, outcome, args.scale)
-
+    failed = _report_outcomes(outcomes, args)
     if len(names) > 1:
         status = "all ok" if not failed else f"{len(failed)} failed"
         print(

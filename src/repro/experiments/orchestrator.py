@@ -42,6 +42,9 @@ from repro.experiments.fig22_energy import ENERGY_FTLS
 from repro.experiments.runner import (
     ALL_FTLS,
     BASELINE_FTLS,
+    WARMUP_IO_PAGES,
+    WARMUP_SEED,
+    WARMUP_THREAD_CAP,
     ExperimentResult,
     Scale,
     ScaleSpec,
@@ -56,10 +59,12 @@ __all__ = [
     "SCHEMA_VERSION",
     "ExperimentTask",
     "ExperimentOutcome",
+    "TaskExecution",
     "ResultCache",
     "plan_tasks",
     "describe_plan",
     "merge_results",
+    "execute_tasks",
     "run_orchestrated",
 ]
 
@@ -218,6 +223,10 @@ _WARM_PLANS: dict[str, tuple[str, tuple[str, ...]] | str | None] = {
     "fig21": ("steady", TAIL_LATENCY_FTLS),
     "fig22": ("steady", ENERGY_FTLS),
     "table02": None,
+    # Study cells sweep configs/geometries declared in their spec; the study
+    # dry-run (repro.studies.planner.describe_study_plan) predicts their
+    # snapshot keys exactly instead of going through this table.
+    "studycell": "custom",
 }
 
 
@@ -235,10 +244,10 @@ def _snapshot_status(task: ExperimentTask, scale: str, store: SnapshotStore | No
     spec = ScaleSpec.for_scale(scale)
     recipe = warmup_recipe(
         warmup=warmup,
-        io_pages=128,
+        io_pages=WARMUP_IO_PAGES,
         overwrite_factor=spec.warmup_overwrite_factor,
-        threads=min(8, spec.threads),
-        seed=7,
+        threads=min(WARMUP_THREAD_CAP, spec.threads),
+        seed=WARMUP_SEED,
     )
     hits = sum(
         1
@@ -482,7 +491,14 @@ def _execute_task(
 
 
 @dataclass
-class _TaskState:
+class TaskExecution:
+    """Execution state of one task: its result (or error) and provenance.
+
+    This is the unit :func:`execute_tasks` returns; :func:`run_orchestrated`
+    groups executions back into per-experiment outcomes and the study planner
+    (:mod:`repro.studies.planner`) merges them into one study table.
+    """
+
     task: ExperimentTask
     result: ExperimentResult | None = None
     error: str | None = None
@@ -490,27 +506,25 @@ class _TaskState:
     cached: bool = False
 
 
-def run_orchestrated(
-    names: Sequence[str],
+def execute_tasks(
+    tasks: Sequence[ExperimentTask],
     *,
     scale: Scale | str = Scale.DEFAULT,
     jobs: int = 1,
-    split: bool = True,
     cache_dir: str | Path | None = None,
     snapshot_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
-) -> list[ExperimentOutcome]:
-    """Run experiments (possibly sharded) across up to ``jobs`` processes.
+) -> list[TaskExecution]:
+    """Execute tasks across up to ``jobs`` processes; returns states in task order.
 
-    Every experiment is planned into tasks, cached task results are reused,
-    the remaining tasks execute in parallel, and shard results are merged back
-    into one :class:`ExperimentResult` per experiment — identical for any
-    ``jobs`` value.  A failing task marks its experiment failed (with the
-    traceback in :attr:`ExperimentOutcome.error`) without stopping the batch.
-
-    ``snapshot_dir`` points every task at a shared warm-image store (see
-    :mod:`repro.snapshot`): tasks restore warmed devices instead of re-paying
-    the fill/overwrite phase, with results bit-identical either way.
+    This is the planner hook shared by :func:`run_orchestrated` (which plans
+    per-experiment shard tasks) and the study subsystem (which plans one task
+    per scenario cell): cached task results are served from ``cache_dir``,
+    the remainder run in-process (``jobs=1``) or across a
+    :class:`ProcessPoolExecutor`, every fresh result is written back to the
+    cache, and per-task failures are captured as tracebacks instead of
+    propagating.  ``snapshot_dir`` installs the shared warm-image store in
+    whichever process each task lands in.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -519,11 +533,7 @@ def run_orchestrated(
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     snapshot_arg = str(snapshot_dir) if snapshot_dir is not None else None
 
-    plan: dict[str, list[_TaskState]] = {
-        name: [_TaskState(task) for task in plan_tasks(name, split=split)] for name in names
-    }
-    states = [state for group in plan.values() for state in group]
-
+    states = [TaskExecution(task) for task in tasks]
     for state in states:
         if cache is None:
             continue
@@ -540,7 +550,7 @@ def run_orchestrated(
             done += 1
             emit(f"[{done:>3}/{total}] {state.task.label}: cached ({state.elapsed_s:.1f} s saved)")
 
-    def finish(state: _TaskState, payload: tuple[dict, float] | None, error: str | None) -> None:
+    def finish(state: TaskExecution, payload: tuple[dict, float] | None, error: str | None) -> None:
         nonlocal done
         done += 1
         if error is not None:
@@ -584,6 +594,47 @@ def run_orchestrated(
                     finish(state, None, traceback.format_exc())
                 else:
                     finish(state, payload, None)
+    return states
+
+
+def run_orchestrated(
+    names: Sequence[str],
+    *,
+    scale: Scale | str = Scale.DEFAULT,
+    jobs: int = 1,
+    split: bool = True,
+    cache_dir: str | Path | None = None,
+    snapshot_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run experiments (possibly sharded) across up to ``jobs`` processes.
+
+    Every experiment is planned into tasks, cached task results are reused,
+    the remaining tasks execute in parallel, and shard results are merged back
+    into one :class:`ExperimentResult` per experiment — identical for any
+    ``jobs`` value.  A failing task marks its experiment failed (with the
+    traceback in :attr:`ExperimentOutcome.error`) without stopping the batch.
+
+    ``snapshot_dir`` points every task at a shared warm-image store (see
+    :mod:`repro.snapshot`): tasks restore warmed devices instead of re-paying
+    the fill/overwrite phase, with results bit-identical either way.
+    """
+    planned: dict[str, list[ExperimentTask]] = {
+        name: plan_tasks(name, split=split) for name in names
+    }
+    states = execute_tasks(
+        [task for group in planned.values() for task in group],
+        scale=scale,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        snapshot_dir=snapshot_dir,
+        progress=progress,
+    )
+    plan: dict[str, list[TaskExecution]] = {}
+    cursor = 0
+    for name, group_tasks in planned.items():
+        plan[name] = states[cursor : cursor + len(group_tasks)]
+        cursor += len(group_tasks)
 
     outcomes: list[ExperimentOutcome] = []
     for name, group in plan.items():

@@ -17,7 +17,7 @@ provides the pieces they share:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -37,9 +37,21 @@ __all__ = [
     "prepare_ssd",
     "ALL_FTLS",
     "BASELINE_FTLS",
+    "WARMUP_IO_PAGES",
+    "WARMUP_SEED",
+    "WARMUP_THREAD_CAP",
     "set_snapshot_dir",
     "active_snapshot_store",
 ]
+
+#: The warm-up identity :func:`prepare_ssd` uses by default.  The dry-run
+#: predictors (``orchestrator._snapshot_status`` and the study planner's
+#: ``_cell_snapshot_status``) must build their snapshot keys from these same
+#: constants — duplicating the literals there would let predictions silently
+#: drift from what a run actually warms.
+WARMUP_IO_PAGES = 128
+WARMUP_SEED = 7
+WARMUP_THREAD_CAP = 8
 
 #: FTLs compared in the full figures (order matches the paper's legends).
 ALL_FTLS: tuple[str, ...] = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
@@ -100,6 +112,31 @@ class ScaleSpec:
             warmup_overwrite_factor=6.0,
             threads=64,
         )
+
+    def with_overrides(
+        self,
+        *,
+        geometry: SSDGeometry | None = None,
+        threads: int | None = None,
+        read_requests: int | None = None,
+        write_requests: int | None = None,
+    ) -> "ScaleSpec":
+        """Copy of this spec with selected sizing parameters replaced.
+
+        This is the planner hook the study subsystem uses: a study cell keeps
+        a scale's request budgets but may substitute its own geometry and host
+        thread count.
+        """
+        changes: dict[str, Any] = {}
+        if geometry is not None:
+            changes["geometry"] = geometry
+        if threads is not None:
+            changes["threads"] = threads
+        if read_requests is not None:
+            changes["read_requests"] = read_requests
+        if write_requests is not None:
+            changes["write_requests"] = write_requests
+        return replace(self, **changes) if changes else self
 
 
 @dataclass
@@ -202,8 +239,8 @@ def prepare_ssd(
     config: FTLConfig | None = None,
     timing: TimingModel | None = None,
     warmup: str = "steady",
-    warmup_io_pages: int = 128,
-    seed: int = 7,
+    warmup_io_pages: int = WARMUP_IO_PAGES,
+    seed: int = WARMUP_SEED,
     snapshot_store: SnapshotStore | None = None,
 ) -> SSD:
     """Create and precondition an SSD the way the paper's evaluation does.
@@ -231,7 +268,7 @@ def prepare_ssd(
         warmup=warmup,
         io_pages=warmup_io_pages,
         overwrite_factor=spec.warmup_overwrite_factor,
-        threads=min(8, spec.threads),
+        threads=min(WARMUP_THREAD_CAP, spec.threads),
         seed=seed,
         config=config,
         timing=timing,

@@ -12,13 +12,14 @@ from repro.nand.errors import (
     TraceFormatError,
 )
 from repro.nand.flash import BlockInfo, BlockView, FlashArray, PageInfo, PageState, PageView
-from repro.nand.geometry import SSDGeometry
+from repro.nand.geometry import GEOMETRY_PRESETS, SSDGeometry
 from repro.nand.timing import TimingModel
 
 __all__ = [
     "AddressCodec",
     "FlashAddress",
     "SSDGeometry",
+    "GEOMETRY_PRESETS",
     "TimingModel",
     "FlashArray",
     "PageState",

@@ -19,12 +19,16 @@ geometries built with :meth:`SSDGeometry.small`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from functools import cached_property
 
 from repro.nand.errors import GeometryError
 
-__all__ = ["SSDGeometry"]
+__all__ = ["SSDGeometry", "GEOMETRY_PRESETS"]
+
+#: Named base geometries a study spec (or any caller) can start from; values
+#: are the corresponding :class:`SSDGeometry` classmethod names.
+GEOMETRY_PRESETS: tuple[str, ...] = ("small", "medium", "paper")
 
 
 @dataclass(frozen=True)
@@ -207,6 +211,42 @@ class SSDGeometry:
             page_size=4096,
             op_ratio=0.0625,
         )
+
+    @classmethod
+    def preset(cls, name: str) -> "SSDGeometry":
+        """Build one of the named base geometries (``small``/``medium``/``paper``).
+
+        Unknown names raise :class:`GeometryError`; :data:`GEOMETRY_PRESETS`
+        enumerates the valid ones.
+        """
+        if name not in GEOMETRY_PRESETS:
+            raise GeometryError(
+                f"unknown geometry preset {name!r}; choose one of {list(GEOMETRY_PRESETS)}"
+            )
+        return getattr(cls, name)()
+
+    # -------------------------------------------------------------- sweeping
+    @classmethod
+    def sweepable_fields(cls) -> tuple[str, ...]:
+        """The geometry knobs that can be overridden by name (all dataclass fields)."""
+        return tuple(spec.name for spec in fields(cls))
+
+    def with_overrides(self, **overrides: object) -> "SSDGeometry":
+        """Copy of this geometry with named fields replaced.
+
+        This is the geometry half of the study-sweep config surface: unknown
+        field names raise :class:`GeometryError` naming the key, and the
+        replaced dataclass re-runs ``__post_init__`` so inconsistent values
+        (zero chips, out-of-range OP ratio) are rejected the same way direct
+        construction rejects them.
+        """
+        valid = self.sweepable_fields()
+        for key in overrides:
+            if key not in valid:
+                raise GeometryError(
+                    f"unknown geometry field {key!r}; valid fields: {list(valid)}"
+                )
+        return replace(self, **overrides)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------- validation
     def check_block(self, block: int) -> None:

@@ -25,6 +25,7 @@ __all__ = [
     "RunResult",
     "FTL_REGISTRY",
     "create_ftl",
+    "available_ftls",
     "EnergyModel",
     "EnergyBreakdown",
     "TimingEngine",
@@ -43,7 +44,7 @@ __all__ = [
     "SimulationStats",
 ]
 
-_LAZY_DEVICE_EXPORTS = {"SSD", "RunResult", "FTL_REGISTRY", "create_ftl"}
+_LAZY_DEVICE_EXPORTS = {"SSD", "RunResult", "FTL_REGISTRY", "create_ftl", "available_ftls"}
 
 
 def __getattr__(name: str):

@@ -42,7 +42,7 @@ from repro.ssd.engine import TimingEngine
 from repro.ssd.request import HostRequest, OpType
 from repro.ssd.stats import SimulationStats
 
-__all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl"]
+__all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl", "available_ftls"]
 
 #: Factory registry mapping design names to classes; ``SSD.create`` and the
 #: experiment harness look designs up here.
@@ -53,6 +53,16 @@ FTL_REGISTRY: dict[str, type[FTLBase]] = {
     "learnedftl": LearnedFTL,
     "ideal": IdealFTL,
 }
+
+
+def available_ftls() -> tuple[str, ...]:
+    """The registered FTL design names, in registry (paper legend) order.
+
+    The study layer validates its ``ftl`` axis against this enumeration, so a
+    design registered into :data:`FTL_REGISTRY` becomes sweepable without any
+    study-side change.
+    """
+    return tuple(FTL_REGISTRY)
 
 
 def create_ftl(
@@ -93,7 +103,26 @@ class RunResult:
 
 
 class SSD:
-    """A complete simulated SSD bound to one FTL design."""
+    """A complete simulated SSD bound to one FTL design.
+
+    This is the library's main entry point: it owns the FTL (and through it
+    the flash array and mapping state), the chip-parallel timing engine and
+    the statistics, and exposes the host-facing API:
+
+    * :meth:`create` — build a device from an FTL name (``FTL_REGISTRY``),
+      geometry and optional :class:`FTLConfig`/:class:`TimingModel`;
+    * :meth:`run` / :meth:`replay` — closed-loop (fio psync) and open-loop
+      (trace arrival timestamps) execution of a request stream;
+    * :meth:`fill_sequential` / :meth:`overwrite_random` — the
+      preconditioning primitives the paper's warm-up is built from;
+    * :meth:`save_state` / :meth:`restore` — bit-identical device
+      checkpoints (see :mod:`repro.snapshot`);
+    * ``ssd.stats`` — the :class:`SimulationStats` every figure reads.
+
+    Simulated time is microseconds; ``now_us`` advances to the completion of
+    the latest request.  All results are deterministic per (FTL, geometry,
+    config, timing, request stream).
+    """
 
     def __init__(
         self,

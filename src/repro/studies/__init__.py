@@ -1,0 +1,53 @@
+"""Declarative scenario-sweep studies.
+
+A study declares a scenario grid — FTL designs, ``FTLConfig`` knobs, geometry
+overrides, workloads and host thread counts — as a YAML/JSON file or Python
+mapping; the subsystem validates it, expands the cross-product of cells,
+executes the cells through the experiment orchestrator (worker processes,
+result cache, warm-device snapshot store) and merges them into one comparison
+table with per-axis normalized columns.
+
+Quick start::
+
+    from repro.studies import run_study
+
+    outcome = run_study(
+        {
+            "name": "demo",
+            "axes": {
+                "ftl": ["dftl", "learnedftl"],
+                "config": {"cmt_ratio": [0.01, 0.05]},
+                "workload": [{"kind": "fio", "pattern": "randread"}],
+            },
+        },
+        scale="tiny",
+        jobs=2,
+    )
+    print(outcome.result.render())
+
+or, from the command line::
+
+    python -m repro.experiments study my_sweep.yaml --scale tiny --jobs 4
+
+See ``docs/studies.md`` for the full spec format and a worked tutorial.
+"""
+
+from repro.studies.spec import GeometryChoice, StudyCell, StudySpec, load_study_file
+from repro.studies import cell  # noqa: F401  (the studycell experiment module)
+from repro.studies.planner import (
+    describe_study_plan,
+    merge_study,
+    plan_study,
+    run_study,
+)
+
+__all__ = [
+    "StudySpec",
+    "StudyCell",
+    "GeometryChoice",
+    "load_study_file",
+    "plan_study",
+    "merge_study",
+    "run_study",
+    "describe_study_plan",
+]

@@ -3,6 +3,7 @@
 from repro.workloads.filebench import FILEBENCH_PRESETS, FilebenchConfig, FilebenchWorkload
 from repro.workloads.fio import FioJob, FioPattern, warmup_writes
 from repro.workloads.rocksdb import DbBench, ExtentAllocator, MiniLSM, SSTable
+from repro.workloads.spec import WORKLOAD_KINDS, WorkloadPlan, build_workload
 from repro.workloads.synthetic import (
     hotspot_stream,
     mixed_stream,
@@ -45,6 +46,9 @@ __all__ = [
     "TRACE_PRESETS",
     "ZipfGenerator",
     "HotspotGenerator",
+    "WORKLOAD_KINDS",
+    "WorkloadPlan",
+    "build_workload",
     "mixed_stream",
     "sequential_stream",
     "strided_reads",

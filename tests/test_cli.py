@@ -86,6 +86,27 @@ class TestCLIBasics:
         output = capsys.readouterr().out
         assert "fig14" in output and "table02" in output
 
+    def test_list_pins_registered_set_and_study_verb(self, capsys):
+        # The listing is the CLI's contract: every registered experiment
+        # appears, and the study verb is advertised with its docs pointer.
+        # This pin keeps help/docs from drifting from the registry.
+        assert cli_main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        listed = {line.split()[0] for line in lines if line.strip()}
+        assert set(EXPERIMENTS) <= listed
+        assert "studycell" in listed
+        study_lines = [line for line in lines if line.startswith("study <spec>...")]
+        assert len(study_lines) == 1
+        assert "docs/studies.md" in study_lines[0]
+
+    def test_all_excludes_internal_experiments(self, capsys):
+        # 'all' must not try to run the study-cell execution unit (it needs
+        # planner-generated kwargs); the dry-run plan is the cheap witness.
+        assert cli_main(["all", "--scale", "tiny", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "studycell" not in out
+        assert "fig14[dftl]" in out
+
     def test_no_arguments_lists_experiments(self, capsys):
         assert cli_main([]) == 0
         assert "fig21" in capsys.readouterr().out
@@ -448,3 +469,81 @@ class TestParallelAll:
         ]
         merged = merge_results("fakebeta", tasks, results)
         assert [row["value"] for row in merged.rows] == [11.0, 12.0]
+
+
+class TestStudyVerb:
+    """The ``study`` CLI verb (see tests/test_studies.py for the subsystem)."""
+
+    SPEC = {
+        "name": "cli-study",
+        "warmup": "fill",
+        "axes": {
+            "ftl": ["ideal"],
+            "config": {"cmt_ratio": [0.01, 0.05]},
+            "workload": [{"kind": "fio", "pattern": "randread", "num_requests": 200}],
+        },
+    }
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_study_requires_a_spec(self, capsys):
+        assert cli_main(["study"]) == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def test_invalid_spec_names_offender_and_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad", "axes": {"ftl": ["dtfl"]}}))
+        assert cli_main(["study", str(path), "--scale", "tiny"]) == 2
+        assert "dtfl" in capsys.readouterr().err
+
+    def test_all_specs_validated_before_any_cell_runs(self, spec_path, tmp_path, capsys):
+        # A typo in the *last* spec must fail the batch up front — not after
+        # the earlier studies' cells have already been paid for.
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "bad", "axes": {"config": {"cmt_ration": [0.1]}}}))
+        cache_dir = tmp_path / "cache"
+        assert cli_main(
+            ["study", str(spec_path), str(bad), "--scale", "tiny",
+             "--cache-dir", str(cache_dir)]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "cmt_ration" in captured.err
+        assert not list(cache_dir.glob("*.json")), "cells ran before validation finished"
+
+    def test_study_dry_run_is_pinned(self, spec_path, tmp_path, capsys):
+        code = cli_main(
+            ["study", str(spec_path), "--scale", "tiny", "--dry-run",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == (
+            "study cli-study: ftl=1 x cmt_ratio=2 x geometry=1 x workload=1 "
+            "x threads=1 -> 2 cells"
+        )
+        assert lines[1] == "cli-study[ideal/cmt_ratio=0.01/randread]: cache miss; snapshots: no store"
+        assert lines[2] == "cli-study[ideal/cmt_ratio=0.05/randread]: cache miss; snapshots: no store"
+        assert lines[3] == "2 cells planned at scale=tiny, 0 cached, 2 to run"
+
+    def test_study_end_to_end_writes_artifacts(self, spec_path, tmp_path, capsys):
+        json_dir, csv_dir = tmp_path / "json", tmp_path / "csv"
+        code = cli_main(
+            ["study", str(spec_path), "--scale", "tiny",
+             "--json-dir", str(json_dir), "--csv-dir", str(csv_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-study" in out and "vs_cmt_ratio" in out
+        payload = json.loads((json_dir / "cli-study.json").read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["experiment"] == "cli-study"
+        assert payload["tasks"] == 2
+        assert len(payload["rows"]) == 2
+        assert payload["raw"]["metric"] == "throughput_mb_s"
+        csv_lines = (csv_dir / "cli-study.csv").read_text().strip().splitlines()
+        assert csv_lines[0].startswith("ftl,cmt_ratio,geometry,workload,threads,")
+        assert len(csv_lines) == 3

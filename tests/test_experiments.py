@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, INTERNAL_EXPERIMENTS, run_experiment
 from repro.experiments.__main__ import main as cli_main
 from repro.experiments.runner import ExperimentResult, Scale, ScaleSpec, prepare_ssd
 from repro.experiments.table02_traces import PAPER_TABLE_II
@@ -16,7 +16,11 @@ class TestRegistry:
             "fig02", "fig03", "fig06", "fig07", "fig14", "fig15", "fig16", "fig17",
             "fig18", "fig19", "fig20", "fig21", "fig22", "table02",
         }
-        assert expected == set(EXPERIMENTS)
+        assert expected == set(EXPERIMENTS) - INTERNAL_EXPERIMENTS
+        # The study-cell execution unit is registered but internal (the
+        # 'study' CLI verb generates its kwargs).
+        assert INTERNAL_EXPERIMENTS == {"studycell"}
+        assert INTERNAL_EXPERIMENTS <= set(EXPERIMENTS)
 
     def test_every_entry_has_description(self):
         for name, (runner, description) in EXPERIMENTS.items():

@@ -284,7 +284,9 @@ class TestExperimentIntegration:
     """Acceptance: a warm ``all --scale tiny`` rerun skips every fill phase."""
 
     def test_all_tiny_rerun_hits_every_snapshot(self, tmp_path):
-        names = list(EXPERIMENTS)
+        from repro.experiments import INTERNAL_EXPERIMENTS
+
+        names = [name for name in EXPERIMENTS if name not in INTERNAL_EXPERIMENTS]
         snap_dir = tmp_path / "snapshots"
 
         cold = run_orchestrated(
