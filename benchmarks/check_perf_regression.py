@@ -32,7 +32,14 @@ import sys
 from pathlib import Path
 
 #: Per-FTL metrics gated against the baseline (higher is better).
-TRACKED_METRICS = ("requests_per_second", "randread_requests_per_second")
+TRACKED_METRICS = (
+    "requests_per_second",
+    "randread_requests_per_second",
+    "randread_batched_requests_per_second",
+)
+
+#: Top-level ``micro`` metrics gated the same way (higher is better).
+TRACKED_MICRO_METRICS = ("lookup_many_lpns_per_second", "probe_many_lpns_per_second")
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -78,10 +85,20 @@ def merge_best(reports: list[dict]) -> dict:
         for ftl, row in report.get("results", {}).items():
             best_row = results.setdefault(ftl, dict(row))
             for metric in TRACKED_METRICS:
+                if metric not in row and metric not in best_row:
+                    # Reports predating a metric must merge without growing
+                    # phantom 0.0 entries.
+                    continue
                 best_row[metric] = max(
                     float(best_row.get(metric, 0.0)), float(row.get(metric, 0.0))
                 )
     merged["results"] = results
+    micro: dict = {}
+    for report in reports:
+        for metric, value in report.get("micro", {}).items():
+            micro[metric] = max(float(micro.get(metric, 0.0)), float(value))
+    if micro:
+        merged["micro"] = micro
     return merged
 
 
@@ -113,6 +130,27 @@ def compare(baseline: dict, fresh: dict, *, max_slowdown: float, calibrate: bool
                     f"{ftl}.{metric} regressed to {fresh_value:.1f} req/s "
                     f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
                 )
+    baseline_micro = baseline.get("micro", {})
+    fresh_micro = fresh.get("micro", {})
+    for metric in TRACKED_MICRO_METRICS:
+        # Baselines predating the micro section simply skip these metrics
+        # (base_value 0.0), same as per-FTL metrics added over time.
+        base_value = float(baseline_micro.get(metric, 0.0)) * scale
+        if base_value <= 0.0:
+            continue
+        fresh_value = float(fresh_micro.get(metric, 0.0))
+        floor = base_value * (1.0 - max_slowdown)
+        ratio = fresh_value / base_value
+        status = "OK " if fresh_value >= floor else "FAIL"
+        print(
+            f"[perf-gate] {status} micro.{metric}: baseline {base_value:.1f}, "
+            f"fresh {fresh_value:.1f} ({ratio:.2f}x)"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"micro.{metric} regressed to {fresh_value:.1f} lpns/s "
+                f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
+            )
     return failures
 
 

@@ -1,10 +1,13 @@
 """Simulation-kernel performance smoke benchmark.
 
-Times the two kernel-bound phases every figure regeneration pays — a full
-sequential fill and a 4-thread random-read storm — on the medium (~1 GB)
-geometry for ``dftl`` and ``learnedftl``, and writes the wall-clock seconds and
-simulated-requests-per-second to ``BENCH_kernel.json`` so the kernel's
-performance trajectory is tracked across PRs.
+Times the kernel-bound phases every figure regeneration pays — a full
+sequential fill, a 4-thread random-read storm through the scalar loop, and the
+same storm through the batched kernel (``SSD.run(..., batch=N)``) — on the
+medium (~1 GB) geometry for ``dftl`` and ``learnedftl``, plus a
+``lookup_many``/``probe_many`` microbenchmark of the mapping layer's batch
+probes, and writes the wall-clock seconds and simulated-requests-per-second to
+``BENCH_kernel.json`` so the kernel's performance trajectory is tracked across
+PRs.
 
 Run either way::
 
@@ -21,13 +24,18 @@ import random
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro import SSD, SSDGeometry
-from repro.ssd.request import HostRequest, OpType
+from repro.ssd.request import HostRequest, OpType, RequestBatch
 
 FTL_NAMES = ("dftl", "learnedftl")
 RANDREAD_REQUESTS = 20_000
+#: The batched phase runs a longer storm: the array-at-a-time kernel needs
+#: enough requests past the CMT warm-up transient to show its steady state.
+RANDREAD_BATCHED_REQUESTS = 200_000
+RANDREAD_BATCH = 4096
 RANDREAD_THREADS = 4
 SEED = 42
 
@@ -80,6 +88,17 @@ def bench_ftl(ftl_name: str) -> dict:
     read = ssd.run(requests, threads=RANDREAD_THREADS)
     read_seconds = time.perf_counter() - t0
 
+    # Batched kernel phase: the same storm shape through run(batch=N), long
+    # enough that the CMT warm-up transient (scalar-fallback misses while
+    # dirty fill-entries drain) is amortized away.
+    batched_lpns = np.random.default_rng(SEED).integers(
+        0, geometry.num_logical_pages, size=RANDREAD_BATCHED_REQUESTS
+    )
+    batched_requests = RequestBatch.reads(batched_lpns)
+    t0 = time.perf_counter()
+    batched = ssd.run(batched_requests, threads=RANDREAD_THREADS, batch=RANDREAD_BATCH)
+    batched_seconds = time.perf_counter() - t0
+
     total_requests = fill.requests + read.requests
     total_seconds = fill_seconds + read_seconds
     return {
@@ -89,9 +108,43 @@ def bench_ftl(ftl_name: str) -> dict:
         "fill_pages": ssd.stats.host_write_pages,
         "randread_seconds": round(read_seconds, 3),
         "randread_requests": read.requests,
+        "randread_batched_seconds": round(batched_seconds, 3),
+        "randread_batched_requests": batched.requests,
         "total_seconds": round(total_seconds, 3),
         "requests_per_second": round(total_requests / total_seconds, 1),
         "randread_requests_per_second": round(read.requests / max(read_seconds, 1e-9), 1),
+        "randread_batched_requests_per_second": round(
+            batched.requests / max(batched_seconds, 1e-9), 1
+        ),
+    }
+
+
+def micro_benchmark() -> dict:
+    """Rates of the mapping layer's batch probes (the planner building blocks).
+
+    ``lookup_many`` is the directory gather every read planner issues once per
+    run; ``probe_many`` is the public batch probe over the DFTL CMT dict.
+    Both are measured in LPNs/s over a warm small-geometry device.
+    """
+    geometry = SSDGeometry.small()
+    ssd = SSD.create("dftl", geometry)
+    ssd.fill_sequential(io_pages=128)
+    rng = np.random.default_rng(SEED)
+    lookup_lpns = rng.integers(0, geometry.num_logical_pages, size=2_000_000)
+    t0 = time.perf_counter()
+    ppns = ssd.ftl.directory.lookup_many(lookup_lpns)
+    lookup_seconds = time.perf_counter() - t0
+    assert int(ppns[0]) >= 0
+    # Warm the CMT so probe_many exercises the hit path, not just dict misses.
+    job_lpns = rng.integers(0, geometry.num_logical_pages, size=20_000)
+    ssd.run(RequestBatch.reads(job_lpns), threads=1, batch=1024)
+    probe_lpns = rng.integers(0, geometry.num_logical_pages, size=200_000)
+    t0 = time.perf_counter()
+    ssd.ftl.cmt.probe_many(probe_lpns)
+    probe_seconds = time.perf_counter() - t0
+    return {
+        "lookup_many_lpns_per_second": round(len(lookup_lpns) / max(lookup_seconds, 1e-9), 1),
+        "probe_many_lpns_per_second": round(len(probe_lpns) / max(probe_seconds, 1e-9), 1),
     }
 
 
@@ -103,15 +156,24 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         print(
             f"[perf_smoke] {name}: fill {results[name]['fill_seconds']}s, "
             f"randread {results[name]['randread_seconds']}s, "
-            f"{results[name]['requests_per_second']} req/s"
+            f"{results[name]['requests_per_second']} req/s, "
+            f"batched {results[name]['randread_batched_requests_per_second']} req/s"
         )
+    micro = micro_benchmark()
+    print(
+        f"[perf_smoke] micro: lookup_many {micro['lookup_many_lpns_per_second']:.3g} lpns/s, "
+        f"probe_many {micro['probe_many_lpns_per_second']:.3g} lpns/s"
+    )
     report = {
         "benchmark": "kernel_perf_smoke",
         "geometry": "medium",
         "randread_requests": RANDREAD_REQUESTS,
+        "randread_batched_requests": RANDREAD_BATCHED_REQUESTS,
+        "randread_batch": RANDREAD_BATCH,
         "randread_threads": RANDREAD_THREADS,
         "python": platform.python_version(),
         "calibration_iters_per_second": round(calibration_score(), 1),
+        "micro": micro,
         "results": results,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -127,6 +189,8 @@ def test_perf_smoke(tmp_path):
     for name, result in report["results"].items():
         assert result["requests_per_second"] > 0, name
         assert result["fill_pages"] > 0, name
+        assert result["randread_batched_requests_per_second"] > 0, name
+    assert report["micro"]["lookup_many_lpns_per_second"] > 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -326,6 +326,19 @@ class FTLBase(ABC):
         """
         raise NotImplementedError
 
+    def begin_read_run(self, lpns):
+        """Hook for the batched device loop (``SSD.run(..., batch=N)``).
+
+        Called with the int64 LPN column of a maximal run of single-page host
+        reads; returns a planner (see :mod:`repro.core.batch`) that serves the
+        run array-at-a-time with per-request scalar fallback, or ``None`` to
+        execute the whole run through the scalar :meth:`encode` path.  The
+        default keeps every design scalar; designs opt in individually
+        (LeaFTL deliberately stays scalar — its per-read compute charges and
+        probe machinery leave no mutation-free fast case).
+        """
+        return None
+
     # -------------------------------------------------- translation-pool GC
     # Shared by every design that keeps translation pages in flash (both the
     # striping designs and LearnedFTL); requires ``self.allocator`` to expose

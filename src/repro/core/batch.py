@@ -1,0 +1,389 @@
+"""Array-at-a-time read planners: the FTL layer of the batched kernel.
+
+The batched device loop (``SSD.run(..., batch=N)``) splits each request chunk
+into maximal runs of single-page reads and asks the FTL for a *planner* over
+each run (:meth:`repro.core.base.FTLBase.begin_read_run`).  A planner front-loads
+the vectorizable work — one :meth:`MappingDirectory.lookup_many` gather, one
+page-state gather, one chip-index division over the whole run — and then
+serves the run incrementally through :meth:`take`:
+
+* :meth:`take` consumes requests from the current cursor for as long as the
+  design's fast-path predicate holds, applying **exactly** the cache/statistics
+  mutations the scalar read path would (same LRU moves in the same order, same
+  counter increments), and returns the per-request chip columns the timing
+  engine needs;
+* the first request the predicate rejects is left untouched — the device
+  executes it through the ordinary scalar ``encode``/``execute_buffer`` pair,
+  calls :meth:`skip`, and resumes :meth:`take`.
+
+The cursor design matters: the expensive gathers happen once per run, not once
+per fallback, so a run that alternates fast and slow requests degrades to the
+scalar path's cost instead of quadratic re-planning.
+
+Why resuming after a scalar fallback is sound: within a run every request is a
+single-page READ, and no scalar read path mutates the data-page flash state or
+the mapping directory — CMT miss handling only touches translation pages and
+the translation pool, which the planners' gathers never cover.  Cache
+membership *does* change (inserts, evictions), which is why every per-request
+acceptance test below consults the live cache dicts rather than a snapshot.
+
+Per-design fast-path predicates:
+
+* :class:`DemandReadPlanner` (DFTL) — CMT hits, plus CMT misses while the
+  cache holds **zero dirty entries** (then the eviction an insert may cause is
+  silent) and the translation page is flash-resident (else the scalar path's
+  never-flushed bookkeeping applies);
+* :class:`GroupedHitReadPlanner` (TPFTL / LearnedFTL) — CMT hits only; every
+  miss runs the scalar prefetch/model machinery.  The request-locality
+  bookkeeping (``_observe_request``) is replicated per accepted request;
+* :class:`DirectReadPlanner` (ideal FTL) — every mapped read, with no
+  per-request Python work at all (pure array prefix).
+
+LeaFTL keeps the scalar path for every read: its per-read compute charges and
+frame/buffer probes leave no mutation-free common case worth special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.nand.flash import PAGE_VALID
+from repro.ssd.request import (
+    CommandKind,
+    CommandPurpose,
+    ReadOutcome,
+    command_code,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import FTLBase
+
+__all__ = ["DemandReadPlanner", "GroupedHitReadPlanner", "DirectReadPlanner"]
+
+_CODE_DATA_READ = command_code(CommandKind.READ, CommandPurpose.DATA_READ)
+_CODE_TRANSLATION_READ = command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ)
+_OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+_OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
+
+#: Cap of TPFTL/LearnedFTL's sequential-streak counter (see ``_observe_request``).
+_STREAK_CAP = 64
+
+
+class DemandReadPlanner:
+    """DFTL's read-run planner: CMT hits *and* clean misses array-at-a-time.
+
+    On the paper's random-read workloads DFTL misses the CMT for the vast
+    majority of requests, so a hits-only fast path would leave the kernel
+    scalar-bound.  A miss is fast-pathable exactly when serving it cannot emit
+    translation *writes*: the cache holds no dirty entries (any eviction is
+    silent) and the translation page is flash-resident (the read is a plain
+    double read).  Both are checked per request against live state.
+    """
+
+    __slots__ = (
+        "_lpns",
+        "_ppns",
+        "_dchips",
+        "_tvpns",
+        "_ok",
+        "_n",
+        "_pos",
+        "_cmt",
+        "_entries",
+        "_capacity",
+        "_tp_ppn",
+        "_translation_store",
+        "_chip_stride",
+        "_page_state",
+        "_flash",
+        "_stats",
+    )
+
+    data_code = _CODE_DATA_READ
+    trans_code = _CODE_TRANSLATION_READ
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        directory = ftl.directory
+        flash = ftl.flash
+        ppns = directory.lookup_many(lpns)
+        mapped = ppns >= 0
+        # Unmapped slots gather page 0's state/chip; the ``ok`` mask discards
+        # them before use.
+        safe = np.where(mapped, ppns, 0)
+        states = np.frombuffer(flash._page_state, dtype=np.uint8)[safe]
+        ok = mapped & (states == PAGE_VALID)
+        self._lpns = lpns.tolist()
+        self._ppns = ppns.tolist()
+        self._dchips = (safe // flash._chip_stride).tolist()
+        self._tvpns = (lpns // directory.mappings_per_page).tolist()
+        self._ok = ok.tolist()
+        self._n = len(self._lpns)
+        self._pos = 0
+        cmt = ftl.cmt
+        self._cmt = cmt
+        self._entries = cmt._entries
+        self._capacity = cmt.capacity_entries
+        self._tp_ppn = ftl.translation_store._tp_ppn
+        self._translation_store = ftl.translation_store
+        self._chip_stride = flash._chip_stride
+        self._page_state = flash._page_state
+        self._flash = flash
+        self._stats = ftl.stats
+
+    def take(self):
+        """Process requests from the cursor while the fast-path predicate holds.
+
+        Returns ``(k, data_chips, trans_chips, trans_count)``: ``k`` requests
+        were completed, ``data_chips[i]`` is request ``i``'s data-read chip and
+        ``trans_chips[i]`` its translation-read chip (``-1`` for CMT hits).
+        """
+        i = pos = self._pos
+        n = self._n
+        data_chips: list[int] = []
+        trans_chips: list[int] = []
+        if i >= n:
+            return 0, data_chips, trans_chips, 0
+        append_data = data_chips.append
+        append_trans = trans_chips.append
+        entries = self._entries
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        popitem = entries.popitem
+        tp_get = self._tp_ppn.get
+        capacity = self._capacity
+        # Evaluated once per take(): reads only insert clean entries and
+        # evictions only remove entries, so a clean cache stays clean for the
+        # rest of the run; a dirty cache re-enters here after each scalar
+        # fallback drains one dirty victim.
+        clean = self._cmt._dirty_count == 0
+        lpns = self._lpns
+        ppns = self._ppns
+        dchips = self._dchips
+        tvpns = self._tvpns
+        ok = self._ok
+        chip_stride = self._chip_stride
+        page_state = self._page_state
+        hits = 0
+        misses = 0
+        while i < n:
+            lpn = lpns[i]
+            entry = entries_get(lpn)
+            if entry is not None:
+                if not ok[i]:
+                    # Cache/directory disagreement: let the scalar path raise.
+                    break
+                move_to_end(lpn)
+                append_trans(-1)
+                hits += 1
+            elif clean and ok[i]:
+                tp_ppn = tp_get(tvpns[i])
+                if tp_ppn is None:
+                    # Never-flushed translation page: scalar bookkeeping differs.
+                    break
+                if not page_state[tp_ppn]:
+                    # PAGE_FREE translation page: scalar touch_read would raise.
+                    break
+                # Scalar-equivalent EntryLevelCMT.insert for a clean entry: the
+                # single LRU-head eviction is silent because the cache is clean.
+                entries[lpn] = [ppns[i], False]
+                if len(entries) > capacity:
+                    popitem(False)
+                append_trans(tp_ppn // chip_stride)
+                misses += 1
+            else:
+                break
+            append_data(dchips[i])
+            i += 1
+        k = i - pos
+        self._pos = i
+        if k:
+            stats = self._stats
+            stats.host_read_requests += k
+            stats.host_read_pages += k
+            stats.cmt_lookups += k
+            stats.cmt_hits += hits
+            outcome_counts = stats.outcome_counts
+            outcome_counts[_OUT_CMT_HIT] += hits
+            outcome_counts[_OUT_DOUBLE_READ] += misses
+            # One data read per request plus one translation read per miss.
+            self._flash.total_reads += k + misses
+            self._translation_store.translation_reads += misses
+        return k, data_chips, trans_chips, misses
+
+    def skip(self) -> None:
+        """Advance past a request the device just executed through the scalar path."""
+        self._pos += 1
+
+
+class GroupedHitReadPlanner:
+    """TPFTL/LearnedFTL read-run planner: the CMT-hit fast path.
+
+    A miss in either design runs prefetch policy, model prediction or
+    eviction write-back — state machinery the scalar path owns — so only the
+    hit prefix is batched.  Both designs share the two-level CMT layout and
+    the request-locality observer fields, so one planner serves both; the
+    observer updates are replicated per accepted request **before** the next
+    request is examined, exactly as the scalar ``read()`` applies them.
+    """
+
+    __slots__ = (
+        "_ftl",
+        "_pages",
+        "_lpns",
+        "_tvpns",
+        "_n",
+        "_pos",
+        "_page_state",
+        "_chip_stride",
+        "_flash",
+        "_stats",
+        "_window",
+    )
+
+    data_code = _CODE_DATA_READ
+    trans_code = _CODE_TRANSLATION_READ
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        self._ftl = ftl
+        self._pages = ftl._cmt_pages
+        self._lpns = lpns.tolist()
+        self._tvpns = (lpns // ftl._mappings_per_page).tolist()
+        self._n = len(self._lpns)
+        self._pos = 0
+        flash = ftl.flash
+        self._page_state = flash._page_state
+        self._chip_stride = flash._chip_stride
+        self._flash = flash
+        self._stats = ftl.stats
+        self._window = ftl._recent_request_lengths.maxlen
+
+    def take(self):
+        """Consume the CMT-hit prefix from the cursor; see :meth:`DemandReadPlanner.take`."""
+        i = pos = self._pos
+        n = self._n
+        data_chips: list[int] = []
+        if i >= n:
+            return 0, data_chips, None, 0
+        append_data = data_chips.append
+        ftl = self._ftl
+        pages = self._pages
+        pages_get = pages.get
+        pages_move = pages.move_to_end
+        lpns = self._lpns
+        tvpns = self._tvpns
+        page_state = self._page_state
+        chip_stride = self._chip_stride
+        lengths = ftl._recent_request_lengths
+        lengths_append = lengths.append
+        window = self._window
+        # The observer fields run in locals and are written back after the
+        # loop; a break leaves the refused request entirely unobserved, so the
+        # scalar fallback's own _observe_request applies cleanly.
+        length_sum = ftl._recent_length_sum
+        streak = ftl._sequential_streak
+        last_end = ftl._last_lpn_end
+        while i < n:
+            lpn = lpns[i]
+            node = pages_get(tvpns[i])
+            if node is None:
+                break
+            entry = node.get(lpn)
+            if entry is None:
+                break
+            ppn = entry[0]
+            if not page_state[ppn]:
+                # PAGE_FREE: the scalar path's touch_read would raise.
+                break
+            # Scalar-equivalent _observe_request for a single-page request.
+            if len(lengths) == window:
+                length_sum -= lengths[0]
+            length_sum += 1
+            lengths_append(1)
+            if last_end == lpn:
+                if streak < _STREAK_CAP:
+                    streak += 1
+            else:
+                streak = 0
+            last_end = lpn + 1
+            # Scalar-equivalent PageGroupedCMT.lookup hit: entry then node LRU.
+            node.move_to_end(lpn)
+            pages_move(tvpns[i])
+            append_data(ppn // chip_stride)
+            i += 1
+        ftl._recent_length_sum = length_sum
+        ftl._sequential_streak = streak
+        ftl._last_lpn_end = last_end
+        k = i - pos
+        self._pos = i
+        if k:
+            stats = self._stats
+            stats.host_read_requests += k
+            stats.host_read_pages += k
+            stats.cmt_lookups += k
+            stats.cmt_hits += k
+            stats.outcome_counts[_OUT_CMT_HIT] += k
+            self._flash.total_reads += k
+        return k, data_chips, None, 0
+
+    def skip(self) -> None:
+        """Advance past a request the device just executed through the scalar path."""
+        self._pos += 1
+
+
+class DirectReadPlanner:
+    """Ideal-FTL read-run planner: every mapped read, zero per-request Python.
+
+    The ideal FTL's read path mutates nothing, so the whole plan reduces to
+    array predicates at construction; :meth:`take` only slices the
+    precomputed chip column up to the next unmapped (or unreadable) request.
+    """
+
+    __slots__ = ("_dchips", "_bad", "_bad_pos", "_n", "_pos", "_flash", "_stats")
+
+    data_code = _CODE_DATA_READ
+    trans_code = _CODE_TRANSLATION_READ
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        directory = ftl.directory
+        flash = ftl.flash
+        ppns = directory.lookup_many(lpns)
+        mapped = ppns >= 0
+        safe = np.where(mapped, ppns, 0)
+        ok = mapped & (np.frombuffer(flash._page_state, dtype=np.uint8)[safe] == PAGE_VALID)
+        self._dchips = (safe // flash._chip_stride).tolist()
+        #: Indices the fast path must hand to the scalar fallback, ascending.
+        self._bad = np.flatnonzero(~ok).tolist()
+        self._bad_pos = 0
+        self._n = lpns.shape[0]
+        self._pos = 0
+        self._flash = flash
+        self._stats = ftl.stats
+
+    def take(self):
+        """Consume the mapped prefix from the cursor; see :meth:`DemandReadPlanner.take`."""
+        pos = self._pos
+        bad = self._bad
+        bad_pos = self._bad_pos
+        while bad_pos < len(bad) and bad[bad_pos] < pos:
+            bad_pos += 1
+        self._bad_pos = bad_pos
+        end = bad[bad_pos] if bad_pos < len(bad) else self._n
+        k = end - pos
+        if k <= 0:
+            return 0, [], None, 0
+        data_chips = self._dchips[pos:end]
+        self._pos = end
+        stats = self._stats
+        stats.host_read_requests += k
+        stats.host_read_pages += k
+        stats.cmt_lookups += k
+        stats.cmt_hits += k
+        stats.outcome_counts[_OUT_CMT_HIT] += k
+        self._flash.total_reads += k
+        return k, data_chips, None, 0
+
+    def skip(self) -> None:
+        """Advance past a request the device just executed through the scalar path."""
+        self._pos += 1

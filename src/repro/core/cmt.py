@@ -65,12 +65,22 @@ class EntryLevelCMT:
         self.mappings_per_page = mappings_per_page
         # lpn -> [ppn, dirty]
         self._entries: OrderedDict[int, list] = OrderedDict()
+        # Count of entries with the dirty bit set, maintained by every mutation
+        # below.  The batched read planner consults it: when zero, any eviction
+        # a fast-path insert causes is silent (no translation-page flush), so a
+        # whole run of clean misses can bypass the scalar path.
+        self._dirty_count = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, lpn: int) -> bool:
         return lpn in self._entries
+
+    @property
+    def dirty_entry_count(self) -> int:
+        """Number of cached entries whose dirty bit is set."""
+        return self._dirty_count
 
     def lookup(self, lpn: int) -> int | None:
         """Return the cached PPN of an LPN (refreshing recency) or ``None``."""
@@ -80,20 +90,37 @@ class EntryLevelCMT:
         self._entries.move_to_end(lpn)
         return entry[0]
 
+    def probe_many(self, lpns: "np.ndarray | list[int]") -> np.ndarray:
+        """Batch-probe: cached PPN per LPN, ``-1`` on miss, **no recency update**.
+
+        The read-only counterpart of calling :meth:`lookup` per element; the
+        batched kernel and its tests use it to resolve hit-path translations
+        for a whole request array without perturbing the LRU order.
+        """
+        get = self._entries.get
+        lpns = lpns.tolist() if isinstance(lpns, np.ndarray) else lpns
+        out = np.empty(len(lpns), dtype=np.int64)
+        for i, lpn in enumerate(lpns):
+            entry = get(lpn)
+            out[i] = -1 if entry is None else entry[0]
+        return out
+
     def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:
         """Insert or update a mapping; returns dirty evictions needed to make room."""
         entries = self._entries
         entry = entries.get(lpn)
         if entry is not None:
             entry[0] = ppn
-            if dirty:
+            if dirty and not entry[1]:
                 entry[1] = True
+                self._dirty_count += 1
             entries.move_to_end(lpn)
             return []
         evicted: list[EvictedPage] = []
         while len(entries) >= self.capacity_entries:
             victim_lpn, victim = entries.popitem(last=False)
             if victim[1]:
+                self._dirty_count -= 1
                 evicted.append(
                     EvictedPage(
                         tvpn=victim_lpn // self.mappings_per_page,
@@ -101,6 +128,8 @@ class EntryLevelCMT:
                     )
                 )
         entries[lpn] = [ppn, dirty]
+        if dirty:
+            self._dirty_count += 1
         return evicted
 
     def flush_all(self) -> list[EvictedPage]:
@@ -110,6 +139,7 @@ class EntryLevelCMT:
             if entry[1]:
                 grouped.setdefault(lpn // self.mappings_per_page, []).append(lpn)
                 entry[1] = False
+        self._dirty_count = 0
         return [EvictedPage(tvpn=tvpn, dirty_lpns=tuple(lpns)) for tvpn, lpns in grouped.items()]
 
     def memory_entries(self) -> int:
@@ -144,6 +174,7 @@ class EntryLevelCMT:
             state["lpns"].tolist(), state["ppns"].tolist(), state["dirty"].tolist()
         ):
             self._entries[lpn] = [ppn, bool(dirty)]
+        self._dirty_count = int(np.count_nonzero(state["dirty"]))
 
 
 class PageGroupedCMT:
@@ -187,6 +218,22 @@ class PageGroupedCMT:
         node.move_to_end(lpn)
         self._pages.move_to_end(tvpn)
         return entry[0]
+
+    def probe_many(self, lpns: "np.ndarray | list[int]") -> np.ndarray:
+        """Batch-probe: cached PPN per LPN, ``-1`` on miss, **no recency update**.
+
+        Mirrors :meth:`EntryLevelCMT.probe_many` for the two-level layout
+        (one node probe plus one entry probe per element).
+        """
+        pages_get = self._pages.get
+        mappings_per_page = self.mappings_per_page
+        lpns = lpns.tolist() if isinstance(lpns, np.ndarray) else lpns
+        out = np.empty(len(lpns), dtype=np.int64)
+        for i, lpn in enumerate(lpns):
+            node = pages_get(lpn // mappings_per_page)
+            entry = None if node is None else node.get(lpn)
+            out[i] = -1 if entry is None else entry[0]
+        return out
 
     # -------------------------------------------------------------- updates
     def insert(self, lpn: int, ppn: int, *, dirty: bool = False) -> list[EvictedPage]:

@@ -29,6 +29,7 @@ from collections import deque
 
 from repro.core.allocation import GroupAllocator, GroupGCNeeded
 from repro.core.base import FTLBase, FTLConfig
+from repro.core.batch import GroupedHitReadPlanner
 from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.core.learned.inplace_model import (
     BIT_NOT_SET,
@@ -152,6 +153,12 @@ class LearnedFTL(FTLBase):
             self._sequential_streak = 0
         self._last_lpn_end = first_lpn + npages
         self._encode_read(request)
+
+    def begin_read_run(self, lpns):
+        """Batch the CMT-hit prefix of a read run; misses run the scalar
+        model/double-read machinery.  See
+        :class:`repro.core.batch.GroupedHitReadPlanner`."""
+        return GroupedHitReadPlanner(self, lpns)
 
     def _translate_read(self, lpn: int, head_stage: list) -> tuple[int | None, int, float]:
         stats = self.stats

@@ -57,6 +57,10 @@ class MappingDirectory:
         self.mappings_per_page = geometry.mappings_per_translation_page
         self._size = geometry.num_logical_pages
         self._ppn = array("q", [_UNMAPPED]) * self._size
+        # Shared-memory NumPy view of the column for the batched gather path.
+        # ``load_state`` slice-assigns into ``_ppn`` rather than rebinding it,
+        # so the view stays coherent for the life of the directory.
+        self._ppn_view = np.frombuffer(self._ppn, dtype=np.int64)
         self._mapped_count = 0
 
     # --------------------------------------------------------------- lookups
@@ -79,6 +83,22 @@ class MappingDirectory:
     def is_mapped(self, lpn: int) -> bool:
         """True when the LPN has been written at least once."""
         return 0 <= lpn < self._size and self._ppn[lpn] != _UNMAPPED
+
+    def lookup_many(self, lpns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup`: gather the PPNs of an LPN array.
+
+        Returns an ``int64`` array the same length as ``lpns`` with ``-1`` for
+        never-written *and* out-of-range LPNs (the scalar path's ``None``).
+        One fancy-indexing gather over the flat column replaces a Python-level
+        bounds check, array read and sentinel test per request.
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        in_range = (lpns >= 0) & (lpns < self._size)
+        # Out-of-range LPNs gather slot 0 (negative indices would wrap) and
+        # are overwritten with the unmapped sentinel below.
+        ppns = self._ppn_view[np.where(in_range, lpns, 0)]
+        ppns[~in_range] = _UNMAPPED
+        return ppns
 
     def __len__(self) -> int:
         return self._mapped_count

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.base import FTLConfig, StripingFTLBase
+from repro.core.batch import GroupedHitReadPlanner
 from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
@@ -109,6 +110,11 @@ class TPFTL(StripingFTLBase):
         if evicted:
             self._handle_evictions(evicted)
         return ppn, outcome, 0.0
+
+    def begin_read_run(self, lpns):
+        """Batch the CMT-hit prefix of a read run; misses run the scalar
+        prefetch machinery.  See :class:`repro.core.batch.GroupedHitReadPlanner`."""
+        return GroupedHitReadPlanner(self, lpns)
 
     def _prefetch_length(self) -> int:
         """Workload-adaptive prefetch depth.

@@ -25,8 +25,11 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import asdict, dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
 
 from repro.core.base import FTLBase, FTLConfig
 from repro.core.dftl import DFTL
@@ -39,7 +42,7 @@ from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.energy import EnergyBreakdown, EnergyModel
 from repro.ssd.engine import TimingEngine
-from repro.ssd.request import HostRequest, OpType
+from repro.ssd.request import OP_READ_CODE, HostRequest, OpType, RequestBatch
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl", "available_ftls"]
@@ -81,6 +84,67 @@ def create_ftl(
             f"unknown FTL {name!r}; choose one of {sorted(FTL_REGISTRY)}"
         ) from exc
     return cls(geometry, timing=timing, config=config, stats=stats)
+
+
+def _segments(eligible: "np.ndarray") -> Iterator[tuple[int, int, bool]]:
+    """Split a boolean column into maximal constant runs.
+
+    Yields ``(start, end, flag)`` half-open runs in order; the batched loop
+    executes ``flag=True`` runs through the FTL's read planner and the rest
+    through the scalar path.
+    """
+    n = eligible.shape[0]
+    if n == 0:
+        return
+    changes = np.flatnonzero(eligible[1:] != eligible[:-1]) + 1
+    prev = 0
+    flag = bool(eligible[0])
+    for index in changes.tolist():
+        yield prev, index, flag
+        prev = index
+        flag = not flag
+    yield prev, n, flag
+
+
+def _iter_request_chunks(
+    requests: "Iterable[HostRequest] | RequestBatch", batch: int
+) -> Iterator[tuple["np.ndarray", "np.ndarray", Callable[[int], HostRequest]]]:
+    """Chunk a request stream into ``(lpns, eligible, request_at)`` columns.
+
+    ``eligible`` marks single-page reads (the planner-servable shape);
+    ``request_at(i)`` materializes chunk-local request ``i`` for the scalar
+    path.  A :class:`RequestBatch` source is sliced zero-copy (its columns
+    already exist); any other iterable is buffered ``batch`` requests at a
+    time, so generators stream without being drained up front.
+    """
+    if isinstance(requests, RequestBatch):
+        lpns = requests.lpns
+        eligible_all = (requests.ops == OP_READ_CODE) & (requests.npages == 1)
+        total = len(requests)
+        for chunk_start in range(0, total, batch):
+            chunk_end = chunk_start + batch
+            if chunk_end > total:
+                chunk_end = total
+
+            def request_at(i: int, _base: int = chunk_start) -> HostRequest:
+                return requests[_base + i]
+
+            yield lpns[chunk_start:chunk_end], eligible_all[chunk_start:chunk_end], request_at
+        return
+    read_op = OpType.READ
+    iterator = iter(requests)
+    while True:
+        chunk = list(islice(iterator, batch))
+        if not chunk:
+            return
+        n = len(chunk)
+        lpns = np.fromiter((request.lpn for request in chunk), np.int64, count=n)
+        eligible = np.fromiter(
+            (request.op is read_op and request.npages == 1 for request in chunk),
+            np.bool_,
+            count=n,
+        )
+        yield lpns, eligible, chunk.__getitem__
 
 
 @dataclass
@@ -175,12 +239,24 @@ class SSD:
 
     def run(
         self,
-        requests: Iterable[HostRequest],
+        requests: "Iterable[HostRequest] | RequestBatch",
         *,
         threads: int = 1,
+        batch: int | None = None,
         progress: Callable[[int], None] | None = None,
     ) -> RunResult:
-        """Closed-loop execution: ``threads`` psync workers share the request stream."""
+        """Closed-loop execution: ``threads`` psync workers share the request stream.
+
+        With ``batch=N`` the device runs the vectorized kernel: requests are
+        pulled ``N`` at a time, runs of single-page reads are served
+        array-at-a-time through the FTL's read planner
+        (:meth:`~repro.core.base.FTLBase.begin_read_run`) and everything else
+        falls back to the scalar path per request.  Results are bit-identical
+        to ``batch=None``; passing the stream as a :class:`RequestBatch`
+        avoids materializing request objects on the fast path entirely.
+        """
+        if batch is not None:
+            return self._run_batched(requests, threads=threads, batch=batch, progress=progress)
         if threads <= 0:
             raise ConfigurationError("threads must be positive")
         start = self._clock_us
@@ -191,8 +267,7 @@ class SSD:
         completed = 0
         engine_execute = self.engine.execute_buffer
         ftl_encode = self.ftl.encode
-        read_latencies = self.stats.read_latencies_us.append
-        write_latencies = self.stats.write_latencies_us.append
+        record_latency = self.stats.record_latency
         heapreplace = heapq.heapreplace
         read_op = OpType.READ
         iterator: Iterator[HostRequest] = iter(requests)
@@ -200,15 +275,106 @@ class SSD:
             issue, slot = thread_free[0]
             buffer = ftl_encode(request, issue)
             finish = engine_execute(buffer, issue)
-            if request.op is read_op:
-                read_latencies(finish - issue)
-            else:
-                write_latencies(finish - issue)
+            record_latency(request.op is read_op, finish - issue)
             heapreplace(thread_free, (finish, slot))
             completed += 1
             if progress is not None and completed % 10_000 == 0:
                 progress(completed)
         self._clock_us = max(self._clock_us, max(free for free, _ in thread_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
+    def _run_batched(
+        self,
+        requests: "Iterable[HostRequest] | RequestBatch",
+        *,
+        threads: int,
+        batch: int,
+        progress: Callable[[int], None] | None,
+    ) -> RunResult:
+        """Array-at-a-time closed-loop execution (``run(..., batch=N)``).
+
+        The thread heap holds bare free-time floats: psync threads are
+        indistinguishable, so dropping the scalar loop's slot indices changes
+        nothing observable while letting the engine's batch loop
+        ``heapreplace`` floats directly.  Progress callbacks fire at the same
+        10k-request marks as the scalar loop, emitted inside the chunk loop
+        (a planner step spanning a mark emits it immediately, not at chunk
+        end).
+        """
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        if batch <= 0:
+            raise ConfigurationError("batch must be positive")
+        start = self._clock_us
+        thread_free: list[float] = [start] * threads
+        completed = 0
+        engine_execute = self.engine.execute_buffer
+        execute_read_batch = self.engine.execute_read_batch
+        ftl = self.ftl
+        ftl_encode = ftl.encode
+        begin_read_run = ftl.begin_read_run
+        stats = self.stats
+        record_latency = stats.record_latency
+        record_latencies = stats.record_latencies
+        heapreplace = heapq.heapreplace
+        read_op = OpType.READ
+        for lpns, eligible, request_at in _iter_request_chunks(requests, batch):
+            for seg_start, seg_end, fast in _segments(eligible):
+                planner = begin_read_run(lpns[seg_start:seg_end]) if fast else None
+                if planner is None:
+                    # Writes, multi-page requests, or a design with no fast
+                    # path (LeaFTL): the scalar loop, request by request.
+                    for i in range(seg_start, seg_end):
+                        request = request_at(i)
+                        issue = thread_free[0]
+                        buffer = ftl_encode(request, issue)
+                        finish = engine_execute(buffer, issue)
+                        record_latency(request.op is read_op, finish - issue)
+                        heapreplace(thread_free, finish)
+                        completed += 1
+                        if progress is not None and completed % 10_000 == 0:
+                            progress(completed)
+                    continue
+                pos = seg_start
+                while pos < seg_end:
+                    k, data_chips, trans_chips, trans_count = planner.take()
+                    if k:
+                        latencies = execute_read_batch(
+                            data_chips,
+                            trans_chips,
+                            thread_free,
+                            data_code=planner.data_code,
+                            trans_code=planner.trans_code,
+                            trans_count=trans_count,
+                        )
+                        record_latencies(True, latencies)
+                        if progress is not None:
+                            next_mark = completed - completed % 10_000 + 10_000
+                            completed += k
+                            while next_mark <= completed:
+                                progress(next_mark)
+                                next_mark += 10_000
+                        else:
+                            completed += k
+                        pos += k
+                        if pos >= seg_end:
+                            break
+                    # The planner refused the request at the cursor: run it
+                    # through the scalar path (every request in a fast run is
+                    # a single-page read) and resume batching after it.
+                    request = request_at(pos)
+                    issue = thread_free[0]
+                    buffer = ftl_encode(request, issue)
+                    finish = engine_execute(buffer, issue)
+                    record_latency(True, finish - issue)
+                    heapreplace(thread_free, finish)
+                    completed += 1
+                    if progress is not None and completed % 10_000 == 0:
+                        progress(completed)
+                    pos += 1
+                    planner.skip()
+        self._clock_us = max(self._clock_us, max(thread_free))
         self.stats.finish_time_us = self._clock_us
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 

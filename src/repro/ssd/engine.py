@@ -28,6 +28,7 @@ also supported: a request is issued at ``max(arrival, thread free)``.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -197,6 +198,76 @@ class TimingEngine:
             for code in outcome_codes:
                 outcome_counts[code] += 1
         return cursor if cursor > issue_time_us else issue_time_us
+
+    def execute_read_batch(
+        self,
+        data_chips: list,
+        trans_chips: list | None,
+        thread_free: list,
+        *,
+        data_code: int,
+        trans_code: int,
+        trans_count: int = 0,
+    ) -> list:
+        """Execute a planner's batch of single-page reads; returns their latencies.
+
+        ``thread_free`` is the closed-loop thread heap as **bare floats** (the
+        batched device loop drops the slot indices the scalar loop carries —
+        threads are indistinguishable, so the free-time multiset is the whole
+        state).  Request ``i`` issues at ``thread_free[0]`` (the earliest-free
+        thread), pays one translation read on ``trans_chips[i]`` when that is
+        ``>= 0``, then one data read on ``data_chips[i]``, and the thread is
+        re-queued at the data read's finish.
+
+        The arithmetic is a specialization of :meth:`execute_buffer` for the
+        two shapes planners emit — ``[data]`` and ``[trans] -> [data]`` with
+        zero ``compute_us`` — and is bit-identical to it: each stage holds one
+        command, so the stage finish IS the command finish, and a zero compute
+        charge adds exactly ``0.0``.  ``busy_time`` is accumulated per command
+        (never as ``count * duration``) to keep float association identical.
+        """
+        n = len(data_chips)
+        counts = self._command_counts
+        counts[data_code] += n
+        if trans_count:
+            counts[trans_code] += trans_count
+        data_duration = self._duration_by_code[data_code]
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
+        latencies: list = []
+        append_latency = latencies.append
+        heapreplace = heapq.heapreplace
+        if trans_chips is None:
+            for chip in data_chips:
+                issue = thread_free[0]
+                busy = busy_until[chip]
+                start = busy if busy > issue else issue
+                finish = start + data_duration
+                busy_until[chip] = finish
+                busy_time[chip] += data_duration
+                heapreplace(thread_free, finish)
+                append_latency(finish - issue)
+        else:
+            trans_duration = self._duration_by_code[trans_code]
+            for i in range(n):
+                issue = thread_free[0]
+                trans_chip = trans_chips[i]
+                if trans_chip >= 0:
+                    busy = busy_until[trans_chip]
+                    cursor = (busy if busy > issue else issue) + trans_duration
+                    busy_until[trans_chip] = cursor
+                    busy_time[trans_chip] += trans_duration
+                else:
+                    cursor = issue
+                chip = data_chips[i]
+                busy = busy_until[chip]
+                start = busy if busy > cursor else cursor
+                finish = start + data_duration
+                busy_until[chip] = finish
+                busy_time[chip] += data_duration
+                heapreplace(thread_free, finish)
+                append_latency(finish - issue)
+        return latencies
 
     def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:
         """Execute an object-level :class:`Transaction` view.

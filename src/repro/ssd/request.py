@@ -34,9 +34,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, NamedTuple
 
+import numpy as np
+
 __all__ = [
     "OpType",
     "HostRequest",
+    "RequestBatch",
+    "OP_READ_CODE",
+    "OP_WRITE_CODE",
     "CommandKind",
     "CommandPurpose",
     "FlashCommand",
@@ -94,6 +99,91 @@ class HostRequest:
     def bytes(self) -> int:
         """Request size in bytes assuming 4 KiB pages (for reporting only)."""
         return self.npages * 4096
+
+
+#: Integer op codes used by the columnar request representation.
+OP_READ_CODE, OP_WRITE_CODE = 0, 1
+
+
+class RequestBatch:
+    """Columnar batch of host requests (NumPy ``op``/``lpn``/``npages`` columns).
+
+    The batched execution kernel classifies and translates whole request
+    arrays at once, so workload generators materialize their streams into
+    this structure instead of one :class:`HostRequest` object per request.
+    ``ops`` holds :data:`OP_READ_CODE`/:data:`OP_WRITE_CODE` per request.
+
+    The batch iterates (and indexes) as :class:`HostRequest` values, so every
+    scalar consumer — ``SSD.run`` without ``batch=``, tests, reports — accepts
+    a batch wherever it accepts a request iterable.
+    """
+
+    __slots__ = ("ops", "lpns", "npages")
+
+    def __init__(
+        self,
+        ops: "np.ndarray | Iterable[int]",
+        lpns: "np.ndarray | Iterable[int]",
+        npages: "np.ndarray | Iterable[int]",
+    ) -> None:
+        self.ops = np.ascontiguousarray(ops, dtype=np.int8)
+        self.lpns = np.ascontiguousarray(lpns, dtype=np.int64)
+        self.npages = np.ascontiguousarray(npages, dtype=np.int64)
+        if not (self.ops.shape == self.lpns.shape == self.npages.shape) or self.ops.ndim != 1:
+            raise ValueError(
+                f"column shapes differ: ops {self.ops.shape}, lpns {self.lpns.shape}, "
+                f"npages {self.npages.shape}"
+            )
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_requests(cls, requests: Iterable[HostRequest]) -> "RequestBatch":
+        """Pack an iterable of :class:`HostRequest` into columns."""
+        materialized = list(requests)
+        n = len(materialized)
+        read_op = OpType.READ
+        ops = np.fromiter(
+            (OP_READ_CODE if r.op is read_op else OP_WRITE_CODE for r in materialized),
+            dtype=np.int8,
+            count=n,
+        )
+        lpns = np.fromiter((r.lpn for r in materialized), dtype=np.int64, count=n)
+        npages = np.fromiter((r.npages for r in materialized), dtype=np.int64, count=n)
+        return cls(ops, lpns, npages)
+
+    @classmethod
+    def reads(cls, lpns: "np.ndarray | Iterable[int]", npages: int = 1) -> "RequestBatch":
+        """Single-page-read batch over an LPN column (the randread hot case)."""
+        lpns = np.ascontiguousarray(lpns, dtype=np.int64)
+        return cls(
+            np.zeros(lpns.shape[0], dtype=np.int8),
+            lpns,
+            np.full(lpns.shape[0], npages, dtype=np.int64),
+        )
+
+    # ----------------------------------------------------------- scalar view
+    def __len__(self) -> int:
+        return self.ops.shape[0]
+
+    def __getitem__(self, index: int) -> HostRequest:
+        return HostRequest(
+            op=OpType.READ if self.ops[index] == OP_READ_CODE else OpType.WRITE,
+            lpn=int(self.lpns[index]),
+            npages=int(self.npages[index]),
+        )
+
+    def __iter__(self) -> Iterator[HostRequest]:
+        read_op, write_op = OpType.READ, OpType.WRITE
+        for op, lpn, npages in zip(
+            self.ops.tolist(), self.lpns.tolist(), self.npages.tolist()
+        ):
+            yield HostRequest(
+                op=read_op if op == OP_READ_CODE else write_op, lpn=lpn, npages=npages
+            )
+
+    def __repr__(self) -> str:
+        reads = int(np.count_nonzero(self.ops == OP_READ_CODE))
+        return f"RequestBatch(n={len(self)}, reads={reads}, writes={len(self) - reads})"
 
 
 class CommandKind(enum.Enum):

@@ -37,10 +37,119 @@ from repro.ssd.request import (
     ReadOutcome,
 )
 
-__all__ = ["GCEvent", "LatencyDigest", "SimulationStats"]
+__all__ = ["GCEvent", "LatencyBuffer", "LatencyDigest", "SimulationStats"]
 
 #: Number of distinct read-outcome codes.
 _NUM_OUTCOMES = len(ReadOutcome)
+
+
+class LatencyBuffer:
+    """Grow-by-doubling float64 latency column.
+
+    Replaces the Python-list latency populations: appends stay O(1) amortized,
+    a batch lands with one slice assignment (:meth:`extend`), and the digest
+    math gets a zero-copy ``ndarray`` view (:meth:`array`) instead of
+    converting a million-element list per percentile call.
+
+    Iteration yields Python floats in insertion order, so existing consumers
+    (``sum(stats.read_latencies_us)``, element-wise comparisons in tests)
+    observe exactly the values the old list held.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    _INITIAL_CAPACITY = 16
+
+    def __init__(self, values: "Iterable[float] | np.ndarray" = ()) -> None:
+        self._data = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size:
+            self.extend(arr)
+
+    # ------------------------------------------------------------- mutation
+    def append(self, value: float) -> None:
+        """Record one sample (the scalar hot-path entry point)."""
+        size = self._size
+        data = self._data
+        if size == data.shape[0]:
+            data = self._grow(size + 1)
+        data[size] = value
+        self._size = size + 1
+
+    def extend(self, values: "Iterable[float] | np.ndarray") -> None:
+        """Record a batch of samples with one slice assignment."""
+        arr = np.asarray(values, dtype=np.float64)
+        n = arr.shape[0]
+        if n == 0:
+            return
+        size = self._size
+        if size + n > self._data.shape[0]:
+            self._grow(size + n)
+        self._data[size : size + n] = arr
+        self._size = size + n
+
+    def replace(self, values: "Iterable[float] | np.ndarray") -> None:
+        """Overwrite the whole population (snapshot restore)."""
+        self._size = 0
+        self.extend(values)
+
+    def clear(self) -> None:
+        """Drop every sample (capacity is retained)."""
+        self._size = 0
+
+    def _grow(self, needed: int) -> np.ndarray:
+        capacity = max(self._INITIAL_CAPACITY, self._data.shape[0])
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.float64)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+        return grown
+
+    # ---------------------------------------------------------------- views
+    def array(self) -> np.ndarray:
+        """Zero-copy ``float64`` view of the recorded samples."""
+        return self._data[: self._size]
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        view = self._data[: self._size]
+        if dtype is not None and dtype != view.dtype:
+            return view.astype(dtype)
+        if copy:
+            return view.copy()
+        return view
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        # tolist() yields Python floats in insertion order, so sequential
+        # ``sum()`` over the buffer reproduces the old list's rounding exactly.
+        return iter(self._data[: self._size].tolist())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._data[: self._size][index].tolist()
+        size = self._size
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError("LatencyBuffer index out of range")
+        return float(self._data[index])
+
+    def __eq__(self, other: object):
+        if isinstance(other, (LatencyBuffer, list, tuple, np.ndarray)):
+            if len(other) != self._size:
+                return False
+            mine = self._data[: self._size]
+            return bool(np.array_equal(mine, np.asarray(other, dtype=np.float64)))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = self._data[: min(self._size, 6)].tolist()
+        ellipsis = ", ..." if self._size > 6 else ""
+        return f"LatencyBuffer([{', '.join(map(repr, preview))}{ellipsis}], size={self._size})"
 
 
 @dataclass(frozen=True)
@@ -122,8 +231,8 @@ class SimulationStats:
     models_trained: int = 0
 
     # Latency / time ----------------------------------------------------------
-    read_latencies_us: list[float] = field(default_factory=list)
-    write_latencies_us: list[float] = field(default_factory=list)
+    read_latencies_us: LatencyBuffer = field(default_factory=LatencyBuffer)
+    write_latencies_us: LatencyBuffer = field(default_factory=LatencyBuffer)
     finish_time_us: float = 0.0
 
     # Chip occupancy (wired by the timing engine) ------------------------------
@@ -170,11 +279,24 @@ class SimulationStats:
             counts[outcome.code] += 1
 
     def record_latency(self, is_read: bool, latency_us: float) -> None:
-        """Record the completion latency of one host request."""
+        """Record the completion latency of one host request.
+
+        The single bulk-capable accounting path of the latency populations:
+        the closed-loop runner, the open-loop replayer and ``submit`` all call
+        this (or :meth:`record_latencies` for batches), so the scalar and
+        batched execution paths cannot drift in how latencies land.
+        """
         if is_read:
             self.read_latencies_us.append(latency_us)
         else:
             self.write_latencies_us.append(latency_us)
+
+    def record_latencies(self, is_read: bool, latencies_us: "Iterable[float]") -> None:
+        """Record a batch of same-direction request latencies at once."""
+        if is_read:
+            self.read_latencies_us.extend(latencies_us)
+        else:
+            self.write_latencies_us.extend(latencies_us)
 
     # ------------------------------------------------------ snapshot support
     def state_dict(self) -> dict[str, Any]:
@@ -215,8 +337,8 @@ class SimulationStats:
             "predict_time_us": self.predict_time_us,
             "predictions": self.predictions,
             "models_trained": self.models_trained,
-            "read_latencies_us": np.asarray(self.read_latencies_us, dtype=np.float64),
-            "write_latencies_us": np.asarray(self.write_latencies_us, dtype=np.float64),
+            "read_latencies_us": self.read_latencies_us.array().copy(),
+            "write_latencies_us": self.write_latencies_us.array().copy(),
             "finish_time_us": self.finish_time_us,
         }
 
@@ -258,8 +380,8 @@ class SimulationStats:
         self.predict_time_us = float(state["predict_time_us"])
         self.predictions = int(state["predictions"])
         self.models_trained = int(state["models_trained"])
-        self.read_latencies_us[:] = state["read_latencies_us"].tolist()
-        self.write_latencies_us[:] = state["write_latencies_us"].tolist()
+        self.read_latencies_us.replace(state["read_latencies_us"])
+        self.write_latencies_us.replace(state["write_latencies_us"])
         self.finish_time_us = float(state["finish_time_us"])
 
     # --------------------------------------------------------- counter views
@@ -380,7 +502,9 @@ class SimulationStats:
 
     def all_latency_digest(self) -> LatencyDigest:
         """Latency digest over all host requests."""
-        return LatencyDigest.from_samples(self.read_latencies_us + self.write_latencies_us)
+        return LatencyDigest.from_samples(
+            np.concatenate([self.read_latencies_us.array(), self.write_latencies_us.array()])
+        )
 
     def throughput_mb_s(self, page_size: int | None = None) -> float:
         """Host throughput in MB/s over the simulated run time."""

@@ -16,7 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.nand.geometry import SSDGeometry
-from repro.ssd.request import HostRequest, OpType
+from repro.ssd.request import OP_READ_CODE, OP_WRITE_CODE, HostRequest, OpType, RequestBatch
 
 __all__ = ["FioPattern", "FioJob"]
 
@@ -94,32 +94,41 @@ class FioJob:
     # ------------------------------------------------------------ generation
     def requests(self, geometry: SSDGeometry) -> Iterator[HostRequest]:
         """Yield the job's host requests sized to a device geometry."""
+        op = OpType.READ if self.pattern.is_read else OpType.WRITE
+        npages = self.io_pages
+        for index, lpn in enumerate(self._lpn_column(geometry).tolist()):
+            yield HostRequest(op=op, lpn=lpn, npages=npages, stream_id=index)
+
+    def request_batch(self, geometry: SSDGeometry) -> RequestBatch:
+        """The job's request stream as one columnar :class:`RequestBatch`.
+
+        Request ``i`` is element-wise identical to the ``i``-th yield of
+        :meth:`requests` (same LPN column, drawn from the same RNG state);
+        passing the batch to ``SSD.run(..., batch=N)`` lets the device slice
+        its columns directly instead of re-deriving them from request objects.
+        """
+        lpns = self._lpn_column(geometry)
+        n = lpns.shape[0]
+        op_code = OP_READ_CODE if self.pattern.is_read else OP_WRITE_CODE
+        return RequestBatch(
+            np.full(n, op_code, dtype=np.int8),
+            lpns,
+            np.full(n, self.io_pages, dtype=np.int64),
+        )
+
+    def _lpn_column(self, geometry: SSDGeometry) -> "np.ndarray":
+        """The job's LPN column (shared by the object and columnar streams)."""
         span = max(self.io_pages, int(geometry.num_logical_pages * self.span_fraction))
         span = min(span, geometry.num_logical_pages)
-        op = OpType.READ if self.pattern.is_read else OpType.WRITE
         if self.pattern.is_sequential:
-            yield from self._sequential(op, span)
-        else:
-            yield from self._random(op, span)
-
-    def _sequential(self, op: OpType, span: int) -> Iterator[HostRequest]:
-        # The cursor advances by io_pages and wraps to 0 whenever the next
-        # request would cross span, i.e. position k is (k * io_pages) modulo
-        # the largest io_pages multiple that fits.
-        wrap = max(self.io_pages, (span // self.io_pages) * self.io_pages)
-        lpns = (np.arange(self.num_requests, dtype=np.int64) * self.io_pages) % wrap
-        yield from self._emit(op, lpns)
-
-    def _random(self, op: OpType, span: int) -> Iterator[HostRequest]:
+            # The cursor advances by io_pages and wraps to 0 whenever the next
+            # request would cross span, i.e. position k is (k * io_pages)
+            # modulo the largest io_pages multiple that fits.
+            wrap = max(self.io_pages, (span // self.io_pages) * self.io_pages)
+            return (np.arange(self.num_requests, dtype=np.int64) * self.io_pages) % wrap
         limit = max(1, span - self.io_pages + 1)
         rng = np.random.default_rng(self.seed)
-        lpns = rng.integers(0, limit, size=self.num_requests)
-        yield from self._emit(op, lpns)
-
-    def _emit(self, op: OpType, lpns: "np.ndarray") -> Iterator[HostRequest]:
-        npages = self.io_pages
-        for index, lpn in enumerate(lpns.tolist()):
-            yield HostRequest(op=op, lpn=lpn, npages=npages, stream_id=index)
+        return rng.integers(0, limit, size=self.num_requests)
 
     # ------------------------------------------------------------- reporting
     def describe(self) -> str:

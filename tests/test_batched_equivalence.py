@@ -1,0 +1,144 @@
+"""Batched-vs-scalar equivalence suite for the vectorized request kernel.
+
+``SSD.run(..., batch=N)`` is required to be *bit-identical* to the scalar
+loop: same statistics fingerprint, same per-request latency populations, same
+final clock and chip timelines — for every FTL design, any batch size and any
+thread count.  The workload here is deliberately hostile to the fast path: it
+mixes GC-triggering overwrites, a read storm that churns the CMT (hits,
+misses, evictions) and multi-page requests, so batches straddle every
+fallback boundary the planners draw.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from golden_workload import golden_geometry
+from repro import SSD
+from repro.ssd.request import HostRequest, OpType, RequestBatch
+from repro.workloads.fio import FioJob
+
+ALL_FTL_NAMES = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
+BATCH_SIZES = (1, 7, 64, 1000)
+SEED = 20240606
+
+
+def _workload(geometry) -> list[list[HostRequest]]:
+    """Three phases: GC-forcing overwrites, a CMT-churning read storm, a mix."""
+    rng = random.Random(SEED)
+    limit = geometry.num_logical_pages
+    overwrites = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 4), npages=4)
+        for _ in range(150)
+    ]
+    reads = [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1)
+        for _ in range(600)
+    ]
+    mix = []
+    for _ in range(300):
+        draw = rng.random()
+        if draw < 0.25:
+            mix.append(HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 2), npages=2))
+        elif draw < 0.35:
+            mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 8), npages=8))
+        else:
+            mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1))
+    return [overwrites, reads, mix]
+
+
+def _fingerprint(ssd: SSD) -> dict:
+    stats = ssd.stats
+    return {
+        "summary": stats.summary(),
+        "read_latencies": tuple(stats.read_latencies_us),
+        "write_latencies": tuple(stats.write_latencies_us),
+        "clock_us": ssd.now_us,
+        "finish_time_us": stats.finish_time_us,
+        "flash": (
+            ssd.ftl.flash.total_reads,
+            ssd.ftl.flash.total_programs,
+            ssd.ftl.flash.total_erases,
+        ),
+        "busy_time": tuple(ssd.engine.timeline.busy_time),
+        "busy_until": tuple(ssd.engine.timeline._busy_until),
+    }
+
+
+def _run(ftl_name: str, threads: int, batch: int | None) -> dict:
+    geometry = golden_geometry()
+    ssd = SSD.create(ftl_name, geometry)
+    ssd.fill_sequential(io_pages=16)
+    for phase in _workload(geometry):
+        ssd.run(phase, threads=threads, batch=batch)
+    ssd.verify()
+    return _fingerprint(ssd)
+
+
+#: Scalar references, memoized per (ftl, threads): 10 scalar runs serve all
+#: 40 batched comparisons.
+_scalar_cache: dict[tuple[str, int], dict] = {}
+
+
+def _scalar_reference(ftl_name: str, threads: int) -> dict:
+    key = (ftl_name, threads)
+    if key not in _scalar_cache:
+        _scalar_cache[key] = _run(ftl_name, threads, None)
+    return _scalar_cache[key]
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+@pytest.mark.parametrize("threads", (1, 4))
+@pytest.mark.parametrize("ftl_name", ALL_FTL_NAMES)
+def test_batched_matches_scalar(ftl_name: str, threads: int, batch: int) -> None:
+    assert _run(ftl_name, threads, batch) == _scalar_reference(ftl_name, threads)
+
+
+@pytest.mark.parametrize("ftl_name", ("dftl", "learnedftl", "ideal"))
+def test_request_batch_source_matches_object_stream(ftl_name: str) -> None:
+    """A columnar RequestBatch source is equivalent to the same object stream."""
+    results = []
+    for columnar in (False, True):
+        geometry = golden_geometry()
+        ssd = SSD.create(ftl_name, geometry)
+        ssd.fill_sequential(io_pages=16)
+        job = FioJob.randread(num_requests=800)
+        source = job.request_batch(geometry) if columnar else job.requests(geometry)
+        ssd.run(source, threads=4, batch=64)
+        results.append(_fingerprint(ssd))
+    assert results[0] == results[1]
+
+
+def test_invalid_batch_rejected() -> None:
+    from repro.nand.errors import ConfigurationError
+
+    ssd = SSD.create("ideal", golden_geometry())
+    with pytest.raises(ConfigurationError):
+        ssd.run([], batch=0)
+    with pytest.raises(ConfigurationError):
+        ssd.run([], batch=16, threads=0)
+
+
+def test_progress_marks_match_scalar() -> None:
+    """Batched mode fires progress at the same 10k-request marks as scalar.
+
+    The marks must be emitted inside the chunk loop — a single planner step
+    spanning a mark still reports it — so a 25k-request run reports exactly
+    [10000, 20000] in both modes even with a batch size that never divides
+    10_000.
+    """
+    geometry = golden_geometry()
+    lpns = np.arange(25_000, dtype=np.int64) % geometry.num_logical_pages
+    marks = {}
+    for mode, batch in (("scalar", None), ("batched", 4096), ("batched_odd", 777)):
+        ssd = SSD.create("ideal", geometry)
+        ssd.fill_sequential(io_pages=16)
+        seen: list[int] = []
+        ssd.run(RequestBatch.reads(lpns), threads=4, batch=batch, progress=seen.append)
+        marks[mode] = seen
+    assert marks["scalar"] == [10_000, 20_000]
+    assert marks["batched"] == marks["scalar"]
+    assert marks["batched_odd"] == marks["scalar"]

@@ -169,3 +169,56 @@ class TestPageGroupedCMT:
         for lpn, expected in latest.items():
             found = cmt.lookup(lpn)
             assert found is None or found == expected
+
+
+class TestBatchProbes:
+    def test_entry_level_probe_many_matches_membership(self):
+        import numpy as np
+
+        cmt = EntryLevelCMT(8, MAPPINGS_PER_PAGE)
+        for lpn in range(5):
+            cmt.insert(lpn, lpn + 100)
+        probed = cmt.probe_many(np.array([0, 3, 7, 4], dtype=np.int64))
+        assert probed.tolist() == [100, 103, -1, 104]
+
+    def test_entry_level_probe_many_preserves_lru_order(self):
+        import numpy as np
+
+        cmt = EntryLevelCMT(8, MAPPINGS_PER_PAGE)
+        for lpn in range(5):
+            cmt.insert(lpn, lpn + 100)
+        before = list(cmt._entries)
+        cmt.probe_many(np.array([0, 1, 2], dtype=np.int64))
+        assert list(cmt._entries) == before  # probes never refresh recency
+
+    def test_page_grouped_probe_many_matches_membership(self):
+        import numpy as np
+
+        cmt = PageGroupedCMT(8, MAPPINGS_PER_PAGE)
+        cmt.insert(3, 300)
+        cmt.insert(MAPPINGS_PER_PAGE + 1, 400)
+        probed = cmt.probe_many(np.array([3, MAPPINGS_PER_PAGE + 1, 5], dtype=np.int64))
+        assert probed.tolist() == [300, 400, -1]
+
+    def test_dirty_entry_count_tracks_inserts_and_evictions(self):
+        cmt = EntryLevelCMT(2, MAPPINGS_PER_PAGE)
+        assert cmt.dirty_entry_count == 0
+        cmt.insert(1, 10, dirty=False)
+        cmt.insert(2, 20, dirty=True)
+        assert cmt.dirty_entry_count == 1
+        cmt.insert(2, 21, dirty=True)  # already dirty: no double count
+        assert cmt.dirty_entry_count == 1
+        cmt.insert(1, 11, dirty=True)  # clean entry dirtied in place
+        assert cmt.dirty_entry_count == 2
+        cmt.insert(3, 30, dirty=False)  # evicts LRU entry 2 (dirty)
+        assert cmt.dirty_entry_count == 1
+        cmt.flush_all()
+        assert cmt.dirty_entry_count == 0
+
+    def test_dirty_entry_count_survives_state_roundtrip(self):
+        cmt = EntryLevelCMT(4, MAPPINGS_PER_PAGE)
+        cmt.insert(1, 10, dirty=True)
+        cmt.insert(2, 20, dirty=False)
+        restored = EntryLevelCMT(4, MAPPINGS_PER_PAGE)
+        restored.load_state(cmt.state_dict())
+        assert restored.dirty_entry_count == 1

@@ -141,3 +141,46 @@ class TestTranslationPageStore:
         store.flash.program(data_ppn, lpn=7)
         with pytest.raises(MappingError):
             store.relocate(data_ppn)
+
+
+class TestLookupMany:
+    def test_matches_scalar_lookup(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        for lpn in range(0, 20, 2):
+            directory.update(lpn, lpn * 3)
+        lpns = np.array([0, 1, 2, 17, 18], dtype=np.int64)
+        expected = [directory.lookup(int(lpn)) for lpn in lpns]
+        got = directory.lookup_many(lpns)
+        assert got.tolist() == [-1 if e is None else e for e in expected]
+
+    def test_out_of_range_lpns_are_unmapped(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        directory.update(0, 42)
+        size = len(directory._ppn)
+        got = directory.lookup_many(np.array([-1, 0, size, size + 7], dtype=np.int64))
+        assert got.tolist() == [-1, 42, -1, -1]
+
+    def test_view_stays_coherent_after_updates_and_load_state(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        directory.update(5, 50)
+        snapshot = directory.state_dict()
+        directory.update(5, 99)
+        assert directory.lookup_many(np.array([5], dtype=np.int64)).tolist() == [99]
+        directory.load_state(snapshot)
+        # load_state restores in place, so the shared NumPy view sees it too.
+        assert directory.lookup_many(np.array([5], dtype=np.int64)).tolist() == [50]
+
+    def test_result_is_writable_copy(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        directory.update(1, 10)
+        got = directory.lookup_many(np.array([1], dtype=np.int64))
+        got[0] = -5  # must not corrupt the directory
+        assert directory.lookup(1) == 10

@@ -133,3 +133,38 @@ class TestMain:
     def test_default_baseline_is_the_committed_one(self):
         assert perf_gate.DEFAULT_BASELINE.name == "BENCH_kernel.json"
         assert perf_gate.DEFAULT_BASELINE.exists()
+
+
+class TestMicroMetrics:
+    def _report_with_micro(self, lookup: float, probe: float) -> dict:
+        report = _report(1000.0, 5000.0)
+        report["micro"] = {
+            "lookup_many_lpns_per_second": lookup,
+            "probe_many_lpns_per_second": probe,
+        }
+        return report
+
+    def test_micro_regression_fails(self):
+        baseline = self._report_with_micro(1_000_000.0, 1_000_000.0)
+        fresh = self._report_with_micro(500_000.0, 1_000_000.0)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert any("micro.lookup_many_lpns_per_second" in failure for failure in failures)
+
+    def test_micro_within_slowdown_passes(self):
+        baseline = self._report_with_micro(1_000_000.0, 1_000_000.0)
+        fresh = self._report_with_micro(900_000.0, 1_100_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_baseline_without_micro_is_skipped(self):
+        baseline = _report(1000.0, 5000.0)
+        fresh = self._report_with_micro(1.0, 1.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_merge_best_takes_per_metric_micro_peaks(self):
+        merged = perf_gate.merge_best(
+            [self._report_with_micro(2.0, 1.0), self._report_with_micro(1.0, 3.0)]
+        )
+        assert merged["micro"] == {
+            "lookup_many_lpns_per_second": 2.0,
+            "probe_many_lpns_per_second": 3.0,
+        }

@@ -211,3 +211,46 @@ class TestCommandBuffer:
     def test_to_transaction_requires_request(self):
         with pytest.raises(ValueError):
             CommandBuffer().to_transaction()
+
+
+class TestRequestBatch:
+    def _requests(self):
+        from repro.ssd.request import HostRequest
+
+        return [
+            HostRequest(op=OpType.READ, lpn=4, npages=1),
+            HostRequest(op=OpType.WRITE, lpn=9, npages=2),
+            HostRequest(op=OpType.READ, lpn=0, npages=8),
+        ]
+
+    def test_from_requests_round_trips(self):
+        from repro.ssd.request import RequestBatch
+
+        source = self._requests()
+        batch = RequestBatch.from_requests(source)
+        assert len(batch) == 3
+        assert list(batch) == source
+        assert batch[1] == source[1]
+        assert batch[-1] == source[-1]
+
+    def test_reads_factory(self):
+        from repro.ssd.request import OP_READ_CODE, RequestBatch
+
+        batch = RequestBatch.reads([5, 6, 7])
+        assert len(batch) == 3
+        assert (batch.ops == OP_READ_CODE).all()
+        assert batch.npages.tolist() == [1, 1, 1]
+        assert all(r.op is OpType.READ and r.npages == 1 for r in batch)
+
+    def test_mismatched_columns_rejected(self):
+        from repro.ssd.request import RequestBatch
+
+        with pytest.raises(ValueError):
+            RequestBatch([0, 0], [1, 2, 3], [1, 1, 1])
+
+    def test_scalar_consumers_accept_a_batch(self):
+        """A batch is a request iterable: the scalar run loop needs no changes."""
+        from repro.ssd.request import RequestBatch
+
+        batch = RequestBatch.from_requests(self._requests())
+        assert sum(r.npages for r in batch) == 11

@@ -232,3 +232,88 @@ class TestUtilization:
         stats.chip_busy_time_us = [50.0, 25.0]
         stats.finish_time_us = 100.0
         assert stats.utilization() == pytest.approx(0.375)
+
+
+class TestLatencyBuffer:
+    def test_starts_empty(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer()
+        assert len(buffer) == 0
+        assert list(buffer) == []
+        assert buffer == []
+
+    def test_append_grows_past_initial_capacity(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer()
+        values = [float(i) * 1.5 for i in range(1000)]
+        for value in values:
+            buffer.append(value)
+        assert len(buffer) == 1000
+        assert list(buffer) == values
+        assert buffer._data.shape[0] >= 1000  # amortized doubling, not per-append
+
+    def test_extend_and_replace_and_clear(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer([1.0, 2.0])
+        buffer.extend([3.0, 4.0])
+        assert buffer == [1.0, 2.0, 3.0, 4.0]
+        buffer.replace([9.0])
+        assert buffer == [9.0]
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_getitem_int_slice_and_bounds(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer([10.0, 20.0, 30.0])
+        assert buffer[0] == 10.0
+        assert buffer[-1] == 30.0
+        assert buffer[1:] == [20.0, 30.0]
+        with pytest.raises(IndexError):
+            buffer[3]
+
+    def test_iter_yields_python_floats(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer([1.5])
+        (value,) = list(buffer)
+        assert type(value) is float
+
+    def test_array_view_tracks_size(self):
+        import numpy as np
+
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer([1.0, 2.0, 3.0])
+        assert np.asarray(buffer).tolist() == [1.0, 2.0, 3.0]
+        assert buffer.array().dtype == np.float64
+
+    def test_equality_against_foreign_types(self):
+        from repro.ssd.stats import LatencyBuffer
+
+        buffer = LatencyBuffer([1.0])
+        assert buffer == [1.0]
+        assert buffer == (1.0,)
+        assert buffer == LatencyBuffer([1.0])
+        assert buffer != [2.0]
+        assert buffer != object()
+
+    def test_record_latencies_routes_by_direction(self):
+        stats = SimulationStats()
+        stats.record_latencies(True, [1.0, 2.0])
+        stats.record_latencies(False, [3.0])
+        stats.record_latency(True, 4.0)
+        assert stats.read_latencies_us == [1.0, 2.0, 4.0]
+        assert stats.write_latencies_us == [3.0]
+
+    def test_state_roundtrip_preserves_latency_buffers(self):
+        stats = SimulationStats()
+        stats.record_latencies(True, [5.0, 6.0])
+        stats.record_latencies(False, [7.0])
+        restored = SimulationStats()
+        restored.load_state(stats.state_dict())
+        assert restored.read_latencies_us == [5.0, 6.0]
+        assert restored.write_latencies_us == [7.0]

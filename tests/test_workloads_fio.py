@@ -91,3 +91,21 @@ class TestWarmupWrites:
         diffs = [b - a for a, b in zip(lpns, lpns[1:])]
         assert any(d == 8 for d in diffs)      # sequential runs exist
         assert any(abs(d) > 64 for d in diffs)  # random jumps exist
+
+
+class TestRequestBatchColumn:
+    @pytest.mark.parametrize("name", ["seqread", "randread", "seqwrite", "randwrite"])
+    def test_request_batch_matches_object_stream(self, geometry, name):
+        from repro.ssd.request import RequestBatch
+
+        job = FioJob.from_name(name, 300, io_pages=3, seed=11)
+        reference = RequestBatch.from_requests(job.requests(geometry))
+        batch = job.request_batch(geometry)
+        assert batch.ops.tolist() == reference.ops.tolist()
+        assert batch.lpns.tolist() == reference.lpns.tolist()
+        assert batch.npages.tolist() == reference.npages.tolist()
+
+    def test_request_batch_respects_span_fraction(self, geometry):
+        job = FioJob(FioPattern.RAND_READ, 500, span_fraction=0.1)
+        batch = job.request_batch(geometry)
+        assert int(batch.lpns.max()) < int(geometry.num_logical_pages * 0.1)
