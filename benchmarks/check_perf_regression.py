@@ -2,8 +2,11 @@
 
 Compares a freshly produced ``perf_smoke`` report against the committed
 baseline (``BENCH_kernel.json``) and fails when any tracked requests/sec
-metric regressed by more than the allowed slowdown (default 25 %).  Speedups
-never fail — they just mean the baseline should eventually be refreshed.
+metric regressed by more than the allowed slowdown (default 25 %).  Cost
+metrics (``TRACKED_MICRO_LOWER_IS_BETTER``, e.g. the orchestrator's per-task
+dispatch overhead) gate in the opposite direction: the fresh cost must not
+exceed the baseline by more than the allowed slowdown.  Improvements never
+fail — they just mean the baseline should eventually be refreshed.
 
 CI wires this after the smoke runs::
 
@@ -40,6 +43,10 @@ TRACKED_METRICS = (
 
 #: Top-level ``micro`` metrics gated the same way (higher is better).
 TRACKED_MICRO_METRICS = ("lookup_many_lpns_per_second", "probe_many_lpns_per_second")
+
+#: Top-level ``micro`` metrics where LOWER is better (costs, not rates): the
+#: fresh value must not exceed the baseline by more than the allowed slowdown.
+TRACKED_MICRO_LOWER_IS_BETTER = ("orchestrator_dispatch_overhead_us",)
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -96,7 +103,11 @@ def merge_best(reports: list[dict]) -> dict:
     micro: dict = {}
     for report in reports:
         for metric, value in report.get("micro", {}).items():
-            micro[metric] = max(float(micro.get(metric, 0.0)), float(value))
+            if metric in TRACKED_MICRO_LOWER_IS_BETTER:
+                # Best = cheapest for cost metrics.
+                micro[metric] = min(float(micro.get(metric, value)), float(value))
+            else:
+                micro[metric] = max(float(micro.get(metric, 0.0)), float(value))
     if micro:
         merged["micro"] = micro
     return merged
@@ -150,6 +161,26 @@ def compare(baseline: dict, fresh: dict, *, max_slowdown: float, calibrate: bool
             failures.append(
                 f"micro.{metric} regressed to {fresh_value:.1f} lpns/s "
                 f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
+            )
+    for metric in TRACKED_MICRO_LOWER_IS_BETTER:
+        # Cost metrics invert everything: a slower machine is allowed a
+        # *higher* cost (divide by the scale), and the gate fails when the
+        # fresh cost exceeds the scaled baseline by the allowed slowdown.
+        base_value = float(baseline_micro.get(metric, 0.0)) / scale
+        if base_value <= 0.0:
+            continue
+        fresh_value = float(fresh_micro.get(metric, 0.0))
+        ceiling = base_value * (1.0 + max_slowdown)
+        ratio = fresh_value / base_value
+        status = "OK " if fresh_value <= ceiling else "FAIL"
+        print(
+            f"[perf-gate] {status} micro.{metric} (lower is better): baseline "
+            f"{base_value:.1f}, fresh {fresh_value:.1f} ({ratio:.2f}x)"
+        )
+        if fresh_value > ceiling:
+            failures.append(
+                f"micro.{metric} grew to {fresh_value:.1f} "
+                f"({ratio:.2f}x of baseline {base_value:.1f}; ceiling {ceiling:.1f})"
             )
     return failures
 

@@ -32,6 +32,9 @@ from repro.ssd.request import HostRequest, OpType, RequestBatch
 
 FTL_NAMES = ("dftl", "learnedftl")
 RANDREAD_REQUESTS = 20_000
+#: Batch size / worker count of the orchestrator dispatch-overhead probe.
+DISPATCH_TASKS = 64
+DISPATCH_JOBS = 2
 #: The batched phase runs a longer storm: the array-at-a-time kernel needs
 #: enough requests past the CMT warm-up transient to show its steady state.
 RANDREAD_BATCHED_REQUESTS = 200_000
@@ -148,6 +151,30 @@ def micro_benchmark() -> dict:
     }
 
 
+def dispatch_benchmark() -> float:
+    """Per-task dispatch overhead (µs) of the orchestrator's process backend.
+
+    Pushes ``DISPATCH_TASKS`` no-op experiments through ``execute_tasks`` on
+    the ``process`` backend and divides the wall-clock by the task count.
+    The experiment itself does no work, so this measures the machinery —
+    payload pickling, pool scheduling, result collection — that every real
+    task also pays.  Gated lower-is-better by ``check_perf_regression.py`` so
+    executor-layer changes cannot quietly tax every orchestrated run.
+    """
+    from repro.experiments.orchestrator import ExperimentTask, execute_tasks
+
+    tasks = [
+        ExperimentTask.create("noop", label=f"noop[{i:03d}]", index=i)
+        for i in range(DISPATCH_TASKS)
+    ]
+    t0 = time.perf_counter()
+    states = execute_tasks(tasks, scale="tiny", jobs=DISPATCH_JOBS, backend="process")
+    wall = time.perf_counter() - t0
+    failed = [state.task.label for state in states if state.error is not None]
+    assert not failed, f"dispatch benchmark tasks failed: {failed}"
+    return wall / DISPATCH_TASKS * 1e6
+
+
 def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
     """Run the smoke benchmark for every FTL and write the JSON report."""
     results = {}
@@ -160,9 +187,11 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
             f"batched {results[name]['randread_batched_requests_per_second']} req/s"
         )
     micro = micro_benchmark()
+    micro["orchestrator_dispatch_overhead_us"] = round(dispatch_benchmark(), 1)
     print(
         f"[perf_smoke] micro: lookup_many {micro['lookup_many_lpns_per_second']:.3g} lpns/s, "
-        f"probe_many {micro['probe_many_lpns_per_second']:.3g} lpns/s"
+        f"probe_many {micro['probe_many_lpns_per_second']:.3g} lpns/s, "
+        f"dispatch {micro['orchestrator_dispatch_overhead_us']:.3g} us/task"
     )
     report = {
         "benchmark": "kernel_perf_smoke",
@@ -191,6 +220,7 @@ def test_perf_smoke(tmp_path):
         assert result["fill_pages"] > 0, name
         assert result["randread_batched_requests_per_second"] > 0, name
     assert report["micro"]["lookup_many_lpns_per_second"] > 0
+    assert report["micro"]["orchestrator_dispatch_overhead_us"] > 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -96,6 +96,20 @@ PAGES: list[tuple[str, str, str, list[str]]] = [
         ],
     ),
     (
+        "execution",
+        "Execution backends",
+        "The pluggable executor layer: the backend interface and wire format, "
+        "the serial/thread/process backends, the multi-host file-queue, and "
+        "the atomic filesystem primitives they share.",
+        [
+            "repro.execution",
+            "repro.execution.base",
+            "repro.execution.local",
+            "repro.execution.filequeue",
+            "repro.execution.atomic",
+        ],
+    ),
+    (
         "experiments",
         "Experiment harness",
         "The per-figure harness registry, scales and preparation helpers, and "

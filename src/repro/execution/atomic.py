@@ -1,0 +1,91 @@
+"""Atomic filesystem primitives shared by every concurrent-writer layer.
+
+Three operations cover all the coordination the repo does on shared
+directories (the result cache, the snapshot store and the file-queue
+execution backend):
+
+* :func:`publish_json` / :func:`publish_text` — write-then-rename publication
+  of a single file: readers either see the complete new content or the old
+  one, never a partial write, and the last of several racing writers wins;
+* :func:`publish_dir` — rename publication of a whole directory (the snapshot
+  store's image layout): the first publisher wins and every loser quietly
+  discards its copy;
+* :func:`claim_path` — rename-based mutual exclusion over a file: of N
+  processes racing to claim the same path, exactly one succeeds (POSIX
+  ``rename(2)`` is atomic), which is what makes the file-queue's
+  work-stealing safe across hosts sharing one directory.
+
+Everything here is stdlib-only and imports nothing from the rest of the
+package, so any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Any
+
+__all__ = ["publish_json", "publish_text", "publish_dir", "claim_path"]
+
+
+def _temp_name(path: Path) -> Path:
+    """A sibling temp path unique per (process, thread) so concurrent
+    publishers of the same target never collide on the temp file either."""
+    return path.with_name(f".{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
+
+
+def publish_text(path: Path, text: str) -> Path:
+    """Atomically publish ``text`` at ``path`` (write temp sibling + rename).
+
+    Concurrent publishers are safe: readers see either the previous complete
+    content or the new complete content; the last writer wins.
+    """
+    path = Path(path)
+    temp = _temp_name(path)
+    try:
+        temp.write_text(text, encoding="utf-8")
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
+    return path
+
+
+def publish_json(path: Path, payload: Any, **dumps_kwargs: Any) -> Path:
+    """Atomically publish ``payload`` as JSON at ``path``."""
+    dumps_kwargs.setdefault("sort_keys", True)
+    return publish_text(path, json.dumps(payload, **dumps_kwargs))
+
+
+def publish_dir(temp: Path, final: Path) -> bool:
+    """Atomically promote the directory ``temp`` to ``final``.
+
+    Returns ``True`` when this caller's copy became ``final``; ``False`` when
+    a concurrent publisher got there first (this caller's ``temp`` is
+    discarded — content-addressed layouts make the copies interchangeable).
+    Any other failure re-raises after cleaning up ``temp``.
+    """
+    temp, final = Path(temp), Path(final)
+    try:
+        os.replace(temp, final)
+        return True
+    except OSError:
+        shutil.rmtree(temp, ignore_errors=True)
+        if final.exists():
+            return False
+        raise
+
+
+def claim_path(src: Path, dst: Path) -> bool:
+    """Atomically claim ``src`` by renaming it to ``dst``.
+
+    Of N processes racing to claim the same ``src`` (each with its own
+    ``dst``), exactly one rename succeeds; every loser gets ``False``.
+    """
+    try:
+        os.rename(src, dst)
+        return True
+    except FileNotFoundError:
+        return False

@@ -1,0 +1,133 @@
+"""The three single-host executor backends: serial, thread and process.
+
+* :class:`SerialBackend` runs every task inline in the calling process —
+  zero pickling, zero worker machinery — which is what makes ``--jobs 1``
+  runs debuggable under ``pdb`` and profilable with ``cProfile``;
+* :class:`ThreadBackend` fans tasks over a :class:`ThreadPoolExecutor`
+  (useful when tasks block on shared-filesystem I/O, e.g. snapshot
+  restores, despite the GIL serializing simulation compute);
+* :class:`ProcessBackend` fans tasks over a :class:`ProcessPoolExecutor` —
+  the pre-refactor orchestrator behavior, now one backend among peers.
+
+All three funnel through :func:`repro.execution.base.run_payload`, and all
+three report task failures as data (a traceback string plus the worker
+identity that produced it) rather than raised exceptions.  A worker process
+that *dies* (rather than raising) surfaces as a broken-pool error on its
+task; the orchestrator's retry pass then resubmits on a fresh backend
+instance, i.e. a fresh pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Iterator, Sequence
+
+from repro.execution.base import (
+    CompletedTask,
+    ExecutorBackend,
+    TaskPayload,
+    default_worker_id,
+    run_payload,
+)
+
+__all__ = ["SerialBackend", "ThreadBackend", "ProcessBackend"]
+
+
+def _run_completed(payload: TaskPayload, backend: str, worker: str) -> CompletedTask:
+    """Run one payload, capturing success or traceback as a completion."""
+    try:
+        result, elapsed = run_payload(payload)
+    except Exception:
+        return CompletedTask(
+            index=payload.index,
+            error=traceback.format_exc(),
+            worker=worker,
+            backend=backend,
+        )
+    return CompletedTask(
+        index=payload.index,
+        result=result,
+        elapsed_s=elapsed,
+        worker=worker,
+        backend=backend,
+    )
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process, in-order execution with no pickling or worker machinery."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1, on_note=None) -> None:
+        super().__init__(workers=1, on_note=on_note)
+
+    def submit_all(self, payloads: Sequence[TaskPayload]) -> Iterator[CompletedTask]:
+        worker = default_worker_id()
+        for payload in payloads:
+            yield _run_completed(payload, self.name, worker)
+
+    def describe(self) -> str:
+        return "serial (in-process)"
+
+
+class ThreadBackend(ExecutorBackend):
+    """Local thread-pool execution (one shared interpreter, no pickling)."""
+
+    name = "thread"
+
+    def submit_all(self, payloads: Sequence[TaskPayload]) -> Iterator[CompletedTask]:
+        base_worker = default_worker_id()
+
+        def run_one(payload: TaskPayload) -> CompletedTask:
+            worker = f"{base_worker}/{threading.current_thread().name}"
+            return _run_completed(payload, self.name, worker)
+
+        max_workers = min(self.workers, max(1, len(payloads)))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(run_one, payload) for payload in payloads]
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+def _process_entry(payload: TaskPayload, backend_name: str) -> CompletedTask:
+    """Worker-process entry point (module-level so it pickles)."""
+    return _run_completed(payload, backend_name, default_worker_id())
+
+
+class ProcessBackend(ExecutorBackend):
+    """Local process-pool execution (the classic ``--jobs N`` behavior)."""
+
+    name = "process"
+
+    def submit_all(self, payloads: Sequence[TaskPayload]) -> Iterator[CompletedTask]:
+        max_workers = min(self.workers, max(1, len(payloads)))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_process_entry, payload, self.name): payload
+                for payload in payloads
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    payload = futures[future]
+                    try:
+                        yield future.result()
+                    except Exception as exc:
+                        # The worker process died (e.g. a hard crash breaks
+                        # the whole pool) rather than raising inside the
+                        # task; its identity is unrecoverable.
+                        yield CompletedTask(
+                            index=payload.index,
+                            error=(
+                                f"worker process died before reporting: {exc!r}\n"
+                                f"{traceback.format_exc()}"
+                            ),
+                            worker="unknown",
+                            backend=self.name,
+                        )

@@ -24,6 +24,7 @@ from repro.experiments import (
     fig20_filebench,
     fig21_tail_latency,
     fig22_energy,
+    noop,
     table02_traces,
 )
 from repro.experiments.runner import ExperimentResult, Scale, ScaleSpec, prepare_ssd
@@ -53,12 +54,14 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "fig20": (fig20_filebench.run, "Filebench normalized throughput for every FTL"),
     "fig21": (fig21_tail_latency.run, "P99/P99.9 tail latency under four traces"),
     "fig22": (fig22_energy.run, "Energy cost under four traces"),
+    "noop": (noop.run, "Trivial experiment used to measure orchestration overhead"),
     "table02": (table02_traces.run, "Workload characteristics of the four traces"),
 }
 
 #: Experiments that are execution units of another front end; ``all`` and the
-#: pytest experiment sweeps skip them (they need generated kwargs to run).
-INTERNAL_EXPERIMENTS: frozenset[str] = frozenset({"studycell"})
+#: pytest experiment sweeps skip them (``studycell`` needs generated kwargs,
+#: ``noop`` exists only for the dispatch-overhead benchmark).
+INTERNAL_EXPERIMENTS: frozenset[str] = frozenset({"studycell", "noop"})
 
 
 def run_experiment(name: str, scale: Scale | str = Scale.DEFAULT, **kwargs) -> ExperimentResult:

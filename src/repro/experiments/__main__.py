@@ -11,18 +11,29 @@ Examples::
     python -m repro.experiments fig21 fig22 --json-dir results/json/
     python -m repro.experiments fig06 --scale tiny --profile
     python -m repro.experiments study my_sweep.yaml --scale tiny --jobs 4
+    python -m repro.experiments study my_sweep.yaml --backend thread --workers 0
+    python -m repro.experiments worker shared/queue &          # on any host
+    python -m repro.experiments all --backend file-queue --queue-dir shared/queue
 
 ``all`` (or several experiment names) runs through the orchestrator: the
-multi-FTL figures are split into per-(FTL, workload) tasks, ``--jobs N``
-fans the tasks out over worker processes, ``--cache-dir`` reuses any task
-whose (experiment, scale, kwargs, package version) content key is unchanged,
-and per-experiment failures are collected into a summary instead of aborting
-the batch.
+multi-FTL figures are split into per-(FTL, workload) tasks, ``--backend``
+selects how tasks execute (``serial``, ``thread``, ``process``, or the
+multi-host ``file-queue``; the default ``auto`` picks serial or process),
+``--jobs N`` / ``--workers N`` sets the worker count (``0`` auto-detects the
+CPU count), ``--cache-dir`` reuses any task whose (experiment, scale, kwargs,
+package version) content key is unchanged, and per-experiment failures are
+collected into a summary instead of aborting the batch.
 
 ``study <spec.yaml|spec.json>`` runs a declarative scenario sweep (see
 ``docs/studies.md``): the spec's axes are expanded into cells, executed
-through the same orchestrator (``--jobs``/``--cache-dir``/``--snapshot-dir``
-apply unchanged) and merged into one comparison table per study.
+through the same orchestrator (``--jobs``/``--backend``/``--cache-dir``/
+``--snapshot-dir`` apply unchanged) and merged into one comparison table per
+study.
+
+``worker <queue-dir>`` attaches this process to a file-queue directory and
+executes tasks until the coordinating run writes its stop sentinel — start
+any number of these, on any hosts sharing the directory, before or during a
+``--backend file-queue`` run.
 """
 
 from __future__ import annotations
@@ -65,7 +76,30 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="run up to N experiment tasks in parallel worker processes (default: 1)",
+        help="run up to N experiment tasks in parallel workers (default: 1; "
+        "0 = auto-detect the CPU count)",
+    )
+    parser.add_argument(
+        "--workers",
+        dest="jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="alias for --jobs",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process", "file-queue"],
+        default="auto",
+        help="execution backend (default: auto = serial for one worker, process "
+        "otherwise, file-queue when --queue-dir is given)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        type=Path,
+        default=None,
+        help="shared directory for the file-queue backend; point several hosts' "
+        "'worker' processes at the same directory to cooperate on one run",
     )
     parser.add_argument(
         "--csv-dir",
@@ -215,6 +249,8 @@ def _run_studies(args) -> int:
             study,
             scale=args.scale,
             jobs=args.jobs,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
             cache_dir=args.cache_dir,
             snapshot_dir=args.snapshot_dir,
             progress=progress,
@@ -239,22 +275,85 @@ def _run_studies(args) -> int:
     return 0
 
 
+def _run_worker_verb(argv: list[str]) -> int:
+    """The ``worker`` verb: attach to a file-queue directory and run tasks."""
+    from repro.execution import run_worker
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments worker",
+        description="Execute tasks from a shared file-queue directory until the "
+        "coordinating run signals stop.  Start any number of workers, on any "
+        "hosts sharing the directory.",
+    )
+    parser.add_argument("queue_dir", type=Path, help="the run's shared queue directory")
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often to look for claimable tasks (default: 0.5)",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit as soon as no task is claimable instead of waiting for stop",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N tasks",
+    )
+    parser.add_argument(
+        "--id",
+        default=None,
+        metavar="WORKER_ID",
+        help="worker identity recorded in results (default: <hostname>-<pid>)",
+    )
+    args = parser.parse_args(argv)
+    executed = run_worker(
+        args.queue_dir,
+        poll_s=args.poll,
+        drain=args.drain,
+        max_tasks=args.max_tasks,
+        worker_id=args.id,
+        log=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    print(f"[worker exiting after {executed} tasks]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # The worker verb has its own option set; dispatch before the main parser
+    # can trip over it.
+    if argv and argv[0] == "worker":
+        return _run_worker_verb(list(argv[1:]))
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list or not args.experiments:
         study_verb = "study <spec>..."
-        width = max(max(len(name) for name in EXPERIMENTS), len(study_verb))
+        worker_verb = "worker <queue-dir>"
+        width = max(max(len(name) for name in EXPERIMENTS), len(study_verb), len(worker_verb))
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
         print(
             f"{study_verb.ljust(width)}  Declarative scenario sweep from YAML/JSON specs "
             "(see docs/studies.md)"
         )
+        print(
+            f"{worker_verb.ljust(width)}  Attach to a file-queue directory and execute "
+            "tasks (multi-host runs)"
+        )
         return 0
-    if args.jobs <= 0:
-        print("--jobs must be positive", file=sys.stderr)
+    if args.jobs < 0:
+        print("--jobs must be >= 0 (0 = auto-detect the CPU count)", file=sys.stderr)
+        return 2
+    if args.backend == "file-queue" and args.queue_dir is None:
+        print("--backend file-queue requires --queue-dir", file=sys.stderr)
         return 2
     if args.experiments[0] == "study":
         return _run_studies(args)
@@ -296,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
         names,
         scale=args.scale,
         jobs=args.jobs,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
         split=not args.no_split,
         cache_dir=args.cache_dir,
         snapshot_dir=args.snapshot_dir,

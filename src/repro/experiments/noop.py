@@ -1,0 +1,24 @@
+"""A deliberately trivial experiment for measuring execution overhead.
+
+``noop`` builds no SSD and replays no workload: it returns a one-row result
+immediately.  Running a batch of noop tasks through the orchestrator
+therefore measures the *machinery* — task dispatch, pickling, result
+collection — with essentially zero experiment compute, which is what the
+``orchestrator_dispatch_overhead_us`` metric in ``benchmarks/perf_smoke.py``
+gates.  Registered as an internal experiment: ``all`` and the CLI sweeps
+skip it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, Scale
+
+
+def run(scale: Scale | str = Scale.TINY, *, index: int = 0, **_ignored) -> ExperimentResult:
+    """Return a trivial single-row result (no simulation work at all)."""
+    scale = Scale.parse(scale)
+    return ExperimentResult(
+        name="noop",
+        description="Trivial experiment used to measure orchestration overhead",
+        rows=[{"index": index, "scale": scale.value}],
+    )

@@ -3,22 +3,24 @@
 The evaluation of the paper is 14 independent figure/table experiments, and
 the heavyweight ones (fig14, fig19-fig22) are themselves products of
 independent (FTL, workload) cells.  This module turns that structure into a
-task graph the CLI can execute across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+task graph executed through a pluggable backend (:mod:`repro.execution`):
 
 * :func:`plan_tasks` splits an experiment into shard tasks (one per FTL or per
   (FTL, trace)/(workload, FTL) cell for the multi-FTL experiments, a single
   task otherwise);
-* :func:`run_orchestrated` executes tasks — in-process for ``jobs=1``, across
-  worker processes otherwise — streaming per-task progress, caching each
-  task's result on disk keyed by its content (experiment, scale, kwargs,
-  package version), and tolerating per-experiment failures;
+* :func:`run_orchestrated` executes tasks through the selected execution
+  backend — inline (``serial``), local pools (``thread``/``process``) or a
+  shared queue directory spanning hosts (``file-queue``) — streaming per-task
+  progress, caching each task's result on disk keyed by its content
+  (experiment, scale, kwargs, package version), retrying a task that dies in
+  a worker once on a fresh worker, and tolerating per-experiment failures;
 * :func:`merge_results` reassembles shard results into exactly the rows the
   unsplit harness produces, recomputing cross-FTL normalized columns from the
   unrounded metrics the harnesses expose via ``ExperimentResult.raw``.
 
 Because every task is deterministic given (experiment, scale, kwargs), the
-merged output is identical for any ``--jobs`` value, and a warm cache makes
-re-running ``all`` nearly free.
+merged output is identical for any backend and any ``--jobs`` value, and a
+warm cache makes re-running ``all`` nearly free.
 """
 
 from __future__ import annotations
@@ -26,16 +28,16 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from repro import __version__
 from repro.analysis.latency import normalize
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.execution import TaskPayload, create_backend, resolve_workers
+from repro.execution.atomic import publish_json, publish_text
+from repro.experiments import EXPERIMENTS
 from repro.experiments.fig20_filebench import WORKLOADS as _FILEBENCH
 from repro.experiments.fig21_tail_latency import TAIL_LATENCY_FTLS
 from repro.experiments.fig22_energy import ENERGY_FTLS
@@ -48,7 +50,6 @@ from repro.experiments.runner import (
     ExperimentResult,
     Scale,
     ScaleSpec,
-    set_snapshot_dir,
 )
 from repro.snapshot.fingerprint import source_fingerprint
 from repro.snapshot.store import SnapshotStore
@@ -161,6 +162,11 @@ class ExperimentOutcome:
     elapsed_s: float = 0.0
     tasks: int = 0
     cached_tasks: int = 0
+    #: Execution backend(s) that produced the fresh task results (cached
+    #: entries keep the backend recorded when they were first computed).
+    backend: str | None = None
+    #: Sorted identities of every worker that contributed a task result.
+    workers: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -222,6 +228,7 @@ _WARM_PLANS: dict[str, tuple[str, tuple[str, ...]] | str | None] = {
     "fig20": ("fill", ALL_FTLS),
     "fig21": ("steady", TAIL_LATENCY_FTLS),
     "fig22": ("steady", ENERGY_FTLS),
+    "noop": None,
     "table02": None,
     # Study cells sweep configs/geometries declared in their spec; the study
     # dry-run (repro.studies.planner.describe_study_plan) predicts their
@@ -432,15 +439,27 @@ class ResultCache:
         safe_label = "".join(c if c.isalnum() else "-" for c in task.label)
         return self.root / f"{safe_label}-{key[:16]}.json"
 
-    def load(self, task: ExperimentTask, scale: str) -> tuple[ExperimentResult, float] | None:
-        """Return the cached (result, original elapsed seconds) or ``None``."""
+    def load_entry(self, task: ExperimentTask, scale: str) -> dict[str, Any] | None:
+        """Return the full validated cache payload for ``task``, or ``None``.
+
+        Unreadable or partially-written files, entries from other package
+        versions/kwargs and hash-prefix collisions all miss (the full key is
+        checked against the stored one).
+        """
         key = task.cache_key(scale)
         path = self._path(task, key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
-        if payload.get("key") != key:
+        if payload.get("key") != key or "result" not in payload:
+            return None
+        return payload
+
+    def load(self, task: ExperimentTask, scale: str) -> tuple[ExperimentResult, float] | None:
+        """Return the cached (result, original elapsed seconds) or ``None``."""
+        payload = self.load_entry(task, scale)
+        if payload is None:
             return None
         try:
             result = ExperimentResult.from_dict(payload["result"])
@@ -449,9 +468,20 @@ class ResultCache:
         return result, float(payload.get("elapsed_s", 0.0))
 
     def store(
-        self, task: ExperimentTask, scale: str, result: ExperimentResult, elapsed_s: float
+        self,
+        task: ExperimentTask,
+        scale: str,
+        result: ExperimentResult,
+        elapsed_s: float,
+        provenance: Mapping[str, Any] | None = None,
     ) -> Path:
-        """Persist one task result; returns the cache file path."""
+        """Persist one task result; returns the cache file path.
+
+        The write is atomic (temp sibling + rename), so executors racing to
+        publish the same key — e.g. two hosts sharing one ``--cache-dir`` —
+        leave one complete entry and never a corrupt partial file.
+        ``provenance`` records which backend/worker produced the result.
+        """
         key = task.cache_key(scale)
         path = self._path(task, key)
         payload = {
@@ -465,31 +495,12 @@ class ResultCache:
             "elapsed_s": round(elapsed_s, 3),
             "result": result.to_dict(),
         }
-        path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-        return path
+        if provenance is not None:
+            payload["provenance"] = dict(provenance)
+        return publish_json(path, payload)
 
 
 # ------------------------------------------------------------------ execution
-def _execute_task(
-    experiment: str,
-    scale: str,
-    kwargs: dict[str, Any],
-    snapshot_dir: str | None = None,
-) -> tuple[dict, float]:
-    """Worker entry point: run one task and return (result dict, elapsed seconds).
-
-    Module-level so it pickles for :class:`ProcessPoolExecutor`; results cross
-    the process boundary as plain dicts.  ``snapshot_dir`` installs the shared
-    warm-image store in whichever process the task lands in — the first task
-    to warm a given (FTL, geometry, recipe) publishes the image, every other
-    task (in any process) restores it.
-    """
-    set_snapshot_dir(snapshot_dir)
-    started = time.perf_counter()
-    result = run_experiment(experiment, scale=scale, **kwargs)
-    return result.to_dict(), time.perf_counter() - started
-
-
 @dataclass
 class TaskExecution:
     """Execution state of one task: its result (or error) and provenance.
@@ -504,6 +515,30 @@ class TaskExecution:
     error: str | None = None
     elapsed_s: float = 0.0
     cached: bool = False
+    #: Name of the execution backend that produced the result (restored from
+    #: the cache entry on a hit), or ``None`` before execution.
+    backend: str | None = None
+    #: Identity of the worker (``<host>-<pid>[/<thread>]``) that ran the task.
+    worker: str | None = None
+    #: How many execution attempts the task took (2 = succeeded/failed on the
+    #: retry pass); 0 for never-executed states.
+    attempts: int = 0
+
+
+def _resolve_backend_name(backend: str, workers: int, pending: int, queue_dir: Any) -> str:
+    """Resolve ``auto`` to a concrete backend for this batch.
+
+    A queue directory implies ``file-queue``; otherwise single-worker or
+    single-task batches run ``serial`` (zero dispatch machinery) and the rest
+    use the local ``process`` pool (the classic behavior).
+    """
+    if backend != "auto":
+        return backend
+    if queue_dir is not None:
+        return "file-queue"
+    if workers == 1 or pending <= 1:
+        return "serial"
+    return "process"
 
 
 def execute_tasks(
@@ -511,23 +546,26 @@ def execute_tasks(
     *,
     scale: Scale | str = Scale.DEFAULT,
     jobs: int = 1,
+    backend: str = "auto",
+    queue_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
     snapshot_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[TaskExecution]:
-    """Execute tasks across up to ``jobs`` processes; returns states in task order.
+    """Execute tasks through an execution backend; returns states in task order.
 
     This is the planner hook shared by :func:`run_orchestrated` (which plans
     per-experiment shard tasks) and the study subsystem (which plans one task
-    per scenario cell): cached task results are served from ``cache_dir``,
-    the remainder run in-process (``jobs=1``) or across a
-    :class:`ProcessPoolExecutor`, every fresh result is written back to the
-    cache, and per-task failures are captured as tracebacks instead of
-    propagating.  ``snapshot_dir`` installs the shared warm-image store in
-    whichever process each task lands in.
+    per scenario cell): cached task results are served from ``cache_dir``, the
+    remainder run through the selected :mod:`repro.execution` backend with up
+    to ``jobs`` workers (``0`` = auto-detect CPU count), every fresh result is
+    written back to the cache with its backend/worker provenance, and per-task
+    failures are captured as tracebacks instead of propagating.  A task that
+    fails is retried once on a **fresh** backend instance (a fresh pool /
+    fresh workers) before being reported failed.  ``snapshot_dir`` installs
+    the shared warm-image store in whichever process each task lands in.
     """
-    if jobs <= 0:
-        raise ValueError("jobs must be positive")
+    workers = resolve_workers(jobs)
     scale_value = Scale.parse(scale).value
     emit = progress or (lambda line: None)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -537,12 +575,21 @@ def execute_tasks(
     for state in states:
         if cache is None:
             continue
-        hit = cache.load(state.task, scale_value)
-        if hit is not None:
-            state.result, state.elapsed_s = hit
-            state.cached = True
+        entry = cache.load_entry(state.task, scale_value)
+        if entry is None:
+            continue
+        try:
+            state.result = ExperimentResult.from_dict(entry["result"])
+        except KeyError:
+            continue
+        state.elapsed_s = float(entry.get("elapsed_s", 0.0))
+        state.cached = True
+        provenance = entry.get("provenance") or {}
+        state.backend = provenance.get("backend")
+        state.worker = provenance.get("worker")
+        state.attempts = int(provenance.get("attempts", 0))
 
-    pending = [state for state in states if state.result is None]
+    pending = [index for index, state in enumerate(states) if state.result is None]
     total = len(states)
     done = 0
     for state in states:
@@ -550,50 +597,82 @@ def execute_tasks(
             done += 1
             emit(f"[{done:>3}/{total}] {state.task.label}: cached ({state.elapsed_s:.1f} s saved)")
 
-    def finish(state: TaskExecution, payload: tuple[dict, float] | None, error: str | None) -> None:
-        nonlocal done
-        done += 1
-        if error is not None:
-            state.error = error
-            emit(f"[{done:>3}/{total}] {state.task.label}: FAILED")
-            return
-        result_dict, elapsed = payload  # type: ignore[misc]
-        state.result = ExperimentResult.from_dict(result_dict)
-        state.elapsed_s = elapsed
-        if cache is not None:
-            cache.store(state.task, scale_value, state.result, elapsed)
-        emit(f"[{done:>3}/{total}] {state.task.label}: done in {elapsed:.1f} s")
+    if not pending:
+        return states
 
-    if jobs == 1 or len(pending) <= 1:
-        for state in pending:
-            try:
-                payload = _execute_task(
-                    state.task.experiment, scale_value, state.task.run_kwargs(), snapshot_arg
+    backend_name = _resolve_backend_name(backend, workers, len(pending), queue_dir)
+
+    def make_backend():
+        return create_backend(backend_name, workers=workers, queue_dir=queue_dir, on_note=emit)
+
+    def payloads_for(indices: Sequence[int]) -> list[TaskPayload]:
+        return [
+            TaskPayload(
+                index=index,
+                experiment=states[index].task.experiment,
+                label=states[index].task.label,
+                kwargs=states[index].task.kwargs,
+                scale=scale_value,
+                snapshot_dir=snapshot_arg,
+            )
+            for index in indices
+        ]
+
+    def run_pass(indices: Sequence[int], attempt: int) -> list[int]:
+        """Run one execution pass; returns the indices that failed."""
+        nonlocal done
+        failed: list[int] = []
+        exec_backend = make_backend()
+        for completion in exec_backend.submit_all(payloads_for(indices)):
+            state = states[completion.index]
+            state.backend = completion.backend
+            state.worker = completion.worker
+            state.attempts = attempt
+            if completion.error is not None:
+                if attempt == 1:
+                    failed.append(completion.index)
+                    state.error = completion.error
+                    emit(
+                        f"{state.task.label}: failed on {completion.backend} worker "
+                        f"{completion.worker}; retrying on a fresh worker"
+                    )
+                    continue
+                done += 1
+                state.error = (
+                    f"task failed twice (backend={completion.backend}, "
+                    f"last worker={completion.worker})\n{completion.error}"
                 )
-            except Exception:
-                finish(state, None, traceback.format_exc())
-            else:
-                finish(state, payload, None)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(
-                    _execute_task,
-                    state.task.experiment,
+                emit(
+                    f"[{done:>3}/{total}] {state.task.label}: FAILED on "
+                    f"{completion.backend} worker {completion.worker}"
+                )
+                continue
+            done += 1
+            state.error = None
+            state.result = ExperimentResult.from_dict(completion.result)
+            state.elapsed_s = completion.elapsed_s
+            if cache is not None:
+                cache.store(
+                    state.task,
                     scale_value,
-                    state.task.run_kwargs(),
-                    snapshot_arg,
-                ): state
-                for state in pending
-            }
-            for future in as_completed(futures):
-                state = futures[future]
-                try:
-                    payload = future.result()
-                except Exception:
-                    finish(state, None, traceback.format_exc())
-                else:
-                    finish(state, payload, None)
+                    state.result,
+                    completion.elapsed_s,
+                    provenance={
+                        "backend": completion.backend,
+                        "worker": completion.worker,
+                        "attempts": attempt,
+                    },
+                )
+            emit(f"[{done:>3}/{total}] {state.task.label}: done in {completion.elapsed_s:.1f} s")
+        return failed
+
+    emit(f"executing {len(pending)} tasks via {make_backend().describe()}")
+    retries = run_pass(pending, attempt=1)
+    if retries:
+        # A fresh backend instance means fresh workers (a new pool, or new
+        # file-queue worker processes), so a crashed worker can't poison the
+        # retry pass.
+        run_pass(retries, attempt=2)
     return states
 
 
@@ -602,17 +681,20 @@ def run_orchestrated(
     *,
     scale: Scale | str = Scale.DEFAULT,
     jobs: int = 1,
+    backend: str = "auto",
+    queue_dir: str | Path | None = None,
     split: bool = True,
     cache_dir: str | Path | None = None,
     snapshot_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[ExperimentOutcome]:
-    """Run experiments (possibly sharded) across up to ``jobs`` processes.
+    """Run experiments (possibly sharded) through an execution backend.
 
     Every experiment is planned into tasks, cached task results are reused,
-    the remaining tasks execute in parallel, and shard results are merged back
-    into one :class:`ExperimentResult` per experiment — identical for any
-    ``jobs`` value.  A failing task marks its experiment failed (with the
+    the remaining tasks execute through the selected backend with up to
+    ``jobs`` workers, and shard results are merged back into one
+    :class:`ExperimentResult` per experiment — identical for any backend and
+    any ``jobs`` value.  A failing task marks its experiment failed (with the
     traceback in :attr:`ExperimentOutcome.error`) without stopping the batch.
 
     ``snapshot_dir`` points every task at a shared warm-image store (see
@@ -626,6 +708,8 @@ def run_orchestrated(
         [task for group in planned.values() for task in group],
         scale=scale,
         jobs=jobs,
+        backend=backend,
+        queue_dir=queue_dir,
         cache_dir=cache_dir,
         snapshot_dir=snapshot_dir,
         progress=progress,
@@ -638,11 +722,14 @@ def run_orchestrated(
 
     outcomes: list[ExperimentOutcome] = []
     for name, group in plan.items():
+        backends = sorted({state.backend for state in group if state.backend})
         outcome = ExperimentOutcome(
             name=name,
             tasks=len(group),
             cached_tasks=sum(1 for state in group if state.cached),
             elapsed_s=sum(state.elapsed_s for state in group),
+            backend="+".join(backends) if backends else None,
+            workers=sorted({state.worker for state in group if state.worker}),
         )
         errors = [state for state in group if state.error is not None]
         if errors:
@@ -690,14 +777,17 @@ def write_json_artifact(
         "elapsed_s": round(outcome.elapsed_s, 3),
         "tasks": outcome.tasks,
         "cached_tasks": outcome.cached_tasks,
+        "execution": {
+            "backend": outcome.backend,
+            "workers": outcome.workers,
+        },
         "rows": result.rows,
         "notes": result.notes,
         "extra_tables": result.extra_tables,
         "raw": result.raw,
     }
     path = directory / f"{outcome.name}.json"
-    path.write_text(
+    return publish_text(
+        path,
         json.dumps(_json_safe(payload), indent=2, sort_keys=True, allow_nan=False),
-        encoding="utf-8",
     )
-    return path

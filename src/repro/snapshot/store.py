@@ -19,12 +19,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import shutil
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.base import FTLConfig
+from repro.execution.atomic import publish_dir
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.snapshot.fingerprint import source_fingerprint
@@ -117,23 +119,21 @@ class SnapshotStore:
     def save(self, key: str, ssd: "SSD") -> Path:
         """Publish a warm device image under ``key`` (atomic, race-tolerant).
 
-        The image is written to a temp directory and renamed into place; if a
-        concurrent task published the same key first, the temp copy is simply
-        discarded.
+        The image is written to a temp directory and promoted via
+        :func:`repro.execution.atomic.publish_dir`: if a concurrent task —
+        possibly on another host sharing the store — published the same key
+        first, the temp copy is simply discarded (content addressing makes
+        the copies interchangeable).
         """
         final = self.path_for(key)
         if (final / _MANIFEST).exists():
             return final
-        temp = self.root / f".tmp-{key[:32]}-{os.getpid()}"
+        # Unique per (process, thread): thread backends save snapshots from
+        # several threads of one process, which must not share a temp dir.
+        temp = self.root / f".tmp-{key[:32]}-{os.getpid()}-{threading.get_ident()}"
         save_snapshot(temp, ssd.state_dict())
-        try:
-            os.replace(temp, final)
+        if publish_dir(temp, final):
             self.stores += 1
-        except OSError:
-            # A concurrent task published this key first; keep its copy.
-            shutil.rmtree(temp, ignore_errors=True)
-            if not (final / _MANIFEST).exists():
-                raise
         return final
 
     # ------------------------------------------------------------- accounting

@@ -170,18 +170,21 @@ def run_study(
     *,
     scale: "Scale | str" = Scale.DEFAULT,
     jobs: int = 1,
+    backend: str = "auto",
+    queue_dir: "str | Path | None" = None,
     cache_dir: "str | Path | None" = None,
     snapshot_dir: "str | Path | None" = None,
     progress: Callable[[str], None] | None = None,
 ) -> ExperimentOutcome:
     """Run a study end-to-end; returns one merged :class:`ExperimentOutcome`.
 
-    Cells execute through the orchestrator — ``jobs`` worker processes, the
-    content-keyed result cache (``cache_dir``) and the warm-image snapshot
-    store (``snapshot_dir``) — and the merged result is identical for any
-    ``jobs`` value.  A failing cell marks the study failed with the cell's
-    traceback in ``outcome.error``; surviving cell results stay cached, so a
-    rerun only recomputes the failed cells.
+    Cells execute through the orchestrator — the selected execution backend
+    with up to ``jobs`` workers (``0`` = auto-detect), the content-keyed
+    result cache (``cache_dir``) and the warm-image snapshot store
+    (``snapshot_dir``) — and the merged result is identical for any backend
+    and any ``jobs`` value.  A failing cell marks the study failed with the
+    cell's traceback in ``outcome.error``; surviving cell results stay
+    cached, so a rerun only recomputes the failed cells.
     """
     study = resolve_spec(spec)
     cells, tasks = plan_study(study)
@@ -189,15 +192,20 @@ def run_study(
         tasks,
         scale=scale,
         jobs=jobs,
+        backend=backend,
+        queue_dir=queue_dir,
         cache_dir=cache_dir,
         snapshot_dir=snapshot_dir,
         progress=progress,
     )
+    backends = sorted({state.backend for state in states if state.backend})
     outcome = ExperimentOutcome(
         name=study.name,
         tasks=len(states),
         cached_tasks=sum(1 for state in states if state.cached),
         elapsed_s=sum(state.elapsed_s for state in states),
+        backend="+".join(backends) if backends else None,
+        workers=sorted({state.worker for state in states if state.worker}),
     )
     errors = [state for state in states if state.error is not None]
     if errors:

@@ -115,8 +115,15 @@ class TestCLIBasics:
         assert cli_main(["figXX"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
-    def test_rejects_nonpositive_jobs(self, capsys):
-        assert cli_main(["fig15", "--jobs", "0"]) == 2
+    def test_rejects_negative_jobs(self, capsys):
+        # --jobs 0 means auto-detect (see test_execution.py); only negatives
+        # are rejected.
+        assert cli_main(["fig15", "--jobs", "-1"]) == 2
+        assert "auto-detect" in capsys.readouterr().err
+
+    def test_file_queue_backend_requires_queue_dir(self, capsys):
+        assert cli_main(["fig15", "--backend", "file-queue"]) == 2
+        assert "--queue-dir" in capsys.readouterr().err
 
     def test_runs_named_experiment_and_writes_csv(self, tmp_path, capsys):
         assert cli_main(["fig15", "--scale", "tiny", "--csv-dir", str(tmp_path)]) == 0

@@ -19,7 +19,7 @@ class TestRegistry:
         assert expected == set(EXPERIMENTS) - INTERNAL_EXPERIMENTS
         # The study-cell execution unit is registered but internal (the
         # 'study' CLI verb generates its kwargs).
-        assert INTERNAL_EXPERIMENTS == {"studycell"}
+        assert INTERNAL_EXPERIMENTS == {"studycell", "noop"}
         assert INTERNAL_EXPERIMENTS <= set(EXPERIMENTS)
 
     def test_every_entry_has_description(self):

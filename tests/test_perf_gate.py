@@ -168,3 +168,56 @@ class TestMicroMetrics:
             "lookup_many_lpns_per_second": 2.0,
             "probe_many_lpns_per_second": 3.0,
         }
+
+
+class TestLowerIsBetterMetrics:
+    """Cost metrics (dispatch overhead) gate in the inverted direction."""
+
+    def _report_with_cost(self, dispatch_us: float, cal: float | None = None) -> dict:
+        report = _report(1000.0, 5000.0)
+        report["micro"] = {"orchestrator_dispatch_overhead_us": dispatch_us}
+        if cal is not None:
+            report["calibration_iters_per_second"] = cal
+        return report
+
+    def test_dispatch_overhead_is_tracked(self):
+        assert "orchestrator_dispatch_overhead_us" in perf_gate.TRACKED_MICRO_LOWER_IS_BETTER
+
+    def test_cost_growth_beyond_tolerance_fails(self):
+        baseline = self._report_with_cost(400.0)
+        fresh = self._report_with_cost(600.0)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert any("orchestrator_dispatch_overhead_us" in failure for failure in failures)
+
+    def test_cost_within_tolerance_passes(self):
+        baseline = self._report_with_cost(400.0)
+        fresh = self._report_with_cost(480.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_cheaper_dispatch_never_fails(self):
+        baseline = self._report_with_cost(400.0)
+        fresh = self._report_with_cost(100.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_slower_machine_is_allowed_higher_cost(self):
+        # Fresh machine at half speed with double the cost: raw comparison
+        # fails, a calibrated one passes (the ceiling scales up).
+        baseline = self._report_with_cost(400.0, cal=10_000_000.0)
+        fresh = self._report_with_cost(800.0, cal=5_000_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True) == []
+
+    def test_merge_best_takes_the_cheapest_cost(self):
+        merged = perf_gate.merge_best(
+            [self._report_with_cost(500.0), self._report_with_cost(350.0)]
+        )
+        assert merged["micro"]["orchestrator_dispatch_overhead_us"] == 350.0
+
+    def test_baseline_without_cost_metric_is_skipped(self):
+        baseline = _report(1000.0, 5000.0)
+        fresh = self._report_with_cost(1_000_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_committed_baseline_carries_dispatch_overhead(self):
+        baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
+        assert baseline["micro"]["orchestrator_dispatch_overhead_us"] > 0.0
