@@ -8,6 +8,12 @@ dispatch overhead) gate in the opposite direction: the fresh cost must not
 exceed the baseline by more than the allowed slowdown.  Improvements never
 fail — they just mean the baseline should eventually be refreshed.
 
+Per-FTL ``*batched_vs_scalar_speedup`` ratios (``TRACKED_RATIO_METRICS``) gate
+differently again: against an absolute floor of 1.0 on the *fresh* report —
+``SSD.run(..., batch=N)`` losing to the scalar loop is a regression no matter
+what the baseline says, and the ratio is never machine-scaled because both of
+its sides come from the same run.
+
 CI wires this after the smoke runs::
 
     python benchmarks/perf_smoke.py --output BENCH_ci_1.json   # x3
@@ -39,7 +45,23 @@ TRACKED_METRICS = (
     "requests_per_second",
     "randread_requests_per_second",
     "randread_batched_requests_per_second",
+    "randwrite_requests_per_second",
+    "randwrite_batched_requests_per_second",
+    "mixed_requests_per_second",
+    "mixed_batched_requests_per_second",
 )
+
+#: Per-FTL batched/scalar speedup ratios gated against an absolute floor of
+#: 1.0 instead of the baseline: batch mode must never lose to the scalar loop.
+#: Both sides of each ratio come from the same run on the same machine, so
+#: these are **never** machine-scaled — a slow CI runner slows both modes
+#: equally and the ratio still isolates code regressions.
+TRACKED_RATIO_METRICS = (
+    "batched_vs_scalar_speedup",
+    "randwrite_batched_vs_scalar_speedup",
+    "mixed_batched_vs_scalar_speedup",
+)
+RATIO_FLOOR = 1.0
 
 #: Top-level ``micro`` metrics gated the same way (higher is better).
 TRACKED_MICRO_METRICS = ("lookup_many_lpns_per_second", "probe_many_lpns_per_second")
@@ -91,7 +113,7 @@ def merge_best(reports: list[dict]) -> dict:
     for report in reports:
         for ftl, row in report.get("results", {}).items():
             best_row = results.setdefault(ftl, dict(row))
-            for metric in TRACKED_METRICS:
+            for metric in TRACKED_METRICS + TRACKED_RATIO_METRICS:
                 if metric not in row and metric not in best_row:
                     # Reports predating a metric must merge without growing
                     # phantom 0.0 entries.
@@ -140,6 +162,27 @@ def compare(baseline: dict, fresh: dict, *, max_slowdown: float, calibrate: bool
                 failures.append(
                     f"{ftl}.{metric} regressed to {fresh_value:.1f} req/s "
                     f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
+                )
+    # Speedup ratios gate the *fresh* report against an absolute floor: the
+    # batched kernel losing to the scalar loop is a regression regardless of
+    # what the baseline recorded (and the baseline's ratio is irrelevant —
+    # a 4x speedup dropping to 1.5x is headroom lost, not a correctness
+    # failure; the absolute rates above already track that).  Never scaled:
+    # both modes ran on the same machine.
+    for ftl, fresh_row in sorted(fresh_results.items()):
+        for metric in TRACKED_RATIO_METRICS:
+            if metric not in fresh_row:
+                continue
+            ratio = float(fresh_row[metric])
+            status = "OK " if ratio >= RATIO_FLOOR else "FAIL"
+            print(
+                f"[perf-gate] {status} {ftl}.{metric}: {ratio:.2f}x "
+                f"(floor {RATIO_FLOOR:.2f}x, unscaled)"
+            )
+            if ratio < RATIO_FLOOR:
+                failures.append(
+                    f"{ftl}.{metric} is {ratio:.2f}x — the batched kernel "
+                    f"lost to the scalar loop (floor {RATIO_FLOOR:.2f}x)"
                 )
     baseline_micro = baseline.get("micro", {})
     fresh_micro = fresh.get("micro", {})

@@ -1,13 +1,28 @@
 """Simulation-kernel performance smoke benchmark.
 
-Times the kernel-bound phases every figure regeneration pays — a full
-sequential fill, a 4-thread random-read storm through the scalar loop, and the
-same storm through the batched kernel (``SSD.run(..., batch=N)``) — on the
-medium (~1 GB) geometry for ``dftl`` and ``learnedftl``, plus a
-``lookup_many``/``probe_many`` microbenchmark of the mapping layer's batch
-probes, and writes the wall-clock seconds and simulated-requests-per-second to
-``BENCH_kernel.json`` so the kernel's performance trajectory is tracked across
-PRs.
+Times the kernel-bound phases every figure regeneration pays, on the medium
+(~1 GB) geometry, and writes wall-clock seconds plus simulated
+requests-per-second to ``BENCH_kernel.json`` so the kernel's performance
+trajectory is tracked across PRs:
+
+* **randread** — a full sequential fill, then the same random-read storm
+  through the scalar loop and through the batched kernel
+  (``SSD.run(..., batch=N)``), for **all five FTL designs**.  Both phases
+  consume a :class:`RequestBatch`, so the ratio compares execution modes, not
+  request representations.
+* **randwrite / mixed** — single-page hot-set writes and a 50/50 read/write
+  burst mix through both modes, for every design with a batched write planner.
+  These run on a **half-filled** device (GC quiescent — a fully filled medium
+  device sits permanently at the GC threshold and both modes just measure the
+  cleaner) and the hot set is written once before timing, so the numbers are
+  steady-state kernel throughput rather than the one-time CMT warm-up
+  transient.
+* **micro** — ``lookup_many``/``probe_many`` rates of the mapping layer's
+  batch probes, and the orchestrator's per-task dispatch overhead.
+
+Every mode pair also records a ``*batched_vs_scalar_speedup`` ratio; the
+perf-regression gate holds those at >= 1.0 (batch mode must never lose to the
+scalar loop on the same machine).
 
 Run either way::
 
@@ -20,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import random
 import time
 from pathlib import Path
 
@@ -28,18 +42,33 @@ import numpy as np
 import pytest
 
 from repro import SSD, SSDGeometry
-from repro.ssd.request import HostRequest, OpType, RequestBatch
+from repro.ssd.request import RequestBatch
 
-FTL_NAMES = ("dftl", "learnedftl")
-RANDREAD_REQUESTS = 20_000
+#: Designs timed on the randread phases (all of them).
+FTL_NAMES = ("dftl", "tpftl", "leaftl", "learnedftl", "ideal")
+#: Designs timed on the write/mixed phases: those with a batched write
+#: planner.  LeaFTL's write buffer keeps its write path scalar by design.
+WRITE_FTL_NAMES = ("dftl", "tpftl", "learnedftl", "ideal")
+RANDREAD_REQUESTS = 50_000
 #: Batch size / worker count of the orchestrator dispatch-overhead probe.
 DISPATCH_TASKS = 64
 DISPATCH_JOBS = 2
-#: The batched phase runs a longer storm: the array-at-a-time kernel needs
-#: enough requests past the CMT warm-up transient to show its steady state.
+#: The batched phases run longer storms: the array-at-a-time kernel amortizes
+#: per-chunk costs over enough requests to show its steady state.
 RANDREAD_BATCHED_REQUESTS = 200_000
-RANDREAD_BATCH = 4096
-RANDREAD_THREADS = 4
+RANDWRITE_REQUESTS = 30_000
+RANDWRITE_BATCHED_REQUESTS = 100_000
+#: Hot-set size of the write phases: comfortably inside every design's CMT on
+#: the medium geometry (3686 entries for learnedftl is the smallest), so after
+#: the untimed warm pass the planners commit runs through the array path
+#: instead of refusing at the capacity check.
+WRITE_HOT_LPNS = 2048
+#: Requests per op-class burst in the mixed phase.  Per-request alternation
+#: would cap every run at ~2 requests; real mixed workloads (fio rwmixread)
+#: interleave at queue-depth granularity, which is what run-length-64 models.
+MIXED_BURST = 64
+BATCH_SIZE = 4096
+RUN_THREADS = 4
 SEED = 42
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
@@ -68,17 +97,14 @@ def calibration_score() -> float:
     return _CALIBRATION_ITERATIONS / (time.perf_counter() - t0)
 
 
-def _randread_requests(geometry: SSDGeometry, count: int) -> list[HostRequest]:
-    rng = random.Random(SEED)
-    limit = geometry.num_logical_pages - 1
-    return [
-        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit), npages=1)
-        for _ in range(count)
-    ]
+def _timed_run(ssd: SSD, requests: RequestBatch, *, batch: int | None) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    result = ssd.run(requests, threads=RUN_THREADS, batch=batch)
+    return time.perf_counter() - t0, result.requests
 
 
 def bench_ftl(ftl_name: str) -> dict:
-    """Time sequential fill + 4-thread randread for one FTL on the medium geometry."""
+    """Time sequential fill + 4-thread randread (scalar and batched) for one FTL."""
     geometry = SSDGeometry.medium()
     ssd = SSD.create(ftl_name, geometry)
 
@@ -86,40 +112,93 @@ def bench_ftl(ftl_name: str) -> dict:
     fill = ssd.fill_sequential(io_pages=128)
     fill_seconds = time.perf_counter() - t0
 
-    requests = _randread_requests(geometry, RANDREAD_REQUESTS)
-    t0 = time.perf_counter()
-    read = ssd.run(requests, threads=RANDREAD_THREADS)
-    read_seconds = time.perf_counter() - t0
+    rng = np.random.default_rng(SEED)
+    scalar_reqs = RequestBatch.reads(
+        rng.integers(0, geometry.num_logical_pages, size=RANDREAD_REQUESTS)
+    )
+    read_seconds, read_count = _timed_run(ssd, scalar_reqs, batch=None)
 
     # Batched kernel phase: the same storm shape through run(batch=N), long
     # enough that the CMT warm-up transient (scalar-fallback misses while
-    # dirty fill-entries drain) is amortized away.
-    batched_lpns = np.random.default_rng(SEED).integers(
-        0, geometry.num_logical_pages, size=RANDREAD_BATCHED_REQUESTS
+    # dirty fill-entries drain — mostly paid by the scalar phase above) is
+    # amortized away.
+    batched_reqs = RequestBatch.reads(
+        rng.integers(0, geometry.num_logical_pages, size=RANDREAD_BATCHED_REQUESTS)
     )
-    batched_requests = RequestBatch.reads(batched_lpns)
-    t0 = time.perf_counter()
-    batched = ssd.run(batched_requests, threads=RANDREAD_THREADS, batch=RANDREAD_BATCH)
-    batched_seconds = time.perf_counter() - t0
+    batched_seconds, batched_count = _timed_run(ssd, batched_reqs, batch=BATCH_SIZE)
 
-    total_requests = fill.requests + read.requests
+    total_requests = fill.requests + read_count
     total_seconds = fill_seconds + read_seconds
+    scalar_rps = read_count / max(read_seconds, 1e-9)
+    batched_rps = batched_count / max(batched_seconds, 1e-9)
     return {
         "ftl": ftl_name,
         "fill_seconds": round(fill_seconds, 3),
         "fill_requests": fill.requests,
         "fill_pages": ssd.stats.host_write_pages,
         "randread_seconds": round(read_seconds, 3),
-        "randread_requests": read.requests,
+        "randread_requests": read_count,
         "randread_batched_seconds": round(batched_seconds, 3),
-        "randread_batched_requests": batched.requests,
+        "randread_batched_requests": batched_count,
         "total_seconds": round(total_seconds, 3),
         "requests_per_second": round(total_requests / total_seconds, 1),
-        "randread_requests_per_second": round(read.requests / max(read_seconds, 1e-9), 1),
-        "randread_batched_requests_per_second": round(
-            batched.requests / max(batched_seconds, 1e-9), 1
-        ),
+        "randread_requests_per_second": round(scalar_rps, 1),
+        "randread_batched_requests_per_second": round(batched_rps, 1),
+        "batched_vs_scalar_speedup": round(batched_rps / scalar_rps, 3),
     }
+
+
+def _steady_state_device(ftl_name: str, geometry: SSDGeometry) -> SSD:
+    """A device in the write phases' steady state: half-filled, hot set cached.
+
+    Half-filled because a *fully* filled medium device ends its fill below the
+    GC threshold, so every subsequent write pays a multi-hundred-page cleaning
+    storm and the measurement compares garbage collectors, not kernels.  The
+    untimed hot-set pass moves the one-time CMT warm-up (first-touch inserts
+    refuse at capacity and fall back scalar, evicting dirty fill entries)
+    out of the timed region for both modes equally.
+    """
+    ssd = SSD.create(ftl_name, geometry)
+    ssd.fill_sequential(io_pages=128, fraction=0.5)
+    ssd.run(RequestBatch.writes(np.arange(WRITE_HOT_LPNS, dtype=np.int64)), threads=RUN_THREADS)
+    return ssd
+
+
+def _hot_writes(count: int) -> RequestBatch:
+    rng = np.random.default_rng(SEED)
+    return RequestBatch.writes(rng.integers(0, WRITE_HOT_LPNS, size=count))
+
+
+def _hot_mixed(count: int) -> RequestBatch:
+    rng = np.random.default_rng(SEED)
+    lpns = rng.integers(0, WRITE_HOT_LPNS, size=count)
+    ops = (np.arange(count) // MIXED_BURST % 2).astype(np.int8)
+    return RequestBatch(ops=ops, lpns=lpns, npages=np.ones(count, dtype=np.int64))
+
+
+def bench_ftl_writes(ftl_name: str) -> dict:
+    """Time hot-set randwrite and 50/50 mixed phases, scalar vs batched.
+
+    Each of the four timings gets a fresh steady-state device so the modes
+    see identical cache and free-space conditions.
+    """
+    geometry = SSDGeometry.medium()
+    row: dict = {}
+    for phase, build in (("randwrite", _hot_writes), ("mixed", _hot_mixed)):
+        rates = {}
+        for mode, batch, count in (
+            ("scalar", None, RANDWRITE_REQUESTS),
+            ("batched", BATCH_SIZE, RANDWRITE_BATCHED_REQUESTS),
+        ):
+            ssd = _steady_state_device(ftl_name, geometry)
+            seconds, completed = _timed_run(ssd, build(count), batch=batch)
+            rates[mode] = completed / max(seconds, 1e-9)
+            key = phase if mode == "scalar" else f"{phase}_batched"
+            row[f"{key}_seconds"] = round(seconds, 3)
+            row[f"{key}_requests"] = completed
+            row[f"{key}_requests_per_second"] = round(rates[mode], 1)
+        row[f"{phase}_batched_vs_scalar_speedup"] = round(rates["batched"] / rates["scalar"], 3)
+    return row
 
 
 def micro_benchmark() -> dict:
@@ -182,9 +261,20 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         results[name] = bench_ftl(name)
         print(
             f"[perf_smoke] {name}: fill {results[name]['fill_seconds']}s, "
-            f"randread {results[name]['randread_seconds']}s, "
-            f"{results[name]['requests_per_second']} req/s, "
-            f"batched {results[name]['randread_batched_requests_per_second']} req/s"
+            f"randread {results[name]['randread_requests_per_second']} req/s scalar, "
+            f"{results[name]['randread_batched_requests_per_second']} req/s batched "
+            f"({results[name]['batched_vs_scalar_speedup']}x)"
+        )
+    for name in WRITE_FTL_NAMES:
+        results[name].update(bench_ftl_writes(name))
+        print(
+            f"[perf_smoke] {name}: randwrite "
+            f"{results[name]['randwrite_requests_per_second']} req/s scalar, "
+            f"{results[name]['randwrite_batched_requests_per_second']} req/s batched "
+            f"({results[name]['randwrite_batched_vs_scalar_speedup']}x); mixed "
+            f"{results[name]['mixed_requests_per_second']} req/s scalar, "
+            f"{results[name]['mixed_batched_requests_per_second']} req/s batched "
+            f"({results[name]['mixed_batched_vs_scalar_speedup']}x)"
         )
     micro = micro_benchmark()
     micro["orchestrator_dispatch_overhead_us"] = round(dispatch_benchmark(), 1)
@@ -198,8 +288,12 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         "geometry": "medium",
         "randread_requests": RANDREAD_REQUESTS,
         "randread_batched_requests": RANDREAD_BATCHED_REQUESTS,
-        "randread_batch": RANDREAD_BATCH,
-        "randread_threads": RANDREAD_THREADS,
+        "randwrite_requests": RANDWRITE_REQUESTS,
+        "randwrite_batched_requests": RANDWRITE_BATCHED_REQUESTS,
+        "write_hot_lpns": WRITE_HOT_LPNS,
+        "mixed_burst": MIXED_BURST,
+        "batch_size": BATCH_SIZE,
+        "run_threads": RUN_THREADS,
         "python": platform.python_version(),
         "calibration_iters_per_second": round(calibration_score(), 1),
         "micro": micro,
@@ -219,6 +313,11 @@ def test_perf_smoke(tmp_path):
         assert result["requests_per_second"] > 0, name
         assert result["fill_pages"] > 0, name
         assert result["randread_batched_requests_per_second"] > 0, name
+        assert result["batched_vs_scalar_speedup"] > 0, name
+    for name in WRITE_FTL_NAMES:
+        result = report["results"][name]
+        assert result["randwrite_batched_requests_per_second"] > 0, name
+        assert result["mixed_batched_requests_per_second"] > 0, name
     assert report["micro"]["lookup_many_lpns_per_second"] > 0
     assert report["micro"]["orchestrator_dispatch_overhead_us"] > 0
 

@@ -293,6 +293,73 @@ class StripingAllocator:
         self._block_cursor[active] = cursor + 1
         return ppn
 
+    def allocate_run(self, limit: int, min_free_blocks: int) -> list[int]:
+        """Allocate up to ``limit`` data pages in one call (the batched write kernel).
+
+        Performs exactly the per-page striping steps ``limit`` sequential
+        :meth:`allocate_data_one` calls would — same round-robin pointer
+        movement, same free-list pops, same cursor advances — but stops
+        *before* any page whose allocation the scalar write path would precede
+        with garbage collection: the caller passes its GC threshold as
+        ``min_free_blocks`` and every page first requires that many completely
+        free data blocks (the count is tracked incrementally, so the run costs
+        one free-list scan total).  The truncated tail of the run falls back to
+        the scalar path, which runs the GC; allocation therefore never needs to
+        be rolled back.  Also stops (instead of raising) when no chip has
+        space, for the same reason.
+        """
+        ppns: list[int] = []
+        if limit <= 0:
+            return ppns
+        free_lists = self._free_blocks_per_chip
+        free_blocks = 0
+        for blocks in free_lists.values():
+            free_blocks += len(blocks)
+        num_chips = self.geometry.num_chips
+        chip_order = self._chip_order
+        active_map = self._active_block
+        cursor_map = self._block_cursor
+        cursor_get = cursor_map.get
+        pages_per_block = self.geometry.pages_per_block
+        block_base_ppn = self.codec.block_base_ppn
+        append = ppns.append
+        rr = self._rr_pointer
+        while len(ppns) < limit and free_blocks >= min_free_blocks:
+            allocated = None
+            for attempt in range(num_chips):
+                slot = rr + attempt
+                if slot >= num_chips:
+                    slot -= num_chips
+                chip = chip_order[slot]
+                # Inlined _allocate_on_chip, with the free-block count kept
+                # current across free-list pops.
+                active = active_map[chip]
+                if active is not None and cursor_get(active, 0) >= pages_per_block:
+                    active = None
+                if active is None:
+                    free_list = free_lists[chip]
+                    if not free_list:
+                        active_map[chip] = None
+                        continue
+                    active = free_list.pop(0)
+                    free_blocks -= 1
+                    active_map[chip] = active
+                    cursor_map[active] = 0
+                cursor = cursor_map[active]
+                cursor_map[active] = cursor + 1
+                allocated = block_base_ppn(active) + cursor
+                rr = slot + 1
+                if rr == num_chips:
+                    rr = 0
+                break
+            if allocated is None:
+                # Scalar allocate_data_one would raise OutOfSpaceError here;
+                # leave the request to the scalar fallback so it does.
+                break
+            append(allocated)
+        self._rr_pointer = rr
+        return ppns
+
     # ------------------------------------------------------ pool bookkeeping
     def allocate_translation(self) -> int:
         """Allocate one translation-page PPN."""
@@ -558,6 +625,62 @@ class GroupAllocator:
             if best is None or free_pages > best[0] or (free_pages == best[0] and state.writes < self._groups[best[1]].writes):
                 best = (free_pages, group)
         return None if best is None else best[1]
+
+    def allocate_run(self, groups: list[int], limit: int, min_free_pages: int) -> list[int]:
+        """Allocate up to ``limit`` data pages in one call (the batched write kernel).
+
+        ``groups[j]`` is the owning group of page ``j``.  Only the two
+        GC-free branches of :meth:`allocate_page` are served — filling the
+        group's own stripes and claiming a fresh stripe — with effects
+        identical to the scalar call (``writes`` counter, cursor advances,
+        free-list pops, ``_layout_epoch`` bumps, ``_free_pages_total``
+        accounting).  The run stops *without any mutation for the stopping
+        page* before any page the scalar write path would precede with
+        proactive GC (``total_free_pages() < min_free_pages``), and at the
+        first page that would need cross-group borrowing or raise
+        :class:`GroupGCNeeded`; the caller's scalar fallback replays those
+        requests through the full machinery.
+        """
+        ppns: list[int] = []
+        if limit <= 0:
+            return ppns
+        groups_state = self._groups
+        stripe_cursor = self._stripe_cursor
+        cursor_get = stripe_cursor.get
+        pages_per_stripe = self.stripe_map.pages_per_stripe
+        ppn_at = self.stripe_map.ppn_at
+        free_stripes = self._free_stripes
+        stripe_budget = self.group_stripe_limit * self.stripes_per_span
+        gc_reserve = self.gc_reserve_stripes
+        append = ppns.append
+        for j in range(limit):
+            if self._free_pages_total < min_free_pages:
+                break
+            state = groups_state[groups[j]]
+            ppn = None
+            for stripe in reversed(state.stripes):
+                cursor = cursor_get(stripe, 0)
+                if cursor < pages_per_stripe:
+                    stripe_cursor[stripe] = cursor + 1
+                    self._free_pages_total -= 1
+                    ppn = ppn_at(stripe, cursor)
+                    break
+            if ppn is None:
+                if len(state.stripes) < stripe_budget and len(free_stripes) > gc_reserve:
+                    # Same step order as allocate_page's fresh-stripe branch
+                    # (pop, debit, assign, take), so the incremental
+                    # free-pages total moves through identical values.
+                    stripe = free_stripes.pop(0)
+                    self._free_pages_total -= pages_per_stripe
+                    self._assign_stripe(groups[j], stripe)
+                    stripe_cursor[stripe] = 1
+                    self._free_pages_total -= 1
+                    ppn = ppn_at(stripe, 0)
+                else:
+                    break
+            state.writes += 1
+            append(ppn)
+        return ppns
 
     def take_gc_hints(self) -> list[int]:
         """Groups whose borrow budget overflowed since the last call (and reset them)."""

@@ -339,6 +339,20 @@ class FTLBase(ABC):
         """
         return None
 
+    def begin_write_run(self, lpns):
+        """Hook for the batched device loop: the write-side of :meth:`begin_read_run`.
+
+        Called with the int64 LPN column of a maximal run of single-page host
+        writes; returns a planner (see :mod:`repro.core.batch`) that commits
+        the run array-at-a-time — one allocator call, one program scatter, one
+        directory scatter, one invalidation scatter — with per-request scalar
+        fallback for GC and cache-eviction boundaries, or ``None`` to execute
+        the whole run through the scalar :meth:`encode` path.  The default
+        keeps every design scalar (LeaFTL's write buffer makes even the
+        no-flush case mutation-heavy, so it stays scalar deliberately).
+        """
+        return None
+
     # -------------------------------------------------- translation-pool GC
     # Shared by every design that keeps translation pages in flash (both the
     # striping designs and LearnedFTL); requires ``self.allocator`` to expose

@@ -1,15 +1,16 @@
-"""Array-at-a-time read planners: the FTL layer of the batched kernel.
+"""Array-at-a-time read and write planners: the FTL layer of the batched kernel.
 
 The batched device loop (``SSD.run(..., batch=N)``) splits each request chunk
-into maximal runs of single-page reads and asks the FTL for a *planner* over
-each run (:meth:`repro.core.base.FTLBase.begin_read_run`).  A planner front-loads
-the vectorizable work — one :meth:`MappingDirectory.lookup_many` gather, one
-page-state gather, one chip-index division over the whole run — and then
-serves the run incrementally through :meth:`take`:
+into maximal runs of single-page reads and single-page writes and asks the FTL
+for a *planner* over each run (:meth:`repro.core.base.FTLBase.begin_read_run` /
+:meth:`~repro.core.base.FTLBase.begin_write_run`).  A planner front-loads the
+vectorizable work — one :meth:`MappingDirectory.lookup_many` gather, one
+page-state gather, one allocator call, one chip-index division over the whole
+run — and then serves the run incrementally through :meth:`take`:
 
 * :meth:`take` consumes requests from the current cursor for as long as the
   design's fast-path predicate holds, applying **exactly** the cache/statistics
-  mutations the scalar read path would (same LRU moves in the same order, same
+  mutations the scalar path would (same LRU moves in the same order, same
   counter increments), and returns the per-request chip columns the timing
   engine needs;
 * the first request the predicate rejects is left untouched — the device
@@ -21,26 +22,61 @@ per fallback, so a run that alternates fast and slow requests degrades to the
 scalar path's cost instead of quadratic re-planning.
 
 Why resuming after a scalar fallback is sound: within a run every request is a
-single-page READ, and no scalar read path mutates the data-page flash state or
-the mapping directory — CMT miss handling only touches translation pages and
-the translation pool, which the planners' gathers never cover.  Cache
-membership *does* change (inserts, evictions), which is why every per-request
-acceptance test below consults the live cache dicts rather than a snapshot.
+single-page read (or write), and the planners re-consult every piece of live
+state a scalar request can mutate — cache dicts, page-state bytes, observer
+fields — per accepted request rather than from a snapshot.  The only
+pre-gathered columns are the mapping directory and (for reads) the data-page
+states, and no scalar *read* path mutates either; write planners re-resolve
+old mappings at commit time precisely because writes do.
 
-Per-design fast-path predicates:
+Read-planner fast paths:
 
-* :class:`DemandReadPlanner` (DFTL) — CMT hits, plus CMT misses while the
-  cache holds **zero dirty entries** (then the eviction an insert may cause is
-  silent) and the translation page is flash-resident (else the scalar path's
-  never-flushed bookkeeping applies);
-* :class:`GroupedHitReadPlanner` (TPFTL / LearnedFTL) — CMT hits only; every
-  miss runs the scalar prefetch/model machinery.  The request-locality
-  bookkeeping (``_observe_request``) is replicated per accepted request;
+* :class:`DemandReadPlanner` (DFTL) — CMT hits; CMT misses whose insert cannot
+  evict a dirty entry (clean LRU head), whether the translation page is
+  flash-resident (double read) or never flushed (served like a hit);
+* :class:`GroupedReadPlanner` (TPFTL / LearnedFTL) — CMT hits, LearnedFTL
+  model hits, and double-read misses whose prefetch-load cannot evict dirty
+  mappings.  The request-locality observer (``_observe_request``) is
+  replicated per accepted request, and on the miss path the prefetch depth is
+  derived from the *post-observation* values before the observation is
+  committed, so a refused request is left entirely unobserved for the scalar
+  fallback;
 * :class:`DirectReadPlanner` (ideal FTL) — every mapped read, with no
   per-request Python work at all (pure array prefix).
 
-LeaFTL keeps the scalar path for every read: its per-read compute charges and
-frame/buffer probes leave no mutation-free common case worth special-casing.
+Write planners (single-page host writes):
+
+* all four share one commit shape (:class:`_WriteRunPlanner`): a pure
+  mutation-free scan bounds the fast run, one allocator call
+  (``allocate_run``) reserves PPNs for the whole run, the programs are applied
+  as one :meth:`FlashArray.program_data_many` scatter, the directory is
+  updated with one :meth:`MappingDirectory.store_many` scatter, the
+  per-request cache/observer/model bookkeeping replays in order, and the
+  superseded copies are invalidated as one
+  :meth:`FlashArray.invalidate_many` scatter.  Deferring the invalidations
+  behind the programs is what makes in-run overwrites of the same LPN exact:
+  by commit time the superseded in-run copy is programmed (valid), so the
+  validity filter sees the same state the scalar interleave would;
+* :class:`DirectWritePlanner` (ideal) — bounds-checked requests while GC
+  stays quiescent;
+* :class:`EntryWritePlanner` (DFTL) — additionally requires the dirty CMT
+  insert not to evict (existing entry, or strictly free capacity);
+* :class:`PagedWritePlanner` (TPFTL) — the two-level-CMT equivalent, sized
+  with per-node overhead;
+* :class:`GroupWritePlanner` (LearnedFTL) — group-allocator variant; the FTL
+  only installs it when sequential initialization cannot trigger on
+  single-page writes (``sequential_init_min_pages > 1``).
+
+A planner's ``take`` returns ``(0, ...)`` — triggering one scalar fallback —
+whenever the next request needs anything the fast path cannot express: GC
+(data-block or translation-pool), a dirty CMT eviction, a model
+inconsistency, an out-of-bounds LPN.  The fallback runs the full scalar
+machinery (including raising, where the scalar path raises) and the planner
+resumes after it.
+
+LeaFTL keeps the scalar path for every request: its per-read compute charges,
+frame probes and write-buffer flushes leave no mutation-free common case
+worth special-casing (both planner hooks return ``None``).
 """
 
 from __future__ import annotations
@@ -49,6 +85,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.cmt import PAGE_NODE_OVERHEAD_ENTRIES
+from repro.core.learned.inplace_model import BIT_NOT_SET
 from repro.nand.flash import PAGE_VALID
 from repro.ssd.request import (
     CommandKind,
@@ -60,26 +98,42 @@ from repro.ssd.request import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.base import FTLBase
 
-__all__ = ["DemandReadPlanner", "GroupedHitReadPlanner", "DirectReadPlanner"]
+__all__ = [
+    "DemandReadPlanner",
+    "GroupedReadPlanner",
+    "DirectReadPlanner",
+    "DirectWritePlanner",
+    "EntryWritePlanner",
+    "PagedWritePlanner",
+    "GroupWritePlanner",
+]
 
 _CODE_DATA_READ = command_code(CommandKind.READ, CommandPurpose.DATA_READ)
 _CODE_TRANSLATION_READ = command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ)
+_CODE_DATA_WRITE = command_code(CommandKind.PROGRAM, CommandPurpose.DATA_WRITE)
 _OUT_CMT_HIT = ReadOutcome.CMT_HIT.code
+_OUT_MODEL_HIT = ReadOutcome.MODEL_HIT.code
 _OUT_DOUBLE_READ = ReadOutcome.DOUBLE_READ.code
 
 #: Cap of TPFTL/LearnedFTL's sequential-streak counter (see ``_observe_request``).
 _STREAK_CAP = 64
 
+#: Smallest write run worth the array commit: below this the numpy scatters
+#: (program/store/invalidate) cost more than the scalar requests they replace,
+#: so ``take`` hands the run to the scalar fallback instead.
+_MIN_WRITE_RUN = 4
+
 
 class DemandReadPlanner:
-    """DFTL's read-run planner: CMT hits *and* clean misses array-at-a-time.
+    """DFTL's read-run planner: CMT hits *and* misses array-at-a-time.
 
     On the paper's random-read workloads DFTL misses the CMT for the vast
     majority of requests, so a hits-only fast path would leave the kernel
     scalar-bound.  A miss is fast-pathable exactly when serving it cannot emit
-    translation *writes*: the cache holds no dirty entries (any eviction is
-    silent) and the translation page is flash-resident (the read is a plain
-    double read).  Both are checked per request against live state.
+    translation *writes*: the insert's eviction (if any) must hit a clean LRU
+    head.  A flash-resident translation page costs the usual double read; a
+    never-flushed one is served like a hit (the scalar path's fresh-device
+    bookkeeping).  Everything is checked per request against live state.
     """
 
     __slots__ = (
@@ -135,28 +189,31 @@ class DemandReadPlanner:
     def take(self):
         """Process requests from the cursor while the fast-path predicate holds.
 
-        Returns ``(k, data_chips, trans_chips, trans_count)``: ``k`` requests
-        were completed, ``data_chips[i]`` is request ``i``'s data-read chip and
-        ``trans_chips[i]`` its translation-read chip (``-1`` for CMT hits).
+        Returns ``(k, data_chips, trans_chips, trans_count, computes)``: ``k``
+        requests were completed, ``data_chips[i]`` is request ``i``'s
+        data-read chip and ``trans_chips[i]`` its translation-read chip
+        (``-1`` where no translation read is issued; ``None`` when none of the
+        batch issues one).  ``computes`` is a per-request controller compute
+        column or ``None``.
         """
         i = pos = self._pos
         n = self._n
         data_chips: list[int] = []
         trans_chips: list[int] = []
         if i >= n:
-            return 0, data_chips, trans_chips, 0
+            return 0, data_chips, trans_chips, 0, None
         append_data = data_chips.append
         append_trans = trans_chips.append
         entries = self._entries
         entries_get = entries.get
+        entries_values = entries.values()
         move_to_end = entries.move_to_end
-        popitem = entries.popitem
+        cmt_insert = self._cmt.insert
         tp_get = self._tp_ppn.get
         capacity = self._capacity
-        # Evaluated once per take(): reads only insert clean entries and
-        # evictions only remove entries, so a clean cache stays clean for the
-        # rest of the run; a dirty cache re-enters here after each scalar
-        # fallback drains one dirty victim.
+        # Reads only insert clean entries and fast-path evictions only pop
+        # clean victims, so a clean cache stays clean for the rest of the run
+        # and the dirty-head peek can be skipped wholesale.
         clean = self._cmt._dirty_count == 0
         lpns = self._lpns
         ppns = self._ppns
@@ -177,23 +234,37 @@ class DemandReadPlanner:
                 move_to_end(lpn)
                 append_trans(-1)
                 hits += 1
-            elif clean and ok[i]:
-                tp_ppn = tp_get(tvpns[i])
-                if tp_ppn is None:
-                    # Never-flushed translation page: scalar bookkeeping differs.
+            else:
+                ppn = ppns[i]
+                if ppn < 0:
+                    # Unmapped LPN: the scalar path's zero-fill bookkeeping.
                     break
-                if not page_state[tp_ppn]:
+                if not ok[i]:
+                    # Non-valid data page: the scalar touch_read would raise.
+                    break
+                tp_ppn = tp_get(tvpns[i])
+                if tp_ppn is not None and not page_state[tp_ppn]:
                     # PAGE_FREE translation page: scalar touch_read would raise.
                     break
-                # Scalar-equivalent EntryLevelCMT.insert for a clean entry: the
-                # single LRU-head eviction is silent because the cache is clean.
-                entries[lpn] = [ppns[i], False]
-                if len(entries) > capacity:
-                    popitem(False)
-                append_trans(tp_ppn // chip_stride)
-                misses += 1
-            else:
-                break
+                if (
+                    not clean
+                    and len(entries) >= capacity
+                    and next(iter(entries_values))[1]
+                ):
+                    # The insert would evict a dirty entry (translation flush).
+                    break
+                # The real EntryLevelCMT.insert: at most one LRU-head pop, and
+                # the checks above guarantee it is silent.
+                cmt_insert(lpn, ppn)
+                if tp_ppn is None:
+                    # Never-flushed translation page: the mapping can only have
+                    # reached flash via the CMT, so the scalar path serves it
+                    # as a CMT hit without a translation read.
+                    append_trans(-1)
+                    hits += 1
+                else:
+                    append_trans(tp_ppn // chip_stride)
+                    misses += 1
             append_data(dchips[i])
             i += 1
         k = i - pos
@@ -210,22 +281,29 @@ class DemandReadPlanner:
             # One data read per request plus one translation read per miss.
             self._flash.total_reads += k + misses
             self._translation_store.translation_reads += misses
-        return k, data_chips, trans_chips, misses
+        if misses == 0:
+            trans_chips = None
+        return k, data_chips, trans_chips, misses, None
 
     def skip(self) -> None:
         """Advance past a request the device just executed through the scalar path."""
         self._pos += 1
 
 
-class GroupedHitReadPlanner:
-    """TPFTL/LearnedFTL read-run planner: the CMT-hit fast path.
+class GroupedReadPlanner:
+    """TPFTL/LearnedFTL read-run planner: hits, model hits and double reads.
 
-    A miss in either design runs prefetch policy, model prediction or
-    eviction write-back — state machinery the scalar path owns — so only the
-    hit prefix is batched.  Both designs share the two-level CMT layout and
-    the request-locality observer fields, so one planner serves both; the
-    observer updates are replicated per accepted request **before** the next
-    request is examined, exactly as the scalar ``read()`` applies them.
+    Both designs share the two-level CMT layout and the request-locality
+    observer fields, so one planner serves both; when the FTL carries in-place
+    models (LearnedFTL) the miss path consults them exactly as the scalar
+    ``_translate_read`` does, including the per-request compute charges.
+
+    The observer update runs *before* translation in the scalar path, and the
+    prefetch depth of a miss depends on it — so on the miss path the planner
+    derives the post-observation window/streak values first, sizes the
+    prefetch batch, evaluates the eviction predicate, and only then commits
+    the observation and calls the real ``insert_many``.  A refused request is
+    therefore left entirely unobserved for the scalar fallback.
     """
 
     __slots__ = (
@@ -233,6 +311,7 @@ class GroupedHitReadPlanner:
         "_pages",
         "_lpns",
         "_tvpns",
+        "_dir_ppns",
         "_n",
         "_pos",
         "_page_state",
@@ -240,6 +319,20 @@ class GroupedHitReadPlanner:
         "_flash",
         "_stats",
         "_window",
+        "_cmt",
+        "_capacity",
+        "_tp_ppn",
+        "_translation_store",
+        "_insert_many",
+        "_directory_lookup",
+        "_mappings_per_page",
+        "_num_logical_pages",
+        "_prefetch_ceiling",
+        "_models",
+        "_charge",
+        "_bitmap_check_us",
+        "_predict_us",
+        "_vppn_to_ppn",
     )
 
     data_code = _CODE_DATA_READ
@@ -247,34 +340,81 @@ class GroupedHitReadPlanner:
 
     def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
         self._ftl = ftl
+        directory = ftl.directory
+        flash = ftl.flash
         self._pages = ftl._cmt_pages
         self._lpns = lpns.tolist()
         self._tvpns = (lpns // ftl._mappings_per_page).tolist()
+        # Safe to pre-gather: no scalar read path mutates the directory.
+        self._dir_ppns = directory.lookup_many(lpns).tolist()
         self._n = len(self._lpns)
         self._pos = 0
-        flash = ftl.flash
         self._page_state = flash._page_state
         self._chip_stride = flash._chip_stride
         self._flash = flash
         self._stats = ftl.stats
         self._window = ftl._recent_request_lengths.maxlen
+        cmt = ftl.cmt
+        self._cmt = cmt
+        self._capacity = cmt.capacity_entries
+        self._tp_ppn = ftl.translation_store._tp_ppn
+        self._translation_store = ftl.translation_store
+        self._insert_many = cmt.insert_many
+        self._directory_lookup = directory.lookup
+        self._mappings_per_page = ftl._mappings_per_page
+        self._num_logical_pages = ftl._num_logical_pages
+        self._prefetch_ceiling = ftl._prefetch_ceiling
+        models = getattr(ftl, "models", None)
+        self._models = models
+        if models is not None:
+            self._charge = ftl._charge_compute
+            self._bitmap_check_us = ftl._bitmap_check_us
+            self._predict_us = ftl._predict_us
+            self._vppn_to_ppn = ftl._vppn_to_ppn
+        else:
+            self._charge = False
+            self._bitmap_check_us = 0.0
+            self._predict_us = 0.0
+            self._vppn_to_ppn = None
 
     def take(self):
-        """Consume the CMT-hit prefix from the cursor; see :meth:`DemandReadPlanner.take`."""
+        """Consume the fast prefix from the cursor; see :meth:`DemandReadPlanner.take`."""
         i = pos = self._pos
         n = self._n
-        data_chips: list[int] = []
         if i >= n:
-            return 0, data_chips, None, 0
+            return 0, [], None, 0, None
+        data_chips: list[int] = []
+        trans_chips: list[int] = []
         append_data = data_chips.append
+        append_trans = trans_chips.append
         ftl = self._ftl
         pages = self._pages
         pages_get = pages.get
         pages_move = pages.move_to_end
         lpns = self._lpns
         tvpns = self._tvpns
+        dir_ppns = self._dir_ppns
         page_state = self._page_state
         chip_stride = self._chip_stride
+        cmt = self._cmt
+        capacity = self._capacity
+        tp_get = self._tp_ppn.get
+        insert_many = self._insert_many
+        directory_lookup = self._directory_lookup
+        mappings_per_page = self._mappings_per_page
+        num_logical_pages = self._num_logical_pages
+        ceiling = self._prefetch_ceiling
+        models = self._models
+        stats = self._stats
+        charge = self._charge
+        bitmap_check_us = self._bitmap_check_us
+        predict_us = self._predict_us
+        vppn_to_ppn = self._vppn_to_ppn
+        # A compute column is only meaningful when prediction time is charged
+        # (uncharged lookups contribute exactly 0.0, which the engine treats
+        # identically to no column at all).
+        computes: list[float] | None = [] if charge else None
+        append_compute = computes.append if computes is not None else None
         lengths = ftl._recent_request_lengths
         lengths_append = lengths.append
         window = self._window
@@ -284,33 +424,132 @@ class GroupedHitReadPlanner:
         length_sum = ftl._recent_length_sum
         streak = ftl._sequential_streak
         last_end = ftl._last_lpn_end
+        hits = 0
+        nf_hits = 0
+        misses = 0
+        model_hits = 0
+        model_lookups = 0
         while i < n:
             lpn = lpns[i]
-            node = pages_get(tvpns[i])
-            if node is None:
+            tvpn = tvpns[i]
+            node = pages_get(tvpn)
+            entry = None if node is None else node.get(lpn)
+            if entry is not None:
+                ppn = entry[0]
+                if not page_state[ppn]:
+                    # PAGE_FREE: the scalar path's touch_read would raise.
+                    break
+                # Scalar-equivalent _observe_request for a single-page request.
+                if len(lengths) == window:
+                    length_sum -= lengths[0]
+                length_sum += 1
+                lengths_append(1)
+                if last_end == lpn:
+                    if streak < _STREAK_CAP:
+                        streak += 1
+                else:
+                    streak = 0
+                last_end = lpn + 1
+                # Scalar-equivalent PageGroupedCMT.lookup hit: entry then node LRU.
+                node.move_to_end(lpn)
+                pages_move(tvpn)
+                append_data(ppn // chip_stride)
+                append_trans(-1)
+                if computes is not None:
+                    append_compute(0.0)
+                hits += 1
+                i += 1
+                continue
+            # CMT miss: resolve against the (pre-gathered) directory.
+            actual = dir_ppns[i]
+            if actual < 0:
+                # Unmapped LPN: the scalar path's zero-fill bookkeeping.
                 break
-            entry = node.get(lpn)
-            if entry is None:
+            if not page_state[actual]:
+                # PAGE_FREE data page: the scalar touch_read would raise.
                 break
-            ppn = entry[0]
-            if not page_state[ppn]:
-                # PAGE_FREE: the scalar path's touch_read would raise.
+            if models is not None:
+                vppn = models[tvpn].predict_exact(lpn)
+                if vppn is not BIT_NOT_SET:
+                    predicted = vppn_to_ppn(vppn) if vppn is not None else None
+                    if predicted != actual:
+                        # Bitmap/model inconsistency: the scalar path raises.
+                        break
+                    # Model hit: one data read, no CMT load, no prefetch.
+                    if len(lengths) == window:
+                        length_sum -= lengths[0]
+                    length_sum += 1
+                    lengths_append(1)
+                    if last_end == lpn:
+                        if streak < _STREAK_CAP:
+                            streak += 1
+                    else:
+                        streak = 0
+                    last_end = lpn + 1
+                    model_lookups += 1
+                    model_hits += 1
+                    if charge:
+                        stats.predict_time_us += predict_us
+                        append_compute(bitmap_check_us + predict_us)
+                    append_data(actual // chip_stride)
+                    append_trans(-1)
+                    i += 1
+                    continue
+            # Double read (or never-flushed CMT load).  The prefetch depth
+            # depends on the post-observation window/streak, so derive those
+            # without committing them yet.
+            tp_ppn = tp_get(tvpn)
+            if tp_ppn is not None and not page_state[tp_ppn]:
+                # PAGE_FREE translation page: scalar touch_read would raise.
                 break
-            # Scalar-equivalent _observe_request for a single-page request.
             if len(lengths) == window:
-                length_sum -= lengths[0]
-            length_sum += 1
-            lengths_append(1)
-            if last_end == lpn:
-                if streak < _STREAK_CAP:
-                    streak += 1
+                new_sum = length_sum + 1 - lengths[0]
+                new_window = window
             else:
-                streak = 0
+                new_sum = length_sum + 1
+                new_window = len(lengths) + 1
+            if last_end == lpn:
+                new_streak = streak + 1 if streak < _STREAK_CAP else streak
+            else:
+                new_streak = 0
+            # Scalar-equivalent inlined _prefetch_length over the post-
+            # observation values (the window is never empty here).
+            depth = int(round(new_sum / new_window * 2)) + 2 * new_streak
+            if depth > ceiling:
+                depth = ceiling
+            batch = [(lpn, actual)]
+            if depth > 1:
+                stop = (tvpn + 1) * mappings_per_page
+                if stop > num_logical_pages:
+                    stop = num_logical_pages
+                if lpn + depth < stop:
+                    stop = lpn + depth
+                for neighbour in range(lpn + 1, stop):
+                    neighbour_ppn = directory_lookup(neighbour)
+                    if neighbour_ppn is not None and (node is None or neighbour not in node):
+                        batch.append((neighbour, neighbour_ppn))
+            delta = len(batch) if node is not None else len(batch) + PAGE_NODE_OVERHEAD_ENTRIES
+            if cmt._dirty_count != 0 and cmt._size_entries + delta > capacity:
+                # The load could evict dirty mappings (translation flushes).
+                break
+            # Accepted: commit the observation, load the batch for real.
+            length_sum = new_sum
+            lengths_append(1)
+            streak = new_streak
             last_end = lpn + 1
-            # Scalar-equivalent PageGroupedCMT.lookup hit: entry then node LRU.
-            node.move_to_end(lpn)
-            pages_move(tvpns[i])
-            append_data(ppn // chip_stride)
+            insert_many(batch, dirty=False)
+            if models is not None:
+                model_lookups += 1
+            append_data(actual // chip_stride)
+            if tp_ppn is None:
+                # Never-flushed translation page: served as a CMT hit.
+                append_trans(-1)
+                nf_hits += 1
+            else:
+                append_trans(tp_ppn // chip_stride)
+                misses += 1
+            if computes is not None:
+                append_compute(bitmap_check_us)
             i += 1
         ftl._recent_length_sum = length_sum
         ftl._sequential_streak = streak
@@ -318,14 +557,26 @@ class GroupedHitReadPlanner:
         k = i - pos
         self._pos = i
         if k:
-            stats = self._stats
             stats.host_read_requests += k
             stats.host_read_pages += k
             stats.cmt_lookups += k
-            stats.cmt_hits += k
-            stats.outcome_counts[_OUT_CMT_HIT] += k
-            self._flash.total_reads += k
-        return k, data_chips, None, 0
+            cmt_hits = hits + nf_hits
+            stats.cmt_hits += cmt_hits
+            outcome_counts = stats.outcome_counts
+            outcome_counts[_OUT_CMT_HIT] += cmt_hits
+            if misses:
+                outcome_counts[_OUT_DOUBLE_READ] += misses
+                self._translation_store.translation_reads += misses
+            if model_lookups:
+                stats.model_lookups += model_lookups
+                stats.predictions += model_hits
+                stats.model_hits += model_hits
+                outcome_counts[_OUT_MODEL_HIT] += model_hits
+            # One data read per request plus one translation read per miss.
+            self._flash.total_reads += k + misses
+        if misses == 0:
+            trans_chips = None
+        return k, data_chips, trans_chips, misses, computes
 
     def skip(self) -> None:
         """Advance past a request the device just executed through the scalar path."""
@@ -372,7 +623,7 @@ class DirectReadPlanner:
         end = bad[bad_pos] if bad_pos < len(bad) else self._n
         k = end - pos
         if k <= 0:
-            return 0, [], None, 0
+            return 0, [], None, 0, None
         data_chips = self._dchips[pos:end]
         self._pos = end
         stats = self._stats
@@ -382,8 +633,430 @@ class DirectReadPlanner:
         stats.cmt_hits += k
         stats.outcome_counts[_OUT_CMT_HIT] += k
         self._flash.total_reads += k
-        return k, data_chips, None, 0
+        return k, data_chips, None, 0, None
 
     def skip(self) -> None:
         """Advance past a request the device just executed through the scalar path."""
         self._pos += 1
+
+
+class _WriteRunPlanner:
+    """Shared core of the write-run planners.
+
+    :meth:`take` implements the commit shape every design shares; subclasses
+    provide three hooks:
+
+    * ``_scan(pos)`` — a **pure** (mutation-free) prefix scan returning how
+      many requests from ``pos`` the design's cache/bounds predicates accept;
+    * ``_allocate(limit)`` — one allocator call reserving up to ``limit``
+      PPNs, stopping (without GC) where the scalar path would collect;
+    * ``_commit(pos, k, ppns)`` — the per-request cache/observer/model
+      bookkeeping, replayed in request order.
+
+    Commit order vs. the scalar interleave: the scalar path alternates
+    invalidate -> GC-check -> allocate -> update -> program -> cache per
+    request, while :meth:`take` applies programs, then directory updates, then
+    cache bookkeeping, then the deferred invalidations, for the whole run.
+    Every reordered pair commutes: allocation only consumes ``PAGE_FREE``
+    pages, so invalidating a superseded (valid) copy neither enables nor
+    blocks it; the GC predicate is re-checked per page inside
+    ``allocate_run``; and programming *before* installing the new directory
+    entries means an in-run overwrite's superseded copy is valid by the time
+    the validity filter runs — exactly as it was at the scalar invalidation
+    point.
+    """
+
+    __slots__ = (
+        "_lpns_arr",
+        "_lpns",
+        "_n",
+        "_pos",
+        "_ftl",
+        "_flash",
+        "_chip_stride",
+        "_state_view",
+        "_directory",
+        "_stats",
+        "_num_logical_pages",
+        "_pool",
+    )
+
+    #: Command code of every program the fast path issues (host data writes).
+    program_code = _CODE_DATA_WRITE
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        self._lpns_arr = lpns
+        self._lpns = lpns.tolist()
+        self._n = lpns.shape[0]
+        self._pos = 0
+        self._ftl = ftl
+        flash = ftl.flash
+        self._flash = flash
+        self._chip_stride = flash._chip_stride
+        self._state_view = np.frombuffer(flash._page_state, dtype=np.uint8)
+        self._directory = ftl.directory
+        self._stats = ftl.stats
+        self._num_logical_pages = ftl.geometry.num_logical_pages
+        self._pool = ftl.allocator.translation_pool
+
+    def take(self):
+        """Serve the acceptable prefix from the cursor as one batched commit.
+
+        Returns ``(k, chips)``: ``k`` single-page writes were completed and
+        ``chips[i]`` is the chip request ``i``'s program serializes on.
+        """
+        pos = self._pos
+        if pos >= self._n:
+            return 0, []
+        if self._pool.needs_gc():
+            # Translation-pool GC pending: the scalar fallback's own
+            # translation-GC hook services it, then batching resumes.
+            return 0, []
+        if not self._can_allocate():
+            # Below the GC threshold: allocate_run would return nothing, so
+            # skip the (O(run)) scan and let the scalar fallback collect.
+            # Without this check a GC-bound run rescans its tail after every
+            # fallback — O(run^2) for zero committed requests.
+            return 0, []
+        limit = self._scan(pos)
+        if limit < _MIN_WRITE_RUN:
+            # Too short to amortize the array scatters (or nothing accepted):
+            # the scalar fallback serves these faster.
+            return 0, []
+        ppns = self._allocate(limit)
+        k = len(ppns)
+        if k == 0:
+            # Free space is below the GC threshold: the scalar fallback
+            # collects, then batching resumes.
+            return 0, []
+        end = pos + k
+        lpns_arr = self._lpns_arr[pos:end]
+        ppns_arr = np.asarray(ppns, dtype=np.int64)
+        flash = self._flash
+        # Programs first: an in-run overwrite's superseded copy must be
+        # programmed (valid) before old mappings are resolved below.
+        flash.program_data_many(ppns_arr, lpns_arr)
+        state = self._state_view
+        directory = self._directory
+        if int(np.unique(lpns_arr).size) == k:
+            old = directory.store_many(lpns_arr, ppns_arr)
+            stale = old[old >= 0]
+            stale = stale[state[stale] == PAGE_VALID]
+        else:
+            # In-run overwrites of the same LPN: store_many's gather-before-
+            # scatter would return the pre-run mapping for both copies, so
+            # update per request — each observing the previous one's mapping,
+            # exactly as the scalar interleave does.
+            update = directory.update
+            lpns = self._lpns
+            collected = []
+            for j in range(k):
+                previous = update(lpns[pos + j], ppns[j])
+                if previous is not None and state[previous] == PAGE_VALID:
+                    collected.append(previous)
+            stale = np.asarray(collected, dtype=np.int64)
+        self._commit(pos, k, ppns)
+        if stale.size:
+            flash.invalidate_many(stale)
+        stats = self._stats
+        stats.host_write_requests += k
+        stats.host_write_pages += k
+        self._pos = end
+        return k, (ppns_arr // self._chip_stride).tolist()
+
+    def _can_allocate(self) -> bool:
+        raise NotImplementedError
+
+    def _scan(self, pos: int) -> int:
+        raise NotImplementedError
+
+    def _allocate(self, limit: int) -> list[int]:
+        raise NotImplementedError
+
+    def _commit(self, pos: int, k: int, ppns: list[int]) -> None:
+        raise NotImplementedError
+
+    def skip(self) -> None:
+        """Advance past a request the device just executed through the scalar path."""
+        self._pos += 1
+
+
+class DirectWritePlanner(_WriteRunPlanner):
+    """Ideal-FTL write-run planner: every in-bounds write while GC is quiescent.
+
+    The ideal FTL has no mapping cache, so the scan reduces to the bounds
+    check and ``_commit`` is a no-op; the striping allocator's ``allocate_run``
+    enforces the per-request GC threshold exactly as ``_maybe_gc`` would.
+    """
+
+    __slots__ = ("_allocator", "_min_free_blocks")
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        super().__init__(ftl, lpns)
+        self._allocator = ftl.allocator
+        self._min_free_blocks = ftl._gc_threshold_blocks
+
+    def _can_allocate(self) -> bool:
+        return self._allocator.free_data_blocks() >= self._min_free_blocks
+
+    def _scan(self, pos: int) -> int:
+        lpns = self._lpns
+        n = self._n
+        num_logical_pages = self._num_logical_pages
+        i = pos
+        while i < n:
+            lpn = lpns[i]
+            if lpn < 0 or lpn >= num_logical_pages:
+                # Out-of-bounds LPN: the scalar check_lpn raises.
+                break
+            i += 1
+        return i - pos
+
+    def _allocate(self, limit: int) -> list[int]:
+        return self._allocator.allocate_run(limit, self._min_free_blocks)
+
+    def _commit(self, pos: int, k: int, ppns: list[int]) -> None:
+        pass
+
+
+class EntryWritePlanner(DirectWritePlanner):
+    """DFTL's write-run planner: dirty CMT inserts that cannot evict.
+
+    A write inserts its mapping dirty; evicting for room can flush a dirty
+    victim's translation page, so the scan accepts a request only when its
+    LPN is already cached (in the live cache or earlier in the accepted
+    prefix) or the cache has strictly free capacity.
+    """
+
+    __slots__ = ("_cmt", "_entries", "_capacity")
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        super().__init__(ftl, lpns)
+        cmt = ftl.cmt
+        self._cmt = cmt
+        self._entries = cmt._entries
+        self._capacity = cmt.capacity_entries
+
+    def _scan(self, pos: int) -> int:
+        lpns = self._lpns
+        n = self._n
+        num_logical_pages = self._num_logical_pages
+        entries = self._entries
+        capacity = self._capacity
+        size = len(entries)
+        pending: set[int] = set()
+        pending_add = pending.add
+        i = pos
+        while i < n:
+            lpn = lpns[i]
+            if lpn < 0 or lpn >= num_logical_pages:
+                break
+            if lpn not in entries and lpn not in pending:
+                if size >= capacity:
+                    # The insert's eviction loop would fire.
+                    break
+                pending_add(lpn)
+                size += 1
+            i += 1
+        return i - pos
+
+    def _commit(self, pos: int, k: int, ppns: list[int]) -> None:
+        # The real EntryLevelCMT.insert: the scan guarantees no evictions, so
+        # this is exactly the scalar _after_write without the (empty) flush.
+        insert = self._cmt.insert
+        lpns = self._lpns
+        for j in range(k):
+            insert(lpns[pos + j], ppns[j], dirty=True)
+
+
+class PagedWritePlanner(DirectWritePlanner):
+    """TPFTL's write-run planner: observer replay plus eviction-free inserts.
+
+    The two-level CMT charges :data:`PAGE_NODE_OVERHEAD_ENTRIES` extra units
+    for a fresh translation-page node, so the scan tracks per-node pending
+    membership to size each insert's delta exactly.
+    """
+
+    __slots__ = ("_cmt", "_pages", "_capacity", "_mappings_per_page", "_window")
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        super().__init__(ftl, lpns)
+        self._bind_paged_cmt(ftl)
+
+    def _bind_paged_cmt(self, ftl: "FTLBase") -> None:
+        cmt = ftl.cmt
+        self._cmt = cmt
+        self._pages = cmt._pages
+        self._capacity = cmt.capacity_entries
+        self._mappings_per_page = ftl._mappings_per_page
+        self._window = ftl._recent_request_lengths.maxlen
+
+    def _scan(self, pos: int) -> int:
+        lpns = self._lpns
+        n = self._n
+        num_logical_pages = self._num_logical_pages
+        pages_get = self._pages.get
+        capacity = self._capacity
+        mappings_per_page = self._mappings_per_page
+        size = self._cmt._size_entries
+        pending: dict[int, set[int]] = {}
+        i = pos
+        while i < n:
+            lpn = lpns[i]
+            if lpn < 0 or lpn >= num_logical_pages:
+                break
+            tvpn = lpn // mappings_per_page
+            node = pages_get(tvpn)
+            pend = pending.get(tvpn)
+            if (node is not None and lpn in node) or (pend is not None and lpn in pend):
+                delta = 0
+            elif node is not None or pend is not None:
+                delta = 1
+            else:
+                delta = PAGE_NODE_OVERHEAD_ENTRIES + 1
+            if delta:
+                if size + delta > capacity:
+                    # The insert would trigger _evict_until_fits.
+                    break
+                size += delta
+                if pend is None:
+                    pend = set()
+                    pending[tvpn] = pend
+                pend.add(lpn)
+            i += 1
+        return i - pos
+
+    def _commit(self, pos: int, k: int, ppns: list[int]) -> None:
+        ftl = self._ftl
+        insert = self._cmt.insert
+        lpns = self._lpns
+        lengths = ftl._recent_request_lengths
+        lengths_append = lengths.append
+        window = self._window
+        length_sum = ftl._recent_length_sum
+        streak = ftl._sequential_streak
+        last_end = ftl._last_lpn_end
+        for j in range(k):
+            lpn = lpns[pos + j]
+            # Scalar-equivalent _observe_request for a single-page request.
+            if len(lengths) == window:
+                length_sum -= lengths[0]
+            length_sum += 1
+            lengths_append(1)
+            if last_end == lpn:
+                if streak < _STREAK_CAP:
+                    streak += 1
+            else:
+                streak = 0
+            last_end = lpn + 1
+            # The real insert: the scan guarantees no evictions.
+            insert(lpn, ppns[j], dirty=True)
+        ftl._recent_length_sum = length_sum
+        ftl._sequential_streak = streak
+        ftl._last_lpn_end = last_end
+
+
+class GroupWritePlanner(PagedWritePlanner):
+    """LearnedFTL's write-run planner: group allocation plus model consistency.
+
+    The scan is the paged-CMT scan plus the bounds check, additionally
+    recording each request's allocation group; the allocator's
+    ``allocate_run`` walks those groups one page at a time, stopping (without
+    proactive GC or borrowing) exactly where the scalar ``_allocate_for_lpn``
+    would deviate from a plain own-stripe allocation.  The commit clears each
+    written LPN's bitmap bit, as the scalar write path does between program
+    and CMT insert.
+
+    The FTL only installs this planner when single-page writes cannot trigger
+    sequential initialization (``sequential_init_min_pages > 1``), so model
+    *training* never happens on the fast path.
+    """
+
+    __slots__ = ("_allocator_group", "_min_free_pages", "_models", "_groups")
+
+    def __init__(self, ftl: "FTLBase", lpns: np.ndarray) -> None:
+        _WriteRunPlanner.__init__(self, ftl, lpns)
+        self._bind_paged_cmt(ftl)
+        allocator = ftl.allocator
+        self._allocator_group = allocator
+        # The scalar proactive-GC threshold of _allocate_for_lpn.
+        self._min_free_pages = allocator.lpns_per_group + allocator.stripe_map.pages_per_stripe
+        self._models = ftl.models
+        self._groups: list[int] = []
+
+    def _can_allocate(self) -> bool:
+        return self._allocator_group.total_free_pages() >= self._min_free_pages
+
+    def _scan(self, pos: int) -> int:
+        lpns = self._lpns
+        n = self._n
+        num_logical_pages = self._num_logical_pages
+        pages_get = self._pages.get
+        capacity = self._capacity
+        mappings_per_page = self._mappings_per_page
+        group_of_lpn = self._allocator_group.group_of_lpn
+        size = self._cmt._size_entries
+        pending: dict[int, set[int]] = {}
+        groups = self._groups
+        groups.clear()
+        groups_append = groups.append
+        i = pos
+        while i < n:
+            lpn = lpns[i]
+            if lpn < 0 or lpn >= num_logical_pages:
+                break
+            tvpn = lpn // mappings_per_page
+            node = pages_get(tvpn)
+            pend = pending.get(tvpn)
+            if (node is not None and lpn in node) or (pend is not None and lpn in pend):
+                delta = 0
+            elif node is not None or pend is not None:
+                delta = 1
+            else:
+                delta = PAGE_NODE_OVERHEAD_ENTRIES + 1
+            if delta:
+                if size + delta > capacity:
+                    break
+                size += delta
+                if pend is None:
+                    pend = set()
+                    pending[tvpn] = pend
+                pend.add(lpn)
+            groups_append(group_of_lpn(lpn))
+            i += 1
+        return i - pos
+
+    def _allocate(self, limit: int) -> list[int]:
+        return self._allocator_group.allocate_run(self._groups, limit, self._min_free_pages)
+
+    def _commit(self, pos: int, k: int, ppns: list[int]) -> None:
+        ftl = self._ftl
+        insert = self._cmt.insert
+        models = self._models
+        lpns = self._lpns
+        mappings_per_page = self._mappings_per_page
+        lengths = ftl._recent_request_lengths
+        lengths_append = lengths.append
+        window = self._window
+        length_sum = ftl._recent_length_sum
+        streak = ftl._sequential_streak
+        last_end = ftl._last_lpn_end
+        for j in range(k):
+            lpn = lpns[pos + j]
+            if len(lengths) == window:
+                length_sum -= lengths[0]
+            length_sum += 1
+            lengths_append(1)
+            if last_end == lpn:
+                if streak < _STREAK_CAP:
+                    streak += 1
+            else:
+                streak = 0
+            last_end = lpn + 1
+            # Consistency (Section III-B): the overwritten LPN's bitmap bit is
+            # cleared once the new mapping is installed.
+            models[lpn // mappings_per_page].invalidate(lpn)
+            insert(lpn, ppns[j], dirty=True)
+        ftl._recent_length_sum = length_sum
+        ftl._sequential_streak = streak
+        ftl._last_lpn_end = last_end

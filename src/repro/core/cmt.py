@@ -188,6 +188,11 @@ class PageGroupedCMT:
         # tvpn -> (lpn -> [ppn, dirty])
         self._pages: OrderedDict[int, OrderedDict[int, list]] = OrderedDict()
         self._size_entries = 0
+        # Count of entries with the dirty bit set, maintained by every mutation
+        # below (mirror of :attr:`EntryLevelCMT._dirty_count`).  The batched
+        # read planners consult it: when zero, any eviction a fast-path insert
+        # causes is silent (no translation-page flush).
+        self._dirty_count = 0
 
     # ------------------------------------------------------------ accounting
     def __len__(self) -> int:
@@ -204,6 +209,11 @@ class PageGroupedCMT:
     def __contains__(self, lpn: int) -> bool:
         node = self._pages.get(lpn // self.mappings_per_page)
         return node is not None and lpn in node
+
+    @property
+    def dirty_entry_count(self) -> int:
+        """Number of cached entries whose dirty bit is set."""
+        return self._dirty_count
 
     # --------------------------------------------------------------- lookup
     def lookup(self, lpn: int) -> int | None:
@@ -257,15 +267,20 @@ class PageGroupedCMT:
                 pages[tvpn] = node
                 node[lpn] = [ppn, dirty]
                 self._size_entries += PAGE_NODE_OVERHEAD_ENTRIES + 1
+                if dirty:
+                    self._dirty_count += 1
             else:
                 existing = node.get(lpn)
                 if existing is None:
                     node[lpn] = [ppn, dirty]
                     self._size_entries += 1
+                    if dirty:
+                        self._dirty_count += 1
                 else:
                     existing[0] = ppn
-                    if dirty:
+                    if dirty and not existing[1]:
                         existing[1] = True
+                        self._dirty_count += 1
                     node.move_to_end(lpn)
                 pages.move_to_end(tvpn)
             if self._size_entries > capacity:
@@ -287,6 +302,7 @@ class PageGroupedCMT:
             self._size_entries -= len(node) + PAGE_NODE_OVERHEAD_ENTRIES
             dirty_lpns = tuple(lpn for lpn, entry in node.items() if entry[1])
             if dirty_lpns:
+                self._dirty_count -= len(dirty_lpns)
                 evicted.append(EvictedPage(tvpn=victim_tvpn, dirty_lpns=dirty_lpns))
         # If a single node alone exceeds the capacity, fall back to evicting its
         # least-recently-used entries (never the one just inserted).
@@ -303,6 +319,7 @@ class PageGroupedCMT:
                 entry = node.pop(victim_lpn)
                 self._size_entries -= 1
                 if entry[1]:
+                    self._dirty_count -= 1
                     dirty_lpns.append(victim_lpn)
             if dirty_lpns:
                 evicted.append(EvictedPage(tvpn=tvpn, dirty_lpns=tuple(dirty_lpns)))
@@ -349,6 +366,7 @@ class PageGroupedCMT:
                 index += 1
             self._pages[tvpn] = node
         self._size_entries = int(state["size_entries"])
+        self._dirty_count = int(np.count_nonzero(state["dirty"]))
 
     def flush_all(self) -> list[EvictedPage]:
         """Return (and clean) every dirty entry grouped by translation page."""
@@ -359,4 +377,5 @@ class PageGroupedCMT:
                 flushed.append(EvictedPage(tvpn=tvpn, dirty_lpns=dirty_lpns))
                 for lpn in dirty_lpns:
                     node[lpn][1] = False
+        self._dirty_count = 0
         return flushed

@@ -29,7 +29,7 @@ from collections import deque
 
 from repro.core.allocation import GroupAllocator, GroupGCNeeded
 from repro.core.base import FTLBase, FTLConfig
-from repro.core.batch import GroupedHitReadPlanner
+from repro.core.batch import GroupedReadPlanner, GroupWritePlanner
 from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.core.learned.inplace_model import (
     BIT_NOT_SET,
@@ -155,10 +155,21 @@ class LearnedFTL(FTLBase):
         self._encode_read(request)
 
     def begin_read_run(self, lpns):
-        """Batch the CMT-hit prefix of a read run; misses run the scalar
-        model/double-read machinery.  See
-        :class:`repro.core.batch.GroupedHitReadPlanner`."""
-        return GroupedHitReadPlanner(self, lpns)
+        """Batch CMT hits, model hits and eviction-free double-read misses;
+        see :class:`repro.core.batch.GroupedReadPlanner`."""
+        return GroupedReadPlanner(self, lpns)
+
+    def begin_write_run(self, lpns):
+        """Batch group-allocated writes; see
+        :class:`repro.core.batch.GroupWritePlanner`.
+
+        Only installed when a single-page write cannot reach the
+        sequential-initialization threshold — model training stays on the
+        scalar path by construction.
+        """
+        if self.config.sequential_init_min_pages <= 1:
+            return None
+        return GroupWritePlanner(self, lpns)
 
     def _translate_read(self, lpn: int, head_stage: list) -> tuple[int | None, int, float]:
         stats = self.stats

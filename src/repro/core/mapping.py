@@ -124,6 +124,28 @@ class MappingDirectory:
             return None
         return old
 
+    def store_many(self, lpns: np.ndarray, ppns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`update`: point an LPN column at a PPN column.
+
+        Returns an ``int64`` array of the previous PPNs (``-1`` for
+        never-written, the scalar path's ``None``) and maintains
+        ``_mapped_count`` exactly like per-request updates would.  Duplicate
+        LPNs inside one call behave like sequential scalar updates: the scatter
+        applies in order, so the last write wins, and the gather of "old" PPNs
+        happens before any of them — callers that need per-duplicate old
+        values (the write planners do, to invalidate superseded copies) must
+        therefore resolve duplicates themselves before calling.  Bounds are
+        the caller's responsibility, matching the planners' check-then-commit
+        contract (out-of-range LPNs break to the scalar path, which raises).
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        ppns = np.asarray(ppns, dtype=np.int64)
+        column = self._ppn_view
+        old = column[lpns].copy()
+        column[lpns] = ppns
+        self._mapped_count += int(np.count_nonzero(old == _UNMAPPED))
+        return old
+
     def remove(self, lpn: int) -> int | None:
         """Drop the mapping of an LPN (trim); returns the previous PPN."""
         if not 0 <= lpn < self._size:

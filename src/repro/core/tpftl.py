@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.base import FTLConfig, StripingFTLBase
-from repro.core.batch import GroupedHitReadPlanner
+from repro.core.batch import GroupedReadPlanner, PagedWritePlanner
 from repro.core.cmt import EvictedPage, PageGroupedCMT
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
@@ -112,9 +112,14 @@ class TPFTL(StripingFTLBase):
         return ppn, outcome, 0.0
 
     def begin_read_run(self, lpns):
-        """Batch the CMT-hit prefix of a read run; misses run the scalar
-        prefetch machinery.  See :class:`repro.core.batch.GroupedHitReadPlanner`."""
-        return GroupedHitReadPlanner(self, lpns)
+        """Batch CMT hits and eviction-free double-read misses; see
+        :class:`repro.core.batch.GroupedReadPlanner`."""
+        return GroupedReadPlanner(self, lpns)
+
+    def begin_write_run(self, lpns):
+        """Batch writes whose dirty CMT inserts cannot evict; see
+        :class:`repro.core.batch.PagedWritePlanner`."""
+        return PagedWritePlanner(self, lpns)
 
     def _prefetch_length(self) -> int:
         """Workload-adaptive prefetch depth.

@@ -406,6 +406,59 @@ class FlashArray:
         self.total_programs += 1
         self._free_pages -= 1
 
+    def program_data_many(self, ppns: "np.ndarray", lpns: "np.ndarray") -> None:
+        """Columnar :meth:`program_data`: program a whole PPN array at once.
+
+        Per-page effects are identical to sequential calls in array order —
+        in particular write versions are assigned from the global counter in
+        that order, so "newest copy" queries cannot tell the paths apart.
+        The free/sequential-program invariants are enforced set-wise: within
+        each block the programmed offsets must be exactly the next
+        ``count`` pages after ``block_next`` with no duplicates, which is
+        equivalent to the scalar per-page check for any in-order allocator
+        run.
+        """
+        ppns = np.asarray(ppns, dtype=np.int64)
+        n = int(ppns.size)
+        if n == 0:
+            return
+        lpns = np.asarray(lpns, dtype=np.int64)
+        state = np.frombuffer(self._page_state, dtype=np.uint8)
+        if np.any(state[ppns] != PAGE_FREE):
+            bad = int(ppns[int(np.argmax(state[ppns] != PAGE_FREE))])
+            raise FlashStateError(
+                f"program of non-free page ppn={bad} (state={_STATE_BY_CODE[self._page_state[bad]]})"
+            )
+        pages_per_block = self._pages_per_block
+        blocks = ppns // pages_per_block
+        offsets = ppns - blocks * pages_per_block
+        block_next = np.frombuffer(self._block_next, dtype=np.int32)
+        counts = np.zeros_like(block_next)
+        np.add.at(counts, blocks, 1)
+        touched = np.flatnonzero(counts)
+        old_next = block_next[blocks]
+        new_next = old_next + counts[blocks]
+        if self.enforce_sequential_program and (
+            np.unique(ppns).size != n
+            or np.any(offsets < old_next)
+            or np.any(offsets >= new_next)
+        ):
+            raise FlashStateError("out-of-order program in batched write run")
+        counter = self._version_counter
+        state[ppns] = PAGE_VALID
+        np.frombuffer(self._page_lpn, dtype=np.int64)[ppns] = lpns
+        np.frombuffer(self._page_version, dtype=np.int64)[ppns] = np.arange(
+            counter + 1, counter + n + 1, dtype=np.int64
+        )
+        self._version_counter = counter + n
+        # Scalar per-page updates leave block_next at max(old_next, offset+1);
+        # the scatter-max reproduces that even with enforcement switched off.
+        np.maximum.at(block_next, blocks, (offsets + 1).astype(np.int32))
+        block_valid = np.frombuffer(self._block_valid, dtype=np.int32)
+        block_valid[touched] += counts[touched]
+        self.total_programs += n
+        self._free_pages -= n
+
     def invalidate(self, ppn: int) -> None:
         """Mark a valid page invalid (its data has been superseded)."""
         if not 0 <= ppn < self._num_pages:
@@ -421,6 +474,37 @@ class FlashArray:
         self._block_invalid[block] += 1
         if not self._page_translation[ppn]:
             self.data_invalidation_epoch += 1
+
+    def invalidate_many(self, ppns: "np.ndarray | list[int]") -> None:
+        """Columnar :meth:`invalidate`: mark a whole PPN array invalid at once.
+
+        The batched write kernel collects the superseded data copies of a run
+        and scatters their state transitions in one call — same per-page
+        effects as sequential :meth:`invalidate` calls (invalidation is
+        order-independent: every touched column cell is distinct per page and
+        the block counters commute).  ``ppns`` must not contain duplicates,
+        which the callers guarantee because a page can only be superseded
+        once while it is valid.
+        """
+        ppns = np.asarray(ppns, dtype=np.int64)
+        if ppns.size == 0:
+            return
+        state = np.frombuffer(self._page_state, dtype=np.uint8)
+        gathered = state[ppns]
+        if np.any(gathered != PAGE_VALID):
+            bad = int(ppns[int(np.argmax(gathered != PAGE_VALID))])
+            raise FlashStateError(
+                f"invalidate of non-valid page ppn={bad} "
+                f"(state={_STATE_BY_CODE[self._page_state[bad]]})"
+            )
+        state[ppns] = PAGE_INVALID
+        blocks = ppns // self._pages_per_block
+        block_valid = np.frombuffer(self._block_valid, dtype=np.int32)
+        block_invalid = np.frombuffer(self._block_invalid, dtype=np.int32)
+        np.subtract.at(block_valid, blocks, 1)
+        np.add.at(block_invalid, blocks, 1)
+        translation = np.frombuffer(self._page_translation, dtype=np.uint8)[ppns]
+        self.data_invalidation_epoch += int(np.count_nonzero(translation == 0))
 
     def erase(self, block: int, *, allow_valid: bool = False) -> int:
         """Erase a block, returning the number of pages reclaimed.

@@ -42,7 +42,7 @@ from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
 from repro.ssd.energy import EnergyBreakdown, EnergyModel
 from repro.ssd.engine import TimingEngine
-from repro.ssd.request import OP_READ_CODE, HostRequest, OpType, RequestBatch
+from repro.ssd.request import OP_READ_CODE, OP_WRITE_CODE, HostRequest, OpType, RequestBatch
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl", "available_ftls"]
@@ -86,52 +86,81 @@ def create_ftl(
     return cls(geometry, timing=timing, config=config, stats=stats)
 
 
-def _segments(eligible: "np.ndarray") -> Iterator[tuple[int, int, bool]]:
-    """Split a boolean column into maximal constant runs.
+#: Run classes of the batched loop's segment splitter.
+_RUN_SCALAR, _RUN_READ, _RUN_WRITE = 0, 1, 2
 
-    Yields ``(start, end, flag)`` half-open runs in order; the batched loop
-    executes ``flag=True`` runs through the FTL's read planner and the rest
-    through the scalar path.
+
+def _segments(klass: "np.ndarray") -> Iterator[tuple[int, int, int]]:
+    """Split a run-class column into maximal constant runs.
+
+    Yields ``(start, end, klass)`` half-open runs in order; the batched loop
+    executes :data:`_RUN_READ` runs through the FTL's read planner,
+    :data:`_RUN_WRITE` runs through its write planner, and :data:`_RUN_SCALAR`
+    runs through the scalar path.
     """
-    n = eligible.shape[0]
+    n = klass.shape[0]
     if n == 0:
         return
-    changes = np.flatnonzero(eligible[1:] != eligible[:-1]) + 1
+    changes = np.flatnonzero(klass[1:] != klass[:-1]) + 1
     prev = 0
-    flag = bool(eligible[0])
     for index in changes.tolist():
-        yield prev, index, flag
+        yield prev, index, int(klass[prev])
         prev = index
-        flag = not flag
-    yield prev, n, flag
+    yield prev, n, int(klass[prev])
 
 
 def _iter_request_chunks(
     requests: "Iterable[HostRequest] | RequestBatch", batch: int
 ) -> Iterator[tuple["np.ndarray", "np.ndarray", Callable[[int], HostRequest]]]:
-    """Chunk a request stream into ``(lpns, eligible, request_at)`` columns.
+    """Chunk a request stream into ``(lpns, klass, request_at)`` columns.
 
-    ``eligible`` marks single-page reads (the planner-servable shape);
+    ``klass`` classifies each request for the segment splitter: single-page
+    reads (:data:`_RUN_READ`) and single-page writes (:data:`_RUN_WRITE`) are
+    planner-servable shapes, everything else is :data:`_RUN_SCALAR`.
     ``request_at(i)`` materializes chunk-local request ``i`` for the scalar
-    path.  A :class:`RequestBatch` source is sliced zero-copy (its columns
-    already exist); any other iterable is buffered ``batch`` requests at a
-    time, so generators stream without being drained up front.
+    path; for a :class:`RequestBatch` source it converts the chunk's columns
+    with one ``tolist`` per chunk on first use, so a planner-less design
+    (LeaFTL) pays list indexing per fallback request instead of NumPy scalar
+    extraction.  A :class:`RequestBatch` source is otherwise sliced zero-copy
+    (its columns already exist); any other iterable is buffered ``batch``
+    requests at a time, so generators stream without being drained up front.
     """
     if isinstance(requests, RequestBatch):
         lpns = requests.lpns
-        eligible_all = (requests.ops == OP_READ_CODE) & (requests.npages == 1)
+        single = requests.npages == 1
+        klass_all = np.where(
+            single & (requests.ops == OP_READ_CODE),
+            np.int8(_RUN_READ),
+            np.where(
+                single & (requests.ops == OP_WRITE_CODE),
+                np.int8(_RUN_WRITE),
+                np.int8(_RUN_SCALAR),
+            ),
+        )
         total = len(requests)
+        read_op, write_op = OpType.READ, OpType.WRITE
         for chunk_start in range(0, total, batch):
             chunk_end = chunk_start + batch
             if chunk_end > total:
                 chunk_end = total
 
-            def request_at(i: int, _base: int = chunk_start) -> HostRequest:
-                return requests[_base + i]
+            def request_at(
+                i: int, _start: int = chunk_start, _end: int = chunk_end, _cache: list = []
+            ) -> HostRequest:
+                if not _cache:
+                    _cache.append(requests.ops[_start:_end].tolist())
+                    _cache.append(requests.lpns[_start:_end].tolist())
+                    _cache.append(requests.npages[_start:_end].tolist())
+                return HostRequest(
+                    op=read_op if _cache[0][i] == OP_READ_CODE else write_op,
+                    lpn=_cache[1][i],
+                    npages=_cache[2][i],
+                )
 
-            yield lpns[chunk_start:chunk_end], eligible_all[chunk_start:chunk_end], request_at
+            yield lpns[chunk_start:chunk_end], klass_all[chunk_start:chunk_end], request_at
         return
     read_op = OpType.READ
+    write_op = OpType.WRITE
     iterator = iter(requests)
     while True:
         chunk = list(islice(iterator, batch))
@@ -139,12 +168,17 @@ def _iter_request_chunks(
             return
         n = len(chunk)
         lpns = np.fromiter((request.lpn for request in chunk), np.int64, count=n)
-        eligible = np.fromiter(
-            (request.op is read_op and request.npages == 1 for request in chunk),
-            np.bool_,
+        klass = np.fromiter(
+            (
+                (_RUN_READ if request.op is read_op else _RUN_WRITE if request.op is write_op else _RUN_SCALAR)
+                if request.npages == 1
+                else _RUN_SCALAR
+                for request in chunk
+            ),
+            np.int8,
             count=n,
         )
-        yield lpns, eligible, chunk.__getitem__
+        yield lpns, klass, chunk.__getitem__
 
 
 @dataclass
@@ -247,16 +281,25 @@ class SSD:
     ) -> RunResult:
         """Closed-loop execution: ``threads`` psync workers share the request stream.
 
-        With ``batch=N`` the device runs the vectorized kernel: requests are
-        pulled ``N`` at a time, runs of single-page reads are served
-        array-at-a-time through the FTL's read planner
-        (:meth:`~repro.core.base.FTLBase.begin_read_run`) and everything else
+        With ``batch=N`` (N > 1) the device runs the vectorized kernel:
+        requests are pulled ``N`` at a time, runs of single-page reads and
+        single-page writes are served array-at-a-time through the FTL's
+        planners (:meth:`~repro.core.base.FTLBase.begin_read_run` /
+        :meth:`~repro.core.base.FTLBase.begin_write_run`) and everything else
         falls back to the scalar path per request.  Results are bit-identical
         to ``batch=None``; passing the stream as a :class:`RequestBatch`
         avoids materializing request objects on the fast path entirely.
+        ``batch=1`` degenerates to one request per "run" — there is nothing to
+        vectorize — so it skips the packing machinery and runs the scalar loop
+        directly.
         """
         if batch is not None:
-            return self._run_batched(requests, threads=threads, batch=batch, progress=progress)
+            if batch <= 0:
+                raise ConfigurationError("batch must be positive")
+            if batch > 1:
+                return self._run_batched(
+                    requests, threads=threads, batch=batch, progress=progress
+                )
         if threads <= 0:
             raise ConfigurationError("threads must be positive")
         start = self._clock_us
@@ -311,20 +354,28 @@ class SSD:
         completed = 0
         engine_execute = self.engine.execute_buffer
         execute_read_batch = self.engine.execute_read_batch
+        execute_write_batch = self.engine.execute_write_batch
         ftl = self.ftl
         ftl_encode = ftl.encode
         begin_read_run = ftl.begin_read_run
+        begin_write_run = ftl.begin_write_run
         stats = self.stats
         record_latency = stats.record_latency
         record_latencies = stats.record_latencies
         heapreplace = heapq.heapreplace
         read_op = OpType.READ
-        for lpns, eligible, request_at in _iter_request_chunks(requests, batch):
-            for seg_start, seg_end, fast in _segments(eligible):
-                planner = begin_read_run(lpns[seg_start:seg_end]) if fast else None
+        for lpns, klass, request_at in _iter_request_chunks(requests, batch):
+            for seg_start, seg_end, kind in _segments(klass):
+                is_read = kind == _RUN_READ
+                if is_read:
+                    planner = begin_read_run(lpns[seg_start:seg_end])
+                elif kind == _RUN_WRITE:
+                    planner = begin_write_run(lpns[seg_start:seg_end])
+                else:
+                    planner = None
                 if planner is None:
-                    # Writes, multi-page requests, or a design with no fast
-                    # path (LeaFTL): the scalar loop, request by request.
+                    # Multi-page requests, or a design with no fast path for
+                    # this run class (LeaFTL): the scalar loop, per request.
                     for i in range(seg_start, seg_end):
                         request = request_at(i)
                         issue = thread_free[0]
@@ -338,17 +389,26 @@ class SSD:
                     continue
                 pos = seg_start
                 while pos < seg_end:
-                    k, data_chips, trans_chips, trans_count = planner.take()
+                    if is_read:
+                        k, data_chips, trans_chips, trans_count, computes = planner.take()
+                        if k:
+                            latencies = execute_read_batch(
+                                data_chips,
+                                trans_chips,
+                                thread_free,
+                                data_code=planner.data_code,
+                                trans_code=planner.trans_code,
+                                trans_count=trans_count,
+                                computes=computes,
+                            )
+                    else:
+                        k, write_chips = planner.take()
+                        if k:
+                            latencies = execute_write_batch(
+                                write_chips, thread_free, code=planner.program_code
+                            )
                     if k:
-                        latencies = execute_read_batch(
-                            data_chips,
-                            trans_chips,
-                            thread_free,
-                            data_code=planner.data_code,
-                            trans_code=planner.trans_code,
-                            trans_count=trans_count,
-                        )
-                        record_latencies(True, latencies)
+                        record_latencies(is_read, latencies)
                         if progress is not None:
                             next_mark = completed - completed % 10_000 + 10_000
                             completed += k
@@ -362,12 +422,12 @@ class SSD:
                             break
                     # The planner refused the request at the cursor: run it
                     # through the scalar path (every request in a fast run is
-                    # a single-page read) and resume batching after it.
+                    # a single-page read or write) and resume batching after it.
                     request = request_at(pos)
                     issue = thread_free[0]
                     buffer = ftl_encode(request, issue)
                     finish = engine_execute(buffer, issue)
-                    record_latency(True, finish - issue)
+                    record_latency(is_read, finish - issue)
                     heapreplace(thread_free, finish)
                     completed += 1
                     if progress is not None and completed % 10_000 == 0:

@@ -208,6 +208,7 @@ class TimingEngine:
         data_code: int,
         trans_code: int,
         trans_count: int = 0,
+        computes: list | None = None,
     ) -> list:
         """Execute a planner's batch of single-page reads; returns their latencies.
 
@@ -215,16 +216,21 @@ class TimingEngine:
         batched device loop drops the slot indices the scalar loop carries —
         threads are indistinguishable, so the free-time multiset is the whole
         state).  Request ``i`` issues at ``thread_free[0]`` (the earliest-free
-        thread), pays one translation read on ``trans_chips[i]`` when that is
-        ``>= 0``, then one data read on ``data_chips[i]``, and the thread is
-        re-queued at the data read's finish.
+        thread), pays its controller compute charge (``computes[i]``, when the
+        planner supplies a compute column), then one translation read on
+        ``trans_chips[i]`` when that is ``>= 0``, then one data read on
+        ``data_chips[i]``, and the thread is re-queued at the data read's
+        finish.
 
         The arithmetic is a specialization of :meth:`execute_buffer` for the
-        two shapes planners emit — ``[data]`` and ``[trans] -> [data]`` with
-        zero ``compute_us`` — and is bit-identical to it: each stage holds one
-        command, so the stage finish IS the command finish, and a zero compute
-        charge adds exactly ``0.0``.  ``busy_time`` is accumulated per command
-        (never as ``count * duration``) to keep float association identical.
+        three shapes planners emit — ``[data]``, ``[trans] -> [data]`` and
+        ``[compute (+ trans)] -> [data]`` — and is bit-identical to it: each
+        stage holds at most one command, so the stage finish IS the command
+        finish; a head stage carrying only compute time finishes at its
+        dispatch (``issue + compute``); and a zero compute charge adds exactly
+        ``0.0``, which is bitwise-neutral for the non-negative timestamps the
+        clock produces.  ``busy_time`` is accumulated per command (never as
+        ``count * duration``) to keep float association identical.
         """
         n = len(data_chips)
         counts = self._command_counts
@@ -237,7 +243,7 @@ class TimingEngine:
         latencies: list = []
         append_latency = latencies.append
         heapreplace = heapq.heapreplace
-        if trans_chips is None:
+        if trans_chips is None and computes is None:
             for chip in data_chips:
                 issue = thread_free[0]
                 busy = busy_until[chip]
@@ -251,14 +257,13 @@ class TimingEngine:
             trans_duration = self._duration_by_code[trans_code]
             for i in range(n):
                 issue = thread_free[0]
-                trans_chip = trans_chips[i]
+                cursor = issue if computes is None else issue + computes[i]
+                trans_chip = -1 if trans_chips is None else trans_chips[i]
                 if trans_chip >= 0:
                     busy = busy_until[trans_chip]
-                    cursor = (busy if busy > issue else issue) + trans_duration
+                    cursor = (busy if busy > cursor else cursor) + trans_duration
                     busy_until[trans_chip] = cursor
                     busy_time[trans_chip] += trans_duration
-                else:
-                    cursor = issue
                 chip = data_chips[i]
                 busy = busy_until[chip]
                 start = busy if busy > cursor else cursor
@@ -267,6 +272,35 @@ class TimingEngine:
                 busy_time[chip] += data_duration
                 heapreplace(thread_free, finish)
                 append_latency(finish - issue)
+        return latencies
+
+    def execute_write_batch(self, chips: list, thread_free: list, *, code: int) -> list:
+        """Execute a write planner's batch of single-page programs.
+
+        The mirror of :meth:`execute_read_batch` for the one shape the write
+        fast path emits — a single ``[program]`` stage with zero compute —
+        and bit-identical to :meth:`execute_buffer` on it: request ``i``
+        issues at ``thread_free[0]``, serializes its program on ``chips[i]``
+        and re-queues the thread at the program's finish.  Returns the
+        per-request latencies in issue order.
+        """
+        counts = self._command_counts
+        counts[code] += len(chips)
+        duration = self._duration_by_code[code]
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
+        latencies: list = []
+        append_latency = latencies.append
+        heapreplace = heapq.heapreplace
+        for chip in chips:
+            issue = thread_free[0]
+            busy = busy_until[chip]
+            start = busy if busy > issue else issue
+            finish = start + duration
+            busy_until[chip] = finish
+            busy_time[chip] += duration
+            heapreplace(thread_free, finish)
+            append_latency(finish - issue)
         return latencies
 
     def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:

@@ -161,6 +161,16 @@ class RequestBatch:
             np.full(lpns.shape[0], npages, dtype=np.int64),
         )
 
+    @classmethod
+    def writes(cls, lpns: "np.ndarray | Iterable[int]", npages: int = 1) -> "RequestBatch":
+        """Single-page-write batch over an LPN column (the randwrite hot case)."""
+        lpns = np.ascontiguousarray(lpns, dtype=np.int64)
+        return cls(
+            np.full(lpns.shape[0], OP_WRITE_CODE, dtype=np.int8),
+            lpns,
+            np.full(lpns.shape[0], npages, dtype=np.int64),
+        )
+
     # ----------------------------------------------------------- scalar view
     def __len__(self) -> int:
         return self.ops.shape[0]

@@ -4,6 +4,14 @@ The fio/Filebench/RocksDB/trace generators cover the paper's workloads; this
 module adds small composable building blocks that are convenient when writing
 tests, examples and ablation studies: mixed read/write streams, strided
 patterns and locality-controlled streams.
+
+Each stream also has a ``*_batch`` counterpart returning a columnar
+:class:`~repro.ssd.request.RequestBatch` (op/lpn/npages columns) for the
+batched execution kernel.  The batch builders pack the *same* generator the
+iterator form yields from, so the two streams are bit-identical per seed by
+construction — sampling is inherently sequential for these RNG-driven
+patterns (each draw advances shared generator state), and generation is not
+the hot path the batched kernel optimizes.
 """
 
 from __future__ import annotations
@@ -12,14 +20,17 @@ import random
 from typing import Iterator
 
 from repro.nand.geometry import SSDGeometry
-from repro.ssd.request import HostRequest, OpType
+from repro.ssd.request import HostRequest, OpType, RequestBatch
 from repro.workloads.zipf import HotspotGenerator, ZipfGenerator
 
 __all__ = [
     "mixed_stream",
+    "mixed_batch",
     "strided_reads",
     "zipf_reads",
+    "zipf_read_batch",
     "hotspot_stream",
+    "hotspot_batch",
     "sequential_stream",
 ]
 
@@ -58,6 +69,11 @@ def mixed_stream(
         yield HostRequest(op=op, lpn=rng.randrange(limit), npages=io_pages)
 
 
+def mixed_batch(geometry: SSDGeometry, **kwargs) -> RequestBatch:
+    """:func:`mixed_stream` as one columnar batch (bit-identical stream)."""
+    return RequestBatch.from_requests(mixed_stream(geometry, **kwargs))
+
+
 def strided_reads(
     geometry: SSDGeometry,
     *,
@@ -89,6 +105,11 @@ def zipf_reads(
         yield HostRequest(op=OpType.READ, lpn=generator.sample(), npages=io_pages)
 
 
+def zipf_read_batch(geometry: SSDGeometry, **kwargs) -> RequestBatch:
+    """:func:`zipf_reads` as one columnar batch (bit-identical stream)."""
+    return RequestBatch.from_requests(zipf_reads(geometry, **kwargs))
+
+
 def hotspot_stream(
     geometry: SSDGeometry,
     *,
@@ -110,3 +131,8 @@ def hotspot_stream(
     for _ in range(num_requests):
         op = OpType.READ if rng.random() < read_fraction else OpType.WRITE
         yield HostRequest(op=op, lpn=generator.sample(), npages=io_pages)
+
+
+def hotspot_batch(geometry: SSDGeometry, **kwargs) -> RequestBatch:
+    """:func:`hotspot_stream` as one columnar batch (bit-identical stream)."""
+    return RequestBatch.from_requests(hotspot_stream(geometry, **kwargs))

@@ -27,7 +27,14 @@ SEED = 20240606
 
 
 def _workload(geometry) -> list[list[HostRequest]]:
-    """Three phases: GC-forcing overwrites, a CMT-churning read storm, a mix."""
+    """Five phases covering every planner boundary.
+
+    GC-forcing multi-page overwrites, a CMT-churning read storm, a mixed
+    phase with multi-page shapes, a write-heavy single-page phase (random
+    LPNs over the whole device, so write runs straddle both data-block GC
+    and CMT eviction refusals), and a 50/50 single-page read/write mix
+    (maximally alternating run classes).
+    """
     rng = random.Random(SEED)
     limit = geometry.num_logical_pages
     overwrites = [
@@ -47,7 +54,28 @@ def _workload(geometry) -> list[list[HostRequest]]:
             mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 8), npages=8))
         else:
             mix.append(HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1))
-    return [overwrites, reads, mix]
+    write_heavy = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 1), npages=1)
+        for _ in range(500)
+    ]
+    # A couple of in-run duplicate LPNs: store_many's gather-before-scatter
+    # cannot serve those, so the planner's per-request update path runs too.
+    write_heavy[100] = HostRequest(op=OpType.WRITE, lpn=write_heavy[101].lpn, npages=1)
+    mixed_5050 = [
+        HostRequest(
+            op=OpType.READ if rng.random() < 0.5 else OpType.WRITE,
+            lpn=rng.randint(0, limit - 1),
+            npages=1,
+        )
+        for _ in range(500)
+    ]
+    # Hot-set single-page writes inside the (64-entry) CMT: after one pass the
+    # working set is fully cached, so long write runs commit through the array
+    # path (the full-device phase above mostly refuses at the capacity check).
+    hot_writes = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, 47), npages=1) for _ in range(400)
+    ]
+    return [overwrites, reads, mix, write_heavy, mixed_5050, hot_writes]
 
 
 def _fingerprint(ssd: SSD) -> dict:
@@ -97,16 +125,33 @@ def test_batched_matches_scalar(ftl_name: str, threads: int, batch: int) -> None
     assert _run(ftl_name, threads, batch) == _scalar_reference(ftl_name, threads)
 
 
+@pytest.mark.parametrize("pattern", ("randread", "randwrite"))
 @pytest.mark.parametrize("ftl_name", ("dftl", "learnedftl", "ideal"))
-def test_request_batch_source_matches_object_stream(ftl_name: str) -> None:
+def test_request_batch_source_matches_object_stream(ftl_name: str, pattern: str) -> None:
     """A columnar RequestBatch source is equivalent to the same object stream."""
     results = []
     for columnar in (False, True):
         geometry = golden_geometry()
         ssd = SSD.create(ftl_name, geometry)
         ssd.fill_sequential(io_pages=16)
-        job = FioJob.randread(num_requests=800)
+        job = FioJob.from_name(pattern, num_requests=800)
         source = job.request_batch(geometry) if columnar else job.requests(geometry)
+        ssd.run(source, threads=4, batch=64)
+        results.append(_fingerprint(ssd))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("ftl_name", ("dftl", "tpftl"))
+def test_mixed_batch_source_matches_object_stream(ftl_name: str) -> None:
+    """The synthetic mixed workload's op column feeds the kernel end to end."""
+    from repro.workloads.synthetic import mixed_batch, mixed_stream
+
+    results = []
+    for columnar in (False, True):
+        geometry = golden_geometry()
+        ssd = SSD.create(ftl_name, geometry)
+        ssd.fill_sequential(io_pages=16)
+        source = (mixed_batch if columnar else mixed_stream)(geometry, num_requests=800)
         ssd.run(source, threads=4, batch=64)
         results.append(_fingerprint(ssd))
     assert results[0] == results[1]
@@ -142,3 +187,160 @@ def test_progress_marks_match_scalar() -> None:
     assert marks["scalar"] == [10_000, 20_000]
     assert marks["batched"] == marks["scalar"]
     assert marks["batched_odd"] == marks["scalar"]
+
+
+def _clean_warm_dftl():
+    """A dftl device whose CMT holds only clean, read-inserted entries.
+
+    The sequential read storm evicts (and flushes) every dirty fill-era entry,
+    leaving the last 64 read LPNs resident — so a planner miss evicts silently
+    instead of breaking the run at a dirty LRU head.
+    """
+    geometry = golden_geometry()
+    ssd = SSD.create("dftl", geometry)
+    ssd.fill_sequential(io_pages=16)
+    ssd.run(RequestBatch.reads(np.arange(256, dtype=np.int64)), threads=1)
+    return ssd
+
+
+def test_demand_read_planner_partitions_hits_and_misses():
+    """One take serves an interleaved hit/miss run: misses ride along as
+    double reads (translation chip per miss) instead of ending the run."""
+    ssd = _clean_warm_dftl()
+    ftl = ssd.ftl
+    run = np.array([250, 10, 251, 20, 30], dtype=np.int64)
+    resident = [lpn in ftl.cmt._entries for lpn in run.tolist()]
+    assert resident == [True, False, True, False, False]
+    hits_before = ftl.stats.cmt_hits
+    trans_before = ftl.translation_store.translation_reads
+    reads_before = ftl.flash.total_reads
+
+    planner = ftl.begin_read_run(run)
+    k, data_chips, trans_chips, trans_count, computes = planner.take()
+
+    assert k == 5
+    assert len(data_chips) == 5
+    assert trans_count == 3
+    # Hit positions carry no translation read (-1); misses carry a chip id.
+    assert [chip == -1 for chip in trans_chips] == resident
+    assert computes is None
+    assert ftl.stats.cmt_hits - hits_before == 2
+    assert ftl.translation_store.translation_reads - trans_before == 3
+    assert ftl.flash.total_reads - reads_before == 5 + 3
+    # The misses were really inserted: a second take over them is all hits.
+    planner2 = ftl.begin_read_run(np.array([10, 20, 30], dtype=np.int64))
+    k2, _, trans_chips2, trans_count2, _ = planner2.take()
+    assert (k2, trans_count2, trans_chips2) == (3, 0, None)
+
+
+def test_demand_read_planner_trans_chips_none_when_all_hits():
+    """An all-hit take returns trans_chips=None (the engine's fast branch)."""
+    ssd = _clean_warm_dftl()
+    planner = ssd.ftl.begin_read_run(np.array([250, 251, 252], dtype=np.int64))
+    k, data_chips, trans_chips, trans_count, _ = planner.take()
+    assert (k, trans_count, trans_chips) == (3, 0, None)
+    assert len(data_chips) == 3
+
+
+def test_grouped_read_planner_batch_fills_translation_misses():
+    """TPFTL's planner services a cold sequential run with grouped prefetch:
+    one translation read loads a batch of neighbours, which the rest of the
+    run then hits — inside a single take."""
+    geometry = golden_geometry()
+    ssd = SSD.create("tpftl", geometry)
+    ssd.fill_sequential(io_pages=16)
+    ssd.run(RequestBatch.reads(np.arange(128, dtype=np.int64)), threads=1)
+    ftl = ssd.ftl
+    # Eight cold consecutive LPNs inside one translation page (tvpn 5).
+    run = np.arange(320, 328, dtype=np.int64)
+    assert ftl.cmt._pages.get(5) is None
+    hits_before = ftl.stats.cmt_hits
+    trans_before = ftl.translation_store.translation_reads
+
+    planner = ftl.begin_read_run(run)
+    k, data_chips, trans_chips, trans_count, computes = planner.take()
+
+    assert k == 8
+    assert len(data_chips) == 8
+    # Miss at 320 (fresh jump, depth 2: prefetches 321) and at 322 (streak 2,
+    # depth 6: prefetches 323..327) — two translation reads for eight
+    # requests, where per-request demand loading would have paid eight.
+    assert trans_count == 2
+    assert [chip != -1 for chip in trans_chips] == [
+        True, False, True, False, False, False, False, False,
+    ]
+    assert ftl.stats.cmt_hits - hits_before == 6
+    assert ftl.translation_store.translation_reads - trans_before == 2
+
+
+def _pinned_workload(kind: str, geometry) -> RequestBatch:
+    rng = np.random.default_rng(20240808)
+    lpns = rng.integers(0, geometry.num_logical_pages, size=2000)
+    if kind == "reads":
+        return RequestBatch.reads(lpns)
+    if kind == "writes":
+        return RequestBatch.writes(lpns)
+    ops = (np.arange(2000) // 16 % 2).astype(np.int8)
+    return RequestBatch(ops=ops, lpns=lpns, npages=np.ones(2000, dtype=np.int64))
+
+
+def _pinned_fingerprint(ftl_name: str, kind: str, batch: int | None) -> tuple:
+    geometry = golden_geometry()
+    ssd = SSD.create(ftl_name, geometry)
+    ssd.fill_sequential(io_pages=16)
+    ssd.run(_pinned_workload(kind, geometry), threads=4, batch=batch)
+    stats = ssd.stats
+    return (
+        ssd.now_us,
+        sum(stats.read_latencies_us),
+        sum(stats.write_latencies_us),
+        ssd.ftl.flash.total_reads,
+        ssd.ftl.flash.total_programs,
+        ssd.ftl.flash.total_erases,
+    )
+
+
+#: Batched-kernel fingerprints of seeded read/write/mixed storms, captured at
+#: the PR that introduced the batched write kernel.  The equivalence tests
+#: above tie batched to scalar *dynamically*; these constants additionally pin
+#: both modes to the repository's history, so a change that alters simulated
+#: behaviour in BOTH paths at once still fails loudly.  Regenerate (only for
+#: intentional modelling changes) with:
+#:
+#:     PYTHONPATH=src:tests python - <<'PY'
+#:     import json
+#:     from test_batched_equivalence import PINNED, _pinned_fingerprint
+#:     print(json.dumps({f"{f}:{k}": _pinned_fingerprint(f, k, 64)
+#:                       for f, k in PINNED}, indent=4))
+#:     PY
+PINNED: dict[tuple[str, str], tuple] = {
+    ("dftl", "reads"): (306200.0, 371000.0, 213400.0, 4412, 1191, 35),
+    ("dftl", "writes"): (7663040.0, 0, 30010120.0, 31572, 34120, 2091),
+    ("dftl", "mixed"): (3869360.0, 2098800.0, 12737520.0, 17327, 16975, 1021),
+    ("tpftl", "reads"): (112720.0, 312160.0, 34640.0, 3867, 603, 0),
+    ("tpftl", "writes"): (7068720.0, 0, 28170600.0, 29546, 32129, 1967),
+    ("tpftl", "mixed"): (3496720.0, 1771320.0, 12111440.0, 16160, 15800, 948),
+    ("leaftl", "reads"): (63140.0, 122400.0, 32500.0, 2014, 590, 0),
+    ("leaftl", "writes"): (7122690.0, 0, 28393020.0, 29781, 32366, 1982),
+    ("leaftl", "mixed"): (3467170.0, 1556200.0, 12214820.0, 16265, 15742, 944),
+    ("learnedftl", "reads"): (99419.49999999994, 258957.99999999956, 34640.0, 3377, 603, 0),
+    ("learnedftl", "writes"): (12546770.0, 0, 50039220.0, 115295, 117879, 7747),
+    ("learnedftl", "mixed"): (
+        6260890.050000012,
+        2382869.3000000333,
+        22556568.950000014,
+        58641,
+        59194,
+        3851,
+    ),
+    ("ideal", "reads"): (59160.0, 121280.0, 28800.0, 2000, 576, 0),
+    ("ideal", "writes"): (4874360.0, 0, 19410640.0, 19601, 22177, 1348),
+    ("ideal", "mixed"): (2378120.0, 1005520.0, 8420480.0, 10444, 11004, 651),
+}
+
+
+@pytest.mark.parametrize("ftl_name,kind", sorted(PINNED))
+def test_pinned_batched_fingerprints(ftl_name: str, kind: str) -> None:
+    golden = tuple(PINNED[(ftl_name, kind)])
+    assert _pinned_fingerprint(ftl_name, kind, 64) == golden
+    assert _pinned_fingerprint(ftl_name, kind, None) == golden

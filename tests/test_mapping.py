@@ -184,3 +184,46 @@ class TestLookupMany:
         got = directory.lookup_many(np.array([1], dtype=np.int64))
         got[0] = -5  # must not corrupt the directory
         assert directory.lookup(1) == 10
+
+
+class TestStoreMany:
+    def test_matches_sequential_updates(self, geometry):
+        import numpy as np
+
+        scalar = MappingDirectory(geometry)
+        batched = MappingDirectory(geometry)
+        for lpn in range(0, 12, 3):
+            scalar.update(lpn, lpn + 100)
+            batched.update(lpn, lpn + 100)
+        lpns = np.array([0, 1, 3, 7], dtype=np.int64)
+        ppns = np.array([40, 41, 42, 43], dtype=np.int64)
+        expected_old = [scalar.update(int(l), int(p)) for l, p in zip(lpns, ppns)]
+        old = batched.store_many(lpns, ppns)
+        assert old.tolist() == [-1 if e is None else e for e in expected_old]
+        assert len(batched) == len(scalar)
+        for lpn in range(12):
+            assert batched.lookup(lpn) == scalar.lookup(lpn)
+
+    def test_duplicate_lpns_last_write_wins(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        directory.update(5, 10)
+        # The gather of old PPNs happens before any scatter, so both
+        # duplicates report the pre-call value — exactly the caveat the write
+        # planners dodge by falling back to per-request updates on duplicates.
+        old = directory.store_many(
+            np.array([5, 5], dtype=np.int64), np.array([20, 30], dtype=np.int64)
+        )
+        assert old.tolist() == [10, 10]
+        assert directory.lookup(5) == 30
+
+    def test_mapped_count_tracks_first_mappings(self, geometry):
+        import numpy as np
+
+        directory = MappingDirectory(geometry)
+        directory.update(2, 7)
+        directory.store_many(
+            np.array([1, 2, 3], dtype=np.int64), np.array([11, 12, 13], dtype=np.int64)
+        )
+        assert len(directory) == 3

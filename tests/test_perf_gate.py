@@ -221,3 +221,61 @@ class TestLowerIsBetterMetrics:
     def test_committed_baseline_carries_dispatch_overhead(self):
         baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
         assert baseline["micro"]["orchestrator_dispatch_overhead_us"] > 0.0
+
+
+class TestSpeedupRatioMetrics:
+    """Batched/scalar speedup ratios gate against an absolute 1.0 floor."""
+
+    def _report_with_ratio(self, ratio: float, cal: float | None = None) -> dict:
+        report = _report(1000.0, 5000.0)
+        report["results"]["dftl"]["batched_vs_scalar_speedup"] = ratio
+        if cal is not None:
+            report["calibration_iters_per_second"] = cal
+        return report
+
+    def test_all_ratio_metrics_are_tracked(self):
+        assert perf_gate.TRACKED_RATIO_METRICS == (
+            "batched_vs_scalar_speedup",
+            "randwrite_batched_vs_scalar_speedup",
+            "mixed_batched_vs_scalar_speedup",
+        )
+
+    def test_batched_losing_to_scalar_fails(self):
+        baseline = self._report_with_ratio(2.0)
+        fresh = self._report_with_ratio(0.65)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert any("batched_vs_scalar_speedup" in failure for failure in failures)
+
+    def test_ratio_at_or_above_floor_passes(self):
+        baseline = self._report_with_ratio(4.0)
+        assert perf_gate.compare(baseline, self._report_with_ratio(1.0), max_slowdown=0.25) == []
+
+    def test_ratio_gates_the_fresh_report_even_without_baseline_ratio(self):
+        # The floor is absolute: a baseline predating the metric still gates.
+        baseline = _report(1000.0, 5000.0)
+        fresh = self._report_with_ratio(0.9)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert any("batched_vs_scalar_speedup" in failure for failure in failures)
+
+    def test_ratio_is_never_machine_scaled(self):
+        # A slow fresh machine gets no allowance: both sides of the ratio ran
+        # on the same machine, so < 1.0 is a code regression regardless.
+        baseline = self._report_with_ratio(2.0, cal=10_000_000.0)
+        fresh = self._report_with_ratio(0.9, cal=1_000_000.0)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True)
+        assert any("batched_vs_scalar_speedup" in failure for failure in failures)
+
+    def test_merge_best_takes_the_best_ratio(self):
+        merged = perf_gate.merge_best(
+            [self._report_with_ratio(0.9), self._report_with_ratio(1.4)]
+        )
+        assert merged["results"]["dftl"]["batched_vs_scalar_speedup"] == 1.4
+
+    def test_committed_baseline_carries_speedups_for_every_ftl(self):
+        baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
+        for ftl, row in baseline["results"].items():
+            assert row["batched_vs_scalar_speedup"] >= 1.0, ftl
+        # The write kernel's acceptance bar: batched randwrite/mixed at >= 2x
+        # the scalar loop for dftl.
+        assert baseline["results"]["dftl"]["randwrite_batched_vs_scalar_speedup"] >= 2.0
+        assert baseline["results"]["dftl"]["mixed_batched_vs_scalar_speedup"] >= 2.0
