@@ -70,6 +70,22 @@ TRACKED_MICRO_METRICS = ("lookup_many_lpns_per_second", "probe_many_lpns_per_sec
 #: fresh value must not exceed the baseline by more than the allowed slowdown.
 TRACKED_MICRO_LOWER_IS_BETTER = ("orchestrator_dispatch_overhead_us",)
 
+#: Rate metrics of the top-level ``obs`` section merged best-of across fresh
+#: reports (the gated ratio rides along via :data:`OBS_RATIO_METRIC`).
+TRACKED_OBS_METRICS = (
+    "obs_disabled_requests_per_second",
+    "obs_enabled_requests_per_second",
+    "obs_enabled_vs_disabled_ratio",
+)
+#: Observability-disabled throughput relative to the same report's plain dftl
+#: randread storm.  Like the batched/scalar speedups this is an intra-report
+#: ratio — never machine-scaled — but its floor is slightly below 1.0: the
+#: two sides are separate timed storms of the *same* code path, so the floor
+#: only needs to absorb run-to-run jitter, and anything beyond 2 % means the
+#: observability seams taxed the disabled hot path.
+OBS_RATIO_METRIC = "obs_disabled_vs_baseline_ratio"
+OBS_RATIO_FLOOR = 0.98
+
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 
@@ -132,6 +148,12 @@ def merge_best(reports: list[dict]) -> dict:
                 micro[metric] = max(float(micro.get(metric, 0.0)), float(value))
     if micro:
         merged["micro"] = micro
+    obs: dict = {}
+    for report in reports:
+        for metric, value in report.get("obs", {}).items():
+            obs[metric] = max(float(obs.get(metric, 0.0)), float(value))
+    if obs:
+        merged["obs"] = obs
     return merged
 
 
@@ -204,6 +226,19 @@ def compare(baseline: dict, fresh: dict, *, max_slowdown: float, calibrate: bool
             failures.append(
                 f"micro.{metric} regressed to {fresh_value:.1f} lpns/s "
                 f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
+            )
+    fresh_obs = fresh.get("obs", {})
+    if OBS_RATIO_METRIC in fresh_obs:
+        ratio = float(fresh_obs[OBS_RATIO_METRIC])
+        status = "OK " if ratio >= OBS_RATIO_FLOOR else "FAIL"
+        print(
+            f"[perf-gate] {status} obs.{OBS_RATIO_METRIC}: {ratio:.2f}x "
+            f"(floor {OBS_RATIO_FLOOR:.2f}x, unscaled)"
+        )
+        if ratio < OBS_RATIO_FLOOR:
+            failures.append(
+                f"obs.{OBS_RATIO_METRIC} is {ratio:.2f}x — the observability "
+                f"seams slowed the disabled hot path (floor {OBS_RATIO_FLOOR:.2f}x)"
             )
     for metric in TRACKED_MICRO_LOWER_IS_BETTER:
         # Cost metrics invert everything: a slower machine is allowed a

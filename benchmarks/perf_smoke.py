@@ -19,6 +19,11 @@ trajectory is tracked across PRs:
   transient.
 * **micro** — ``lookup_many``/``probe_many`` rates of the mapping layer's
   batch probes, and the orchestrator's per-task dispatch overhead.
+* **obs** — the dftl randread storm with observability left disabled vs with
+  windowed telemetry + tracing enabled (see :mod:`repro.obs`).  The gate
+  holds the disabled-mode rate within 2 % of the report's own dftl randread
+  baseline: attaching the observability seams must cost the unobserved hot
+  path nothing.
 
 Every mode pair also records a ``*batched_vs_scalar_speedup`` ratio; the
 perf-regression gate holds those at >= 1.0 (batch mode must never lose to the
@@ -70,6 +75,10 @@ MIXED_BURST = 64
 BATCH_SIZE = 4096
 RUN_THREADS = 4
 SEED = 42
+#: Timed read storms per observability mode (best-of, same device): repeats
+#: average out the CMT warm-up transient of the first storm for both modes.
+OBS_REPEATS = 3
+OBS_WINDOW_US = 1_000_000.0
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -201,6 +210,40 @@ def bench_ftl_writes(ftl_name: str) -> dict:
     return row
 
 
+def bench_obs() -> dict:
+    """Time the dftl scalar randread storm with observability off vs on.
+
+    Both modes run best-of-``OBS_REPEATS`` storms on their own freshly filled
+    medium device.  The disabled mode exercises exactly the unobserved hot
+    loops (the device still *carries* the recorder/tracer seams — that is what
+    the gate protects); the enabled mode pays windowed telemetry plus event
+    tracing, and its ratio is reported for tracking, not gated.
+    """
+    from repro.obs.trace import TraceRecorder
+
+    geometry = SSDGeometry.medium()
+    rates: dict[str, float] = {}
+    for mode in ("disabled", "enabled"):
+        ssd = SSD.create("dftl", geometry)
+        if mode == "enabled":
+            ssd.enable_observability(window_us=OBS_WINDOW_US, tracer=TraceRecorder())
+        ssd.fill_sequential(io_pages=128)
+        rng = np.random.default_rng(SEED)
+        best = 0.0
+        for _ in range(OBS_REPEATS):
+            requests = RequestBatch.reads(
+                rng.integers(0, geometry.num_logical_pages, size=RANDREAD_REQUESTS)
+            )
+            seconds, count = _timed_run(ssd, requests, batch=None)
+            best = max(best, count / max(seconds, 1e-9))
+        rates[mode] = best
+    return {
+        "obs_disabled_requests_per_second": round(rates["disabled"], 1),
+        "obs_enabled_requests_per_second": round(rates["enabled"], 1),
+        "obs_enabled_vs_disabled_ratio": round(rates["enabled"] / rates["disabled"], 3),
+    }
+
+
 def micro_benchmark() -> dict:
     """Rates of the mapping layer's batch probes (the planner building blocks).
 
@@ -283,6 +326,20 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         f"probe_many {micro['probe_many_lpns_per_second']:.3g} lpns/s, "
         f"dispatch {micro['orchestrator_dispatch_overhead_us']:.3g} us/task"
     )
+    obs = bench_obs()
+    # Both sides of this ratio come from the same report on the same machine:
+    # the observability-disabled storm vs the plain dftl randread storm above.
+    obs["obs_disabled_vs_baseline_ratio"] = round(
+        obs["obs_disabled_requests_per_second"]
+        / results["dftl"]["randread_requests_per_second"],
+        3,
+    )
+    print(
+        f"[perf_smoke] obs: disabled {obs['obs_disabled_requests_per_second']} req/s "
+        f"({obs['obs_disabled_vs_baseline_ratio']}x of baseline), enabled "
+        f"{obs['obs_enabled_requests_per_second']} req/s "
+        f"({obs['obs_enabled_vs_disabled_ratio']}x of disabled)"
+    )
     report = {
         "benchmark": "kernel_perf_smoke",
         "geometry": "medium",
@@ -297,6 +354,7 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         "python": platform.python_version(),
         "calibration_iters_per_second": round(calibration_score(), 1),
         "micro": micro,
+        "obs": obs,
         "results": results,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -320,6 +378,9 @@ def test_perf_smoke(tmp_path):
         assert result["mixed_batched_requests_per_second"] > 0, name
     assert report["micro"]["lookup_many_lpns_per_second"] > 0
     assert report["micro"]["orchestrator_dispatch_overhead_us"] > 0
+    assert report["obs"]["obs_disabled_requests_per_second"] > 0
+    assert report["obs"]["obs_enabled_requests_per_second"] > 0
+    assert report["obs"]["obs_disabled_vs_baseline_ratio"] > 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -134,12 +134,24 @@ PAGES: list[tuple[str, str, str, list[str]]] = [
     (
         "analysis",
         "Analysis helpers",
-        "Latency digests and normalization, table/CSV rendering and the "
-        "controller-compute cost model.",
+        "Latency digests and normalization, table/CSV rendering, the "
+        "controller-compute cost model and windowed-telemetry rendering.",
         [
             "repro.analysis.latency",
             "repro.analysis.report",
             "repro.analysis.compute",
+            "repro.analysis.windows",
+        ],
+    ),
+    (
+        "obs",
+        "Observability",
+        "Interval-windowed telemetry over the simulated clock and structured "
+        "event tracing with Chrome trace-event export (see "
+        "docs/observability.md).",
+        [
+            "repro.obs.windows",
+            "repro.obs.trace",
         ],
     ),
 ]

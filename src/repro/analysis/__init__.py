@@ -9,6 +9,7 @@ from repro.analysis.latency import (
     tail_latency_row,
 )
 from repro.analysis.report import bar_chart, format_kv, format_table, rows_to_csv
+from repro.analysis.windows import format_window_table, window_rows
 
 __all__ = [
     "ComputeCosts",
@@ -22,4 +23,6 @@ __all__ = [
     "format_kv",
     "rows_to_csv",
     "bar_chart",
+    "format_window_table",
+    "window_rows",
 ]

@@ -1,0 +1,79 @@
+"""Rendering helpers for windowed-telemetry series (see :mod:`repro.obs`).
+
+:func:`format_window_table` turns the columnar per-window series produced by
+:meth:`repro.obs.windows.WindowedRecorder.series` into the aligned ASCII
+table the CLI prints after an observed run.  The series is columnar
+(column name -> list, one entry per window); this module transposes it to
+rows and selects the headline columns so a long run stays one readable
+screen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.report import format_table
+
+__all__ = ["format_window_table", "window_rows"]
+
+#: The headline columns shown by :func:`format_window_table`, in order.
+TABLE_COLUMNS: tuple[str, ...] = (
+    "window",
+    "start_us",
+    "reads",
+    "writes",
+    "iops",
+    "read_p99_us",
+    "read_p999_us",
+    "write_p99_us",
+    "write_amplification",
+    "gc_pages_moved",
+    "utilization",
+)
+
+
+def window_rows(series: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Transpose a columnar window series into one dict per window.
+
+    Only per-window columns are transposed; the scalar header fields
+    (``window_us``, ``num_windows``) are skipped.
+    """
+    count = int(series["num_windows"])
+    columns = [
+        name
+        for name, values in series.items()
+        if name not in ("window_us", "num_windows") and isinstance(values, (list, tuple))
+    ]
+    return [{name: series[name][i] for name in columns} for i in range(count)]
+
+
+def format_window_table(
+    series: Mapping[str, Sequence[Any]], *, max_rows: int = 20, title: str | None = None
+) -> str:
+    """Render the headline per-window metrics as an aligned ASCII table.
+
+    Long runs are elided to the first ``max_rows`` windows with a trailing
+    note, so interactive output stays bounded regardless of run length.
+    """
+    rows = window_rows(series)
+    selected = [
+        {
+            "window": row["index"],
+            "start_us": row["start_us"],
+            "reads": row["reads"],
+            "writes": row["writes"],
+            "iops": round(row["iops"], 1),
+            "read_p99_us": round(row["read_p99_us"], 2),
+            "read_p999_us": round(row["read_p999_us"], 2),
+            "write_p99_us": round(row["write_p99_us"], 2),
+            "write_amplification": round(row["write_amplification"], 3),
+            "gc_pages_moved": row["gc_pages_moved"],
+            "utilization": round(row["utilization"], 4),
+        }
+        for row in rows
+    ]
+    elided = len(selected) - max_rows
+    table = format_table(selected[:max_rows], title=title)
+    if elided > 0:
+        table += f"\n... ({elided} more windows of {series['window_us']} us elided)"
+    return table

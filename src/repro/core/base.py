@@ -33,6 +33,7 @@ from repro.nand.errors import ConfigurationError
 from repro.nand.flash import PAGE_FREE, FlashArray
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
+from repro.obs.trace import NULL_TRACER
 from repro.ssd.request import (
     CommandBuffer,
     CommandKind,
@@ -195,6 +196,11 @@ class FTLBase(ABC):
         #: Reusable flat transaction encoding; reset at the start of every
         #: request, consumed directly by ``TimingEngine.execute_buffer``.
         self.buffer = CommandBuffer()
+        #: Structured event tracer (:mod:`repro.obs.trace`); the shared no-op
+        #: by default, replaced by ``SSD.enable_observability``.  Hook sites
+        #: gate on ``tracer.enabled`` so the disabled cost is one attribute
+        #: load on the cold GC/eviction paths only.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ interface
     def encode(self, request: HostRequest, now: float = 0.0) -> CommandBuffer:
@@ -373,12 +379,21 @@ class FTLBase(ABC):
         if victim is None:
             return
         buffer = self.buffer
+        relocated = 0
         for ppn in self.flash.valid_ppns_in_block(victim):
             self.data_read_command(stage, ppn, _CODE_GC_READ)
             self.translation_store.relocate_into(buffer, stage, ppn)
+            relocated += 1
         self.flash.erase(victim)
         pool.release(victim)
         self.erase_command(stage, victim)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "translation_gc",
+                tracer.now_us,
+                {"victim_block": victim, "pages_moved": relocated},
+            )
 
     # ------------------------------------------------------ snapshot support
     def state_dict(self) -> dict:
@@ -570,16 +585,29 @@ class StripingFTLBase(FTLBase):
             + (len(moved) + translation_commands) * self.timing.program_us
             + self.timing.erase_us
         )
+        translation_pages = len(touched_tvpns) if self.persists_translation_pages else 0
         self.stats.gc_events.append(
             GCEvent(
                 time_us=now,
                 blocks_erased=1,
                 pages_moved=len(moved),
-                translation_pages_written=len(touched_tvpns) if self.persists_translation_pages else 0,
+                translation_pages_written=translation_pages,
                 flash_time_us=flash_time,
                 compute_time_us=0.0,
             )
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "gc",
+                now,
+                flash_time,
+                {
+                    "victim_block": victim,
+                    "pages_moved": len(moved),
+                    "translation_pages": translation_pages,
+                },
+            )
 
     def _after_gc_move(self, moved: list[tuple[int, int]]) -> None:
         """Hook: let caches/models observe GC relocations."""
@@ -599,6 +627,9 @@ class StripingFTLBase(FTLBase):
     # -------------------------------------------------------------- flushes
     def _flush_translation_page(self, tvpn: int) -> None:
         """Write back one dirty translation page (with pool-GC protection)."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("cmt_evict", tracer.now_us, {"tvpn": tvpn})
         buffer = self.buffer
         if self.allocator.translation_pool.needs_gc():
             gc_stage = buffer.new_stage()

@@ -372,6 +372,18 @@ class LearnedFTL(FTLBase):
                 group=group,
             )
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "gc_group",
+                now,
+                flash_time_total,
+                {
+                    "group": group,
+                    "blocks_erased": total_blocks,
+                    "pages_moved": total_moved,
+                },
+            )
 
     def _expand_collection_set(self, group: int) -> set[int]:
         """The victim group plus every group with valid pages in its stripes (fixed point)."""
@@ -501,7 +513,10 @@ class LearnedFTL(FTLBase):
     # ----------------------------------------------------- eviction handling
     def _handle_evictions(self, evicted: list[EvictedPage]) -> None:
         buffer = self.buffer
+        tracer = self.tracer
         for page in evicted:
+            if tracer.enabled:
+                tracer.instant("cmt_evict", tracer.now_us, {"tvpn": page.tvpn})
             if self.allocator.translation_pool.needs_gc():
                 gc_stage = buffer.new_stage()
                 self._collect_translation_block_into(gc_stage)

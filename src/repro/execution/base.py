@@ -87,6 +87,11 @@ class TaskPayload:
     #: Shared warm-image store directory (installed in whichever process the
     #: task lands in), or ``None``.
     snapshot_dir: str | None = None
+    #: Windowed-telemetry bucket width in simulated microseconds, or ``None``
+    #: for telemetry off (see :mod:`repro.obs`).
+    metrics_window_us: float | None = None
+    #: Directory event traces are written into, or ``None`` for tracing off.
+    trace_dir: str | None = None
 
     def run_kwargs(self) -> dict[str, Any]:
         return {name: value for name, value in self.kwargs}
@@ -100,12 +105,15 @@ class TaskPayload:
             "kwargs": [[name, value] for name, value in self.kwargs],
             "scale": self.scale,
             "snapshot_dir": self.snapshot_dir,
+            "metrics_window_us": self.metrics_window_us,
+            "trace_dir": self.trace_dir,
         }
 
     @classmethod
     def from_wire(cls, wire: dict[str, Any]) -> "TaskPayload":
         """Rebuild a payload from :meth:`to_wire` output, re-freezing kwargs
         so the reconstructed task runs with bit-identical arguments."""
+        window = wire.get("metrics_window_us")
         return cls(
             index=int(wire["index"]),
             experiment=str(wire["experiment"]),
@@ -113,6 +121,8 @@ class TaskPayload:
             kwargs=tuple((str(name), _freeze(value)) for name, value in wire["kwargs"]),
             scale=str(wire["scale"]),
             snapshot_dir=wire.get("snapshot_dir"),
+            metrics_window_us=float(window) if window is not None else None,
+            trace_dir=wire.get("trace_dir"),
         )
 
 
@@ -141,9 +151,11 @@ def run_payload(payload: TaskPayload) -> tuple[dict, float]:
     imported lazily to keep this package import-cycle-free.
     """
     from repro.experiments import run_experiment
-    from repro.experiments.runner import set_snapshot_dir
+    from repro.experiments.runner import set_metrics_window_us, set_snapshot_dir, set_trace_dir
 
     set_snapshot_dir(payload.snapshot_dir)
+    set_metrics_window_us(payload.metrics_window_us)
+    set_trace_dir(payload.trace_dir)
     started = time.perf_counter()
     result = run_experiment(payload.experiment, scale=payload.scale, **payload.run_kwargs())
     return result.to_dict(), time.perf_counter() - started

@@ -65,12 +65,31 @@ INTERNAL_EXPERIMENTS: frozenset[str] = frozenset({"studycell", "noop"})
 
 
 def run_experiment(name: str, scale: Scale | str = Scale.DEFAULT, **kwargs) -> ExperimentResult:
-    """Run one experiment by name."""
+    """Run one experiment by name.
+
+    When process-wide observability is on (``set_metrics_window_us`` /
+    ``set_trace_dir`` in :mod:`repro.experiments.runner`), the telemetry of
+    every device the harness prepares is drained into the result's
+    ``raw["telemetry"]`` block, which flows into the JSON artifacts.
+    """
     try:
         runner, _ = EXPERIMENTS[name]
     except KeyError as exc:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}") from exc
-    return runner(scale=scale, **kwargs)
+    from repro.experiments.runner import (
+        begin_telemetry_capture,
+        collect_telemetry,
+        observability_settings,
+    )
+
+    if observability_settings() == (None, None):
+        return runner(scale=scale, **kwargs)
+    begin_telemetry_capture()
+    result = runner(scale=scale, **kwargs)
+    telemetry = collect_telemetry(name)
+    if telemetry is not None:
+        result.raw["telemetry"] = telemetry
+    return result
 
 
 # The study-cell experiment lives in repro.studies (it is the execution unit

@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments all --scale tiny --cache-dir .cache/ --dry-run
     python -m repro.experiments fig21 fig22 --json-dir results/json/
     python -m repro.experiments fig06 --scale tiny --profile
+    python -m repro.experiments fig14 --scale tiny --metrics-window-us 50000 --trace-out traces/
     python -m repro.experiments study my_sweep.yaml --scale tiny --jobs 4
     python -m repro.experiments study my_sweep.yaml --backend thread --workers 0
     python -m repro.experiments worker shared/queue &          # on any host
@@ -47,7 +48,7 @@ from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, INTERNAL_EXPERIMENTS, run_experiment
 from repro.experiments.orchestrator import describe_plan, run_orchestrated, write_json_artifact
-from repro.experiments.runner import Scale, set_snapshot_dir
+from repro.experiments.runner import Scale, set_metrics_window_us, set_snapshot_dir, set_trace_dir
 from repro.nand.errors import ConfigurationError
 
 
@@ -129,6 +130,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "is paid once per (FTL, geometry, config, recipe) and restored afterwards",
     )
     parser.add_argument(
+        "--metrics-window-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="record per-window telemetry (simulated-time buckets of this width in "
+        "microseconds); the series lands in --json-dir artifacts and is "
+        "summarized after each experiment",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write Chrome trace-event JSON files (Perfetto-loadable) for every "
+        "simulated device into this directory",
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="print the planned shard tasks with their cache (and snapshot) hit/miss "
@@ -192,7 +210,16 @@ def _report_outcomes(outcomes, args) -> list:
                 f"[{outcome.name} completed in {outcome.elapsed_s:.1f} s of task compute at "
                 f"scale={args.scale}, {outcome.cached_tasks}/{outcome.tasks} tasks cached]"
             )
-        print()
+        telemetry = outcome.result.raw.get("telemetry") if outcome.result is not None else None
+        if telemetry:
+            from repro.analysis.windows import format_window_table
+
+            for device in telemetry.get("devices", []):
+                print(f"[windowed telemetry: {outcome.name} / {device['ftl']}]")
+                print(format_window_table(device["windows"]))
+                if device.get("trace_file"):
+                    print(f"[trace written to {device['trace_file']}]")
+            print()
         if args.csv_dir is not None:
             args.csv_dir.mkdir(parents=True, exist_ok=True)
             (args.csv_dir / f"{outcome.name}.csv").write_text(outcome.result.csv())
@@ -253,6 +280,8 @@ def _run_studies(args) -> int:
             queue_dir=args.queue_dir,
             cache_dir=args.cache_dir,
             snapshot_dir=args.snapshot_dir,
+            metrics_window_us=args.metrics_window_us,
+            trace_dir=args.trace_out,
             progress=progress,
         )
         for study in resolved
@@ -385,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.profile:
         set_snapshot_dir(args.snapshot_dir)
+        set_metrics_window_us(args.metrics_window_us)
+        set_trace_dir(args.trace_out)
         return _profile_experiments(names, args.scale, args.csv_dir)
 
     def progress(line: str) -> None:
@@ -400,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         split=not args.no_split,
         cache_dir=args.cache_dir,
         snapshot_dir=args.snapshot_dir,
+        metrics_window_us=args.metrics_window_us,
+        trace_dir=args.trace_out,
         progress=progress,
     )
     wall_s = time.time() - started

@@ -73,7 +73,10 @@ __all__ = [
 #: v2: artifacts carry the harness's machine-readable ``raw`` section (which
 #: now includes per-device ``iops`` / ``read_p999_us`` / ``utilization`` for
 #: the performance experiments).
-SCHEMA_VERSION = 2
+#: v3: ``summary()`` gained ``gc_pages_moved`` / ``write_p99_us`` /
+#: ``write_p999_us``, and runs with observability enabled carry a
+#: ``raw.telemetry`` block (per-window time series + trace file pointers).
+SCHEMA_VERSION = 3
 
 _SOURCE_FINGERPRINT: str | None = None
 
@@ -130,25 +133,27 @@ class ExperimentTask:
         """The keyword arguments to pass to :func:`run_experiment`."""
         return dict(self.kwargs)
 
-    def cache_key(self, scale: str) -> str:
+    def cache_key(self, scale: str, obs: Mapping[str, Any] | None = None) -> str:
         """Content hash identifying this task's result.
 
         Includes a fingerprint of the installed ``repro`` source tree, so
         editing any simulator/harness code invalidates cached results even
-        without a version bump.
+        without a version bump.  ``obs`` is the observability descriptor
+        (window width, tracing flag) when telemetry is on: it changes the
+        artifact contents (``raw.telemetry``), so it is folded into the key —
+        but only when present, keeping every pre-observability key unchanged.
         """
-        payload = json.dumps(
-            {
-                "experiment": self.experiment,
-                "scale": scale,
-                "kwargs": self.kwargs,
-                "version": __version__,
-                "source": _source_fingerprint(),
-                "schema": SCHEMA_VERSION,
-            },
-            sort_keys=True,
-            default=list,
-        )
+        fields: dict[str, Any] = {
+            "experiment": self.experiment,
+            "scale": scale,
+            "kwargs": self.kwargs,
+            "version": __version__,
+            "source": _source_fingerprint(),
+            "schema": SCHEMA_VERSION,
+        }
+        if obs is not None:
+            fields["obs"] = dict(obs)
+        payload = json.dumps(fields, sort_keys=True, default=list)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -439,14 +444,21 @@ class ResultCache:
         safe_label = "".join(c if c.isalnum() else "-" for c in task.label)
         return self.root / f"{safe_label}-{key[:16]}.json"
 
-    def load_entry(self, task: ExperimentTask, scale: str) -> dict[str, Any] | None:
+    def load_entry(
+        self,
+        task: ExperimentTask,
+        scale: str,
+        obs: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any] | None:
         """Return the full validated cache payload for ``task``, or ``None``.
 
         Unreadable or partially-written files, entries from other package
         versions/kwargs and hash-prefix collisions all miss (the full key is
-        checked against the stored one).
+        checked against the stored one).  ``obs`` is the active observability
+        descriptor; results recorded under different telemetry settings never
+        hit (their keys differ).
         """
-        key = task.cache_key(scale)
+        key = task.cache_key(scale, obs)
         path = self._path(task, key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -456,9 +468,14 @@ class ResultCache:
             return None
         return payload
 
-    def load(self, task: ExperimentTask, scale: str) -> tuple[ExperimentResult, float] | None:
+    def load(
+        self,
+        task: ExperimentTask,
+        scale: str,
+        obs: Mapping[str, Any] | None = None,
+    ) -> tuple[ExperimentResult, float] | None:
         """Return the cached (result, original elapsed seconds) or ``None``."""
-        payload = self.load_entry(task, scale)
+        payload = self.load_entry(task, scale, obs)
         if payload is None:
             return None
         try:
@@ -474,15 +491,18 @@ class ResultCache:
         result: ExperimentResult,
         elapsed_s: float,
         provenance: Mapping[str, Any] | None = None,
+        obs: Mapping[str, Any] | None = None,
     ) -> Path:
         """Persist one task result; returns the cache file path.
 
         The write is atomic (temp sibling + rename), so executors racing to
         publish the same key — e.g. two hosts sharing one ``--cache-dir`` —
         leave one complete entry and never a corrupt partial file.
-        ``provenance`` records which backend/worker produced the result.
+        ``provenance`` records which backend/worker produced the result;
+        ``obs`` is the observability descriptor the result was produced under
+        (folded into the key and recorded in the entry).
         """
-        key = task.cache_key(scale)
+        key = task.cache_key(scale, obs)
         path = self._path(task, key)
         payload = {
             "schema_version": SCHEMA_VERSION,
@@ -495,6 +515,8 @@ class ResultCache:
             "elapsed_s": round(elapsed_s, 3),
             "result": result.to_dict(),
         }
+        if obs is not None:
+            payload["obs"] = dict(obs)
         if provenance is not None:
             payload["provenance"] = dict(provenance)
         return publish_json(path, payload)
@@ -550,6 +572,8 @@ def execute_tasks(
     queue_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
     snapshot_dir: str | Path | None = None,
+    metrics_window_us: float | None = None,
+    trace_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[TaskExecution]:
     """Execute tasks through an execution backend; returns states in task order.
@@ -564,18 +588,30 @@ def execute_tasks(
     fails is retried once on a **fresh** backend instance (a fresh pool /
     fresh workers) before being reported failed.  ``snapshot_dir`` installs
     the shared warm-image store in whichever process each task lands in.
+
+    ``metrics_window_us`` / ``trace_dir`` enable observability in whichever
+    process each task runs in; the resulting descriptor is part of every
+    cache key, so results recorded under different telemetry settings are
+    never served interchangeably.
     """
     workers = resolve_workers(jobs)
     scale_value = Scale.parse(scale).value
     emit = progress or (lambda line: None)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     snapshot_arg = str(snapshot_dir) if snapshot_dir is not None else None
+    trace_arg = str(trace_dir) if trace_dir is not None else None
+    obs: dict[str, Any] | None = None
+    if metrics_window_us is not None or trace_arg is not None:
+        obs = {
+            "metrics_window_us": metrics_window_us,
+            "trace": trace_arg is not None,
+        }
 
     states = [TaskExecution(task) for task in tasks]
     for state in states:
         if cache is None:
             continue
-        entry = cache.load_entry(state.task, scale_value)
+        entry = cache.load_entry(state.task, scale_value, obs)
         if entry is None:
             continue
         try:
@@ -614,6 +650,8 @@ def execute_tasks(
                 kwargs=states[index].task.kwargs,
                 scale=scale_value,
                 snapshot_dir=snapshot_arg,
+                metrics_window_us=metrics_window_us,
+                trace_dir=trace_arg,
             )
             for index in indices
         ]
@@ -662,6 +700,7 @@ def execute_tasks(
                         "worker": completion.worker,
                         "attempts": attempt,
                     },
+                    obs=obs,
                 )
             emit(f"[{done:>3}/{total}] {state.task.label}: done in {completion.elapsed_s:.1f} s")
         return failed
@@ -686,6 +725,8 @@ def run_orchestrated(
     split: bool = True,
     cache_dir: str | Path | None = None,
     snapshot_dir: str | Path | None = None,
+    metrics_window_us: float | None = None,
+    trace_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[ExperimentOutcome]:
     """Run experiments (possibly sharded) through an execution backend.
@@ -700,6 +741,9 @@ def run_orchestrated(
     ``snapshot_dir`` points every task at a shared warm-image store (see
     :mod:`repro.snapshot`): tasks restore warmed devices instead of re-paying
     the fill/overwrite phase, with results bit-identical either way.
+    ``metrics_window_us`` / ``trace_dir`` turn on windowed telemetry and
+    event tracing inside every task (see :mod:`repro.obs`); the per-window
+    series ride back in each result's ``raw["telemetry"]`` block.
     """
     planned: dict[str, list[ExperimentTask]] = {
         name: plan_tasks(name, split=split) for name in names
@@ -712,6 +756,8 @@ def run_orchestrated(
         queue_dir=queue_dir,
         cache_dir=cache_dir,
         snapshot_dir=snapshot_dir,
+        metrics_window_us=metrics_window_us,
+        trace_dir=trace_dir,
         progress=progress,
     )
     plan: dict[str, list[TaskExecution]] = {}

@@ -23,8 +23,10 @@ from typing import Any, Mapping, Sequence
 
 from repro.analysis.report import format_table, rows_to_csv
 from repro.core.base import FTLConfig
+from repro.nand.errors import ConfigurationError
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
+from repro.obs.trace import TraceRecorder
 from repro.snapshot.store import SnapshotStore
 from repro.snapshot.warm import warm_device
 from repro.ssd.device import SSD
@@ -42,6 +44,11 @@ __all__ = [
     "WARMUP_THREAD_CAP",
     "set_snapshot_dir",
     "active_snapshot_store",
+    "set_metrics_window_us",
+    "set_trace_dir",
+    "observability_settings",
+    "begin_telemetry_capture",
+    "collect_telemetry",
 ]
 
 #: The warm-up identity :func:`prepare_ssd` uses by default.  The dry-run
@@ -232,6 +239,75 @@ def active_snapshot_store() -> SnapshotStore | None:
     return _SNAPSHOT_STORE
 
 
+# Process-wide observability settings, mirroring the snapshot store: the CLI /
+# orchestrator set them once (per worker process), :func:`prepare_ssd` applies
+# them to every device it builds, and :func:`collect_telemetry` drains what the
+# devices recorded into the experiment result's ``raw`` block.
+_METRICS_WINDOW_US: float | None = None
+_TRACE_DIR: Path | None = None
+#: Devices instrumented since the last :func:`begin_telemetry_capture`,
+#: as ``(ftl_name, ssd)`` in preparation order.
+_OBSERVED_DEVICES: list[tuple[str, SSD]] = []
+
+
+def set_metrics_window_us(window_us: float | None) -> float | None:
+    """Enable (or disable, with ``None``) windowed telemetry for subsequent devices."""
+    global _METRICS_WINDOW_US
+    if window_us is not None and window_us <= 0:
+        raise ConfigurationError(f"metrics window must be positive, got {window_us!r}")
+    _METRICS_WINDOW_US = None if window_us is None else float(window_us)
+    return _METRICS_WINDOW_US
+
+
+def set_trace_dir(path: "str | Path | None") -> Path | None:
+    """Enable (or disable, with ``None``) event tracing; traces land under ``path``."""
+    global _TRACE_DIR
+    _TRACE_DIR = None if path is None else Path(path)
+    return _TRACE_DIR
+
+
+def observability_settings() -> tuple[float | None, str | None]:
+    """The active ``(metrics_window_us, trace_dir)`` pair (both ``None`` = off)."""
+    return _METRICS_WINDOW_US, None if _TRACE_DIR is None else str(_TRACE_DIR)
+
+
+def begin_telemetry_capture() -> None:
+    """Forget previously instrumented devices (called per experiment run)."""
+    _OBSERVED_DEVICES.clear()
+
+
+def collect_telemetry(experiment: str) -> "dict[str, Any] | None":
+    """Drain the telemetry of every device prepared since the capture began.
+
+    Returns a JSON-serializable block (or ``None`` when observability is off):
+    one entry per instrumented device with its per-window series and, when
+    tracing is on, the Chrome trace file written under the trace directory
+    (``<experiment>-<index>-<ftl>.trace.json``).
+    """
+    if not _OBSERVED_DEVICES:
+        return None
+    devices: list[dict[str, Any]] = []
+    for index, (ftl_name, ssd) in enumerate(_OBSERVED_DEVICES):
+        entry: dict[str, Any] = {"ftl": ftl_name}
+        if ssd.recorder is not None:
+            entry["windows"] = ssd.recorder.series(ssd.stats)
+        tracer = ssd.tracer
+        if tracer.enabled:
+            entry["trace_events"] = len(tracer)
+            if _TRACE_DIR is not None:
+                path = tracer.write(
+                    _TRACE_DIR / f"{experiment}-{index:02d}-{ftl_name}.trace.json"
+                )
+                entry["trace_file"] = str(path)
+        devices.append(entry)
+    _OBSERVED_DEVICES.clear()
+    return {
+        "metrics_window_us": _METRICS_WINDOW_US,
+        "trace": _TRACE_DIR is not None,
+        "devices": devices,
+    }
+
+
 def prepare_ssd(
     ftl_name: str,
     spec: ScaleSpec,
@@ -275,6 +351,12 @@ def prepare_ssd(
         store=store,
     )
     ssd.reset_stats()
+    if _METRICS_WINDOW_US is not None or _TRACE_DIR is not None:
+        # Instrument *after* the reset so window 0 starts at the measured
+        # phase; warm-up activity never reaches the series or the trace.
+        tracer = TraceRecorder() if _TRACE_DIR is not None else None
+        ssd.enable_observability(window_us=_METRICS_WINDOW_US, tracer=tracer)
+        _OBSERVED_DEVICES.append((ftl_name, ssd))
     return ssd
 
 

@@ -1,0 +1,29 @@
+"""Observability: interval-windowed telemetry and structured event tracing.
+
+Every run of the simulator used to collapse into one end-of-run
+:meth:`~repro.ssd.stats.SimulationStats.summary` dictionary.  This package
+adds the time dimension:
+
+* :class:`~repro.obs.windows.WindowedRecorder` buckets host requests,
+  latencies, flash commands, chip busy time, CMT hit/miss classes and GC
+  activity into fixed-width windows of the **simulated** clock, producing a
+  per-window time series (iops, tail latencies, WAF, GC pages moved,
+  utilization) that snapshots and resumes bit-identically;
+* :class:`~repro.obs.trace.TraceRecorder` collects typed simulator events
+  (GC invocations, CMT eviction flushes, translation reads, snapshot
+  restores, batch-planning decisions) and exports them as Chrome
+  trace-event JSON loadable in Perfetto or ``chrome://tracing``;
+* :data:`~repro.obs.trace.NULL_TRACER` is the zero-cost default every FTL
+  carries — the hot paths stay byte-for-byte identical while observability
+  is off, and the device only dispatches into its observed loop variants
+  once per ``run`` call when it is on.
+
+Wire it through :meth:`repro.ssd.device.SSD.enable_observability`, or from
+the command line with ``--metrics-window-us`` / ``--trace-out``
+(see ``docs/observability.md``).
+"""
+
+from repro.obs.trace import NULL_TRACER, NullTraceRecorder, TraceRecorder
+from repro.obs.windows import WindowedRecorder
+
+__all__ = ["WindowedRecorder", "TraceRecorder", "NullTraceRecorder", "NULL_TRACER"]

@@ -40,9 +40,20 @@ from repro.core.tpftl import TPFTL
 from repro.nand.errors import ConfigurationError
 from repro.nand.geometry import SSDGeometry
 from repro.nand.timing import TimingModel
+from repro.obs.trace import NULL_TRACER
+from repro.obs.windows import WindowedRecorder
 from repro.ssd.energy import EnergyBreakdown, EnergyModel
 from repro.ssd.engine import TimingEngine
-from repro.ssd.request import OP_READ_CODE, OP_WRITE_CODE, HostRequest, OpType, RequestBatch
+from repro.ssd.request import (
+    OP_READ_CODE,
+    OP_WRITE_CODE,
+    CommandKind,
+    CommandPurpose,
+    HostRequest,
+    OpType,
+    RequestBatch,
+    command_code,
+)
 from repro.ssd.stats import SimulationStats
 
 __all__ = ["SSD", "RunResult", "FTL_REGISTRY", "create_ftl", "available_ftls"]
@@ -88,6 +99,9 @@ def create_ftl(
 
 #: Run classes of the batched loop's segment splitter.
 _RUN_SCALAR, _RUN_READ, _RUN_WRITE = 0, 1, 2
+
+#: Flat code of a translation-page read, for the tracer's scalar-path walk.
+_CODE_TRANSLATION_READ = command_code(CommandKind.READ, CommandPurpose.TRANSLATION_READ)
 
 
 def _segments(klass: "np.ndarray") -> Iterator[tuple[int, int, int]]:
@@ -237,6 +251,12 @@ class SSD:
         self.engine = TimingEngine(self.geometry.num_chips, self.timing, self.stats)
         self.energy_model = energy_model or EnergyModel()
         self._clock_us = 0.0
+        #: Optional windowed telemetry (:meth:`enable_observability`).  ``None``
+        #: keeps every request loop on its unobserved variant — the dispatch
+        #: happens once per ``run``/``replay`` call, never per request.
+        self.recorder: WindowedRecorder | None = None
+        #: Structured event tracer; the shared no-op by default.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------- creation
     @classmethod
@@ -260,13 +280,46 @@ class SSD:
         """Current simulated time (end of the latest completed request)."""
         return self._clock_us
 
+    # --------------------------------------------------------- observability
+    def enable_observability(self, *, window_us: float | None = None, tracer=None):
+        """Attach windowed telemetry and/or an event tracer to this device.
+
+        ``window_us`` installs a fresh :class:`~repro.obs.windows.WindowedRecorder`
+        bucketing per-request activity into windows of that width of simulated
+        time; ``tracer`` (a :class:`~repro.obs.trace.TraceRecorder`) is wired
+        into the device and its FTL's GC/eviction hook sites.  Either may be
+        given alone.  Returns the active recorder (or ``None``).
+
+        Enabling observability routes ``run``/``replay`` through observed loop
+        variants — resolved once per call, so the unobserved hot loops stay
+        byte-for-byte identical when this method is never called.
+        """
+        if window_us is not None:
+            recorder = WindowedRecorder(window_us)
+            recorder.bind_durations(self.engine._duration_by_code)
+            self.recorder = recorder
+        if tracer is not None:
+            self.tracer = tracer
+            self.ftl.tracer = tracer
+        return self.recorder
+
+    @property
+    def _observing(self) -> bool:
+        return self.recorder is not None or self.tracer.enabled
+
     # --------------------------------------------------------------- running
     def submit(self, request: HostRequest, issue_time_us: float | None = None) -> float:
         """Process a single host request; returns its completion time."""
         issue = self._clock_us if issue_time_us is None else issue_time_us
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.now_us = issue
         buffer = self.ftl.encode(request, issue)
         finish = self.engine.execute_buffer(buffer, issue)
-        self.stats.record_latency(request.op is OpType.READ, finish - issue)
+        is_read = request.op is OpType.READ
+        self.stats.record_latency(is_read, finish - issue)
+        if self.recorder is not None:
+            self.recorder.record_scalar(is_read, request.npages, issue, finish - issue, buffer)
         self._clock_us = max(self._clock_us, finish)
         self.stats.finish_time_us = self._clock_us
         return finish
@@ -297,9 +350,15 @@ class SSD:
             if batch <= 0:
                 raise ConfigurationError("batch must be positive")
             if batch > 1:
+                if self._observing:
+                    return self._run_batched_observed(
+                        requests, threads=threads, batch=batch, progress=progress
+                    )
                 return self._run_batched(
                     requests, threads=threads, batch=batch, progress=progress
                 )
+        if self._observing:
+            return self._run_scalar_observed(requests, threads=threads, progress=progress)
         if threads <= 0:
             raise ConfigurationError("threads must be positive")
         start = self._clock_us
@@ -438,6 +497,239 @@ class SSD:
         self.stats.finish_time_us = self._clock_us
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 
+    def _record_scalar_observed(
+        self, request: HostRequest, issue: float, finish: float, buffer
+    ) -> None:
+        """Shared per-request hooks of the observed scalar paths.
+
+        Runs *after* the engine executed ``buffer`` (whose ``ops`` hold
+        exactly the commands of this request until the next ``encode``):
+        windowed attribution plus a translation-read trace instant per
+        translation command.
+        """
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_scalar(
+                request.op is OpType.READ, request.npages, issue, finish - issue, buffer
+            )
+        tracer = self.tracer
+        if tracer.enabled:
+            ops = buffer.ops
+            for i in range(0, len(ops), 4):
+                if ops[i] == _CODE_TRANSLATION_READ:
+                    tracer.instant(
+                        "translation_read", issue, {"chip": ops[i + 1], "ppn": ops[i + 2]}
+                    )
+
+    def _run_scalar_observed(
+        self,
+        requests: "Iterable[HostRequest] | RequestBatch",
+        *,
+        threads: int,
+        progress: Callable[[int], None] | None,
+    ) -> RunResult:
+        """The scalar closed loop of :meth:`run` with observability hooks.
+
+        A separate method so the unobserved loop keeps its branch-free body;
+        :meth:`run` dispatches here once per call when a recorder or tracer is
+        active.  Timing arithmetic, request order and statistics are identical
+        to the unobserved loop — the hooks only *read* what it computes.
+        """
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        start = self._clock_us
+        thread_free: list[tuple[float, int]] = [(start, slot) for slot in range(threads)]
+        completed = 0
+        engine_execute = self.engine.execute_buffer
+        ftl_encode = self.ftl.encode
+        record_latency = self.stats.record_latency
+        record_observed = self._record_scalar_observed
+        tracer = self.tracer
+        trace = tracer.enabled
+        heapreplace = heapq.heapreplace
+        read_op = OpType.READ
+        for request in iter(requests):
+            issue, slot = thread_free[0]
+            if trace:
+                tracer.now_us = issue
+            buffer = ftl_encode(request, issue)
+            finish = engine_execute(buffer, issue)
+            record_latency(request.op is read_op, finish - issue)
+            record_observed(request, issue, finish, buffer)
+            heapreplace(thread_free, (finish, slot))
+            completed += 1
+            if progress is not None and completed % 10_000 == 0:
+                progress(completed)
+        self._clock_us = max(self._clock_us, max(free for free, _ in thread_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
+    def _run_batched_observed(
+        self,
+        requests: "Iterable[HostRequest] | RequestBatch",
+        *,
+        threads: int,
+        batch: int,
+        progress: Callable[[int], None] | None,
+    ) -> RunResult:
+        """:meth:`_run_batched` with observability hooks (see :meth:`_run_scalar_observed`).
+
+        Planner-served runs go through the engine's observed batch kernels,
+        which attribute each request to its issue window with the same
+        translation-then-data accounting order as the scalar buffer walk, so
+        the window series is bit-identical between the two modes.  A
+        ``batch_plan`` instant per planner run records the planning decision.
+        """
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        if batch <= 0:
+            raise ConfigurationError("batch must be positive")
+        start = self._clock_us
+        thread_free: list[float] = [start] * threads
+        completed = 0
+        engine_execute = self.engine.execute_buffer
+        execute_read_batch = self.engine.execute_read_batch_observed
+        execute_write_batch = self.engine.execute_write_batch_observed
+        ftl = self.ftl
+        ftl_encode = ftl.encode
+        begin_read_run = ftl.begin_read_run
+        begin_write_run = ftl.begin_write_run
+        stats = self.stats
+        record_latency = stats.record_latency
+        record_latencies = stats.record_latencies
+        record_observed = self._record_scalar_observed
+        recorder = self.recorder
+        tracer = self.tracer
+        trace = tracer.enabled
+        heapreplace = heapq.heapreplace
+        read_op = OpType.READ
+        for lpns, klass, request_at in _iter_request_chunks(requests, batch):
+            for seg_start, seg_end, kind in _segments(klass):
+                is_read = kind == _RUN_READ
+                if is_read:
+                    planner = begin_read_run(lpns[seg_start:seg_end])
+                elif kind == _RUN_WRITE:
+                    planner = begin_write_run(lpns[seg_start:seg_end])
+                else:
+                    planner = None
+                if planner is None:
+                    for i in range(seg_start, seg_end):
+                        request = request_at(i)
+                        issue = thread_free[0]
+                        if trace:
+                            tracer.now_us = issue
+                        buffer = ftl_encode(request, issue)
+                        finish = engine_execute(buffer, issue)
+                        record_latency(request.op is read_op, finish - issue)
+                        record_observed(request, issue, finish, buffer)
+                        heapreplace(thread_free, finish)
+                        completed += 1
+                        if progress is not None and completed % 10_000 == 0:
+                            progress(completed)
+                    continue
+                seg_issue = thread_free[0]
+                fallbacks = 0
+                pos = seg_start
+                while pos < seg_end:
+                    if is_read:
+                        k, data_chips, trans_chips, trans_count, computes = planner.take()
+                        if k:
+                            latencies = execute_read_batch(
+                                data_chips,
+                                trans_chips,
+                                thread_free,
+                                data_code=planner.data_code,
+                                trans_code=planner.trans_code,
+                                trans_count=trans_count,
+                                computes=computes,
+                                recorder=recorder,
+                                tracer=tracer if trace else None,
+                            )
+                    else:
+                        k, write_chips = planner.take()
+                        if k:
+                            latencies = execute_write_batch(
+                                write_chips,
+                                thread_free,
+                                code=planner.program_code,
+                                recorder=recorder,
+                            )
+                    if k:
+                        record_latencies(is_read, latencies)
+                        if progress is not None:
+                            next_mark = completed - completed % 10_000 + 10_000
+                            completed += k
+                            while next_mark <= completed:
+                                progress(next_mark)
+                                next_mark += 10_000
+                        else:
+                            completed += k
+                        pos += k
+                        if pos >= seg_end:
+                            break
+                    # The planner refused the request at the cursor: scalar
+                    # path with the same hooks, then resume batching after it.
+                    fallbacks += 1
+                    request = request_at(pos)
+                    issue = thread_free[0]
+                    if trace:
+                        tracer.now_us = issue
+                    buffer = ftl_encode(request, issue)
+                    finish = engine_execute(buffer, issue)
+                    record_latency(is_read, finish - issue)
+                    record_observed(request, issue, finish, buffer)
+                    heapreplace(thread_free, finish)
+                    completed += 1
+                    if progress is not None and completed % 10_000 == 0:
+                        progress(completed)
+                    pos += 1
+                    planner.skip()
+                if trace:
+                    tracer.instant(
+                        "batch_plan",
+                        seg_issue,
+                        {
+                            "planner": type(planner).__name__,
+                            "requests": seg_end - seg_start,
+                            "fallbacks": fallbacks,
+                        },
+                    )
+        self._clock_us = max(self._clock_us, max(thread_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
+    def _replay_observed(self, requests: Iterable[HostRequest], *, streams: int) -> RunResult:
+        """:meth:`replay` with observability hooks (see :meth:`_run_scalar_observed`).
+
+        Streams issue out of global time order, so windows are attributed by
+        each request's own issue time; the recorder keeps all windows open to
+        absorb the non-monotone arrivals.
+        """
+        start = self._clock_us
+        stream_free = [start] * streams
+        completed = 0
+        engine_execute = self.engine.execute_buffer
+        ftl_encode = self.ftl.encode
+        record_latency = self.stats.record_latency
+        record_observed = self._record_scalar_observed
+        tracer = self.tracer
+        trace = tracer.enabled
+        for request in requests:
+            slot = request.stream_id % streams
+            arrival = start + (request.issue_time_us or 0.0)
+            issue = max(arrival, stream_free[slot])
+            if trace:
+                tracer.now_us = issue
+            buffer = ftl_encode(request, issue)
+            finish = engine_execute(buffer, issue)
+            record_latency(request.op is OpType.READ, finish - issue)
+            record_observed(request, issue, finish, buffer)
+            stream_free[slot] = finish
+            completed += 1
+        self._clock_us = max(self._clock_us, max(stream_free))
+        self.stats.finish_time_us = self._clock_us
+        return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
+
     def replay(self, requests: Iterable[HostRequest], *, streams: int = 1) -> RunResult:
         """Open-loop trace replay honouring per-request arrival timestamps.
 
@@ -448,6 +740,8 @@ class SSD:
         """
         if streams <= 0:
             raise ConfigurationError("streams must be positive")
+        if self._observing:
+            return self._replay_observed(requests, streams=streams)
         start = self._clock_us
         stream_free = [start] * streams
         completed = 0
@@ -529,7 +823,7 @@ class SSD:
         runtime state: the FTL (flash columns, mapping directory, allocators,
         caches, learned models), the statistics and the chip timelines.
         """
-        return {
+        state = {
             "ftl_name": self.ftl.name,
             "geometry": asdict(self.geometry),
             "config": asdict(self.ftl.config),
@@ -539,6 +833,9 @@ class SSD:
             "stats": self.stats.state_dict(),
             "engine": self.engine.timeline.state_dict(),
         }
+        if self.recorder is not None:
+            state["obs"] = self.recorder.state_dict()
+        return state
 
     def load_state(self, state: dict[str, Any]) -> None:
         """Restore a :meth:`state_dict` capture into this device **in place**.
@@ -562,6 +859,21 @@ class SSD:
         self.stats.load_state(state["stats"])
         self.engine.timeline.load_state(state["engine"])
         self._clock_us = float(state["clock_us"])
+        obs = state.get("obs")
+        if obs is not None:
+            if self.recorder is None:
+                self.enable_observability(window_us=float(obs["window_us"]))
+            self.recorder.load_state(obs)
+        elif self.recorder is not None:
+            # The snapshot carried no telemetry: the restored series must not
+            # inherit windows from before the restore.
+            self.recorder.reset()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "snapshot_restore",
+                self._clock_us,
+                {"finish_time_us": self.stats.finish_time_us},
+            )
 
     def save_state(self, path: "str | Path") -> "Path":
         """Checkpoint the device to a snapshot directory; returns the path."""
@@ -607,6 +919,12 @@ class SSD:
         self.ftl.stats = fresh
         self.engine = TimingEngine(self.geometry.num_chips, self.timing, fresh)
         self._clock_us = 0.0
+        if self.recorder is not None:
+            # Realign the windowed series with the new measurement interval:
+            # drop warm-up windows and rebind to the fresh engine's latency
+            # table so window 0 restarts at the rewound clock.
+            self.recorder.reset()
+            self.recorder.bind_durations(self.engine._duration_by_code)
         return old
 
     def verify(self) -> None:

@@ -274,6 +274,68 @@ class TimingEngine:
                 append_latency(finish - issue)
         return latencies
 
+    def execute_read_batch_observed(
+        self,
+        data_chips: list,
+        trans_chips: list | None,
+        thread_free: list,
+        *,
+        data_code: int,
+        trans_code: int,
+        trans_count: int = 0,
+        computes: list | None = None,
+        recorder=None,
+        tracer=None,
+    ) -> list:
+        """:meth:`execute_read_batch` plus per-request observability hooks.
+
+        Only the *general* loop is needed: with ``computes is None`` the
+        compute charge vanishes and with ``trans_chips is None`` every
+        ``trans_chip`` is ``-1``, so the arithmetic below is bit-identical to
+        both branches of the unobserved kernel.  Each request additionally
+        lands in the :class:`~repro.obs.windows.WindowedRecorder` (attributed
+        to its issue time) and emits a translation-read instant when a tracer
+        is active.  The batched device loop calls this variant only when
+        observability is enabled, so the unobserved hot path keeps its
+        branch-free shape.
+        """
+        n = len(data_chips)
+        counts = self._command_counts
+        counts[data_code] += n
+        if trans_count:
+            counts[trans_code] += trans_count
+        data_duration = self._duration_by_code[data_code]
+        trans_duration = self._duration_by_code[trans_code]
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
+        latencies: list = []
+        append_latency = latencies.append
+        heapreplace = heapq.heapreplace
+        record = None if recorder is None else recorder.record_fast_read
+        trace = tracer is not None and tracer.enabled
+        for i in range(n):
+            issue = thread_free[0]
+            cursor = issue if computes is None else issue + computes[i]
+            trans_chip = -1 if trans_chips is None else trans_chips[i]
+            if trans_chip >= 0:
+                busy = busy_until[trans_chip]
+                cursor = (busy if busy > cursor else cursor) + trans_duration
+                busy_until[trans_chip] = cursor
+                busy_time[trans_chip] += trans_duration
+                if trace:
+                    tracer.instant("translation_read", issue, {"chip": trans_chip})
+            chip = data_chips[i]
+            busy = busy_until[chip]
+            start = busy if busy > cursor else cursor
+            finish = start + data_duration
+            busy_until[chip] = finish
+            busy_time[chip] += data_duration
+            heapreplace(thread_free, finish)
+            append_latency(finish - issue)
+            if record is not None:
+                record(issue, finish - issue, data_code, trans_code, trans_chip >= 0)
+        return latencies
+
     def execute_write_batch(self, chips: list, thread_free: list, *, code: int) -> list:
         """Execute a write planner's batch of single-page programs.
 
@@ -301,6 +363,32 @@ class TimingEngine:
             busy_time[chip] += duration
             heapreplace(thread_free, finish)
             append_latency(finish - issue)
+        return latencies
+
+    def execute_write_batch_observed(
+        self, chips: list, thread_free: list, *, code: int, recorder=None
+    ) -> list:
+        """:meth:`execute_write_batch` plus per-request windowed attribution."""
+        counts = self._command_counts
+        counts[code] += len(chips)
+        duration = self._duration_by_code[code]
+        busy_until = self.timeline._busy_until
+        busy_time = self.timeline.busy_time
+        latencies: list = []
+        append_latency = latencies.append
+        heapreplace = heapq.heapreplace
+        record = None if recorder is None else recorder.record_fast_write
+        for chip in chips:
+            issue = thread_free[0]
+            busy = busy_until[chip]
+            start = busy if busy > issue else issue
+            finish = start + duration
+            busy_until[chip] = finish
+            busy_time[chip] += duration
+            heapreplace(thread_free, finish)
+            append_latency(finish - issue)
+            if record is not None:
+                record(issue, finish - issue, code)
         return latencies
 
     def execute(self, transaction: Transaction, issue_time_us: float) -> TransactionResult:

@@ -547,6 +547,7 @@ class SimulationStats:
     def summary(self) -> dict[str, float]:
         """Return a flat dictionary of headline metrics, used by reports and tests."""
         read_digest = self.read_latency_digest()
+        write_digest = self.write_latency_digest()
         return {
             "host_read_pages": float(self.host_read_pages),
             "host_write_pages": float(self.host_write_pages),
@@ -560,10 +561,13 @@ class SimulationStats:
             "double_read_fraction": self.double_read_fraction(),
             "triple_read_fraction": self.triple_read_fraction(),
             "gc_count": float(self.gc_count),
+            "gc_pages_moved": float(self.gc_pages_moved),
             "throughput_mb_s": self.throughput_mb_s(),
             "iops": self.iops(),
             "read_p99_us": read_digest.p99_us,
             "read_p999_us": read_digest.p999_us,
+            "write_p99_us": write_digest.p99_us,
+            "write_p999_us": write_digest.p999_us,
             "utilization": self.utilization(),
             "finish_time_us": self.finish_time_us,
         }

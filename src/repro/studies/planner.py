@@ -174,6 +174,8 @@ def run_study(
     queue_dir: "str | Path | None" = None,
     cache_dir: "str | Path | None" = None,
     snapshot_dir: "str | Path | None" = None,
+    metrics_window_us: float | None = None,
+    trace_dir: "str | Path | None" = None,
     progress: Callable[[str], None] | None = None,
 ) -> ExperimentOutcome:
     """Run a study end-to-end; returns one merged :class:`ExperimentOutcome`.
@@ -196,6 +198,8 @@ def run_study(
         queue_dir=queue_dir,
         cache_dir=cache_dir,
         snapshot_dir=snapshot_dir,
+        metrics_window_us=metrics_window_us,
+        trace_dir=trace_dir,
         progress=progress,
     )
     backends = sorted({state.backend for state in states if state.backend})

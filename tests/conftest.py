@@ -29,9 +29,11 @@ def _reset_snapshot_store():
     later test calling ``prepare_ssd`` directly must never warm through it.
     """
     yield
-    from repro.experiments.runner import set_snapshot_dir
+    from repro.experiments.runner import set_metrics_window_us, set_snapshot_dir, set_trace_dir
 
     set_snapshot_dir(None)
+    set_metrics_window_us(None)
+    set_trace_dir(None)
 
 
 @pytest.fixture

@@ -31,10 +31,19 @@ def golden_geometry() -> SSDGeometry:
     )
 
 
-def run_golden_workload(ftl_name: str) -> dict:
-    """Run the fixed seeded workload on one FTL and return the stats fingerprint."""
+def run_golden_workload(ftl_name: str, *, observe: bool = False) -> dict:
+    """Run the fixed seeded workload on one FTL and return the stats fingerprint.
+
+    ``observe=True`` runs the identical workload with windowed telemetry and
+    event tracing enabled, which must not change any simulated result — the
+    observability regression test compares both fingerprints bit-for-bit.
+    """
     geometry = golden_geometry()
     ssd = SSD.create(ftl_name, geometry)
+    if observe:
+        from repro.obs.trace import TraceRecorder
+
+        ssd.enable_observability(window_us=100_000.0, tracer=TraceRecorder())
     ssd.fill_sequential(io_pages=16)
 
     rng = random.Random(WORKLOAD_SEED)
@@ -69,6 +78,9 @@ def run_golden_workload(ftl_name: str) -> dict:
     # (request counts, finish time, chip busy time), so they add no coverage.
     fingerprint.pop("iops", None)
     fingerprint.pop("utilization", None)
+    # ``write_p999_us`` derives from the same pinned write-latency population
+    # as the ``write_p99_us`` fingerprint key below.
+    fingerprint.pop("write_p999_us", None)
     fingerprint.update(
         {
             "flash_total_programs": float(ssd.ftl.flash.total_programs),

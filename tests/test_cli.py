@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+from pathlib import Path
 
 import pytest
 
@@ -134,7 +135,7 @@ class TestCLIBasics:
         json_dir = tmp_path / "json"
         assert cli_main(["fig15", "--scale", "tiny", "--json-dir", str(json_dir)]) == 0
         payload = json.loads((json_dir / "fig15.json").read_text())
-        assert payload["schema_version"] == SCHEMA_VERSION == 2
+        assert payload["schema_version"] == SCHEMA_VERSION == 3
         assert payload["experiment"] == "fig15"
         assert payload["scale"] == "tiny"
         assert payload["elapsed_s"] >= 0.0
@@ -198,6 +199,18 @@ class TestOrchestratorPlanning:
         assert task.cache_key("tiny") != other.cache_key("tiny")
         assert task.cache_key("tiny") != task.cache_key("default")
         assert task.cache_key("tiny") == ExperimentTask.create("fig21", ftls=["tpftl"]).cache_key("tiny")
+
+    def test_cache_key_folds_observability_descriptor(self):
+        task = ExperimentTask.create("fig21", ftls=("tpftl",))
+        plain = task.cache_key("tiny")
+        # No descriptor leaves the pre-observability key unchanged.
+        assert plain == task.cache_key("tiny", None)
+        windowed = task.cache_key("tiny", {"metrics_window_us": 50_000.0, "trace": False})
+        traced = task.cache_key("tiny", {"metrics_window_us": 50_000.0, "trace": True})
+        assert plain != windowed != traced
+        assert windowed == task.cache_key(
+            "tiny", {"metrics_window_us": 50_000.0, "trace": False}
+        )
 
 
 class TestShardMergeFidelity:
@@ -295,6 +308,49 @@ class TestCache:
         captured = capsys.readouterr()
         assert "from cache" in captured.out
         assert "fakealpha" in captured.out
+
+
+class TestObservabilityFlags:
+    def test_metrics_and_trace_end_to_end(self, tmp_path, capsys):
+        json_dir, trace_dir = tmp_path / "json", tmp_path / "traces"
+        code = cli_main(
+            ["fig06", "--scale", "tiny", "--metrics-window-us", "50000",
+             "--trace-out", str(trace_dir), "--json-dir", str(json_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windowed telemetry: fig06 / leaftl" in out
+        assert "trace written to" in out
+
+        payload = json.loads((json_dir / "fig06.json").read_text())
+        telemetry = payload["raw"]["telemetry"]
+        assert telemetry["metrics_window_us"] == 50000.0
+        assert telemetry["trace"] is True
+        assert {device["ftl"] for device in telemetry["devices"]} == {"leaftl", "tpftl"}
+        for device in telemetry["devices"]:
+            windows = device["windows"]
+            assert windows["num_windows"] >= 1
+            assert sum(windows["reads"]) > 0
+            trace = json.loads(Path(device["trace_file"]).read_text())
+            assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+
+    def test_observed_results_cached_separately(self, tmp_path, fake_registry):
+        cache_dir = tmp_path / "cache"
+        run_orchestrated(["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir)
+        assert _FAKE_CALLS == ["alpha"]
+        # A telemetry-enabled run must not be served the plain entry...
+        run_orchestrated(
+            ["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir,
+            metrics_window_us=50_000.0,
+        )
+        assert _FAKE_CALLS == ["alpha", "alpha"]
+        # ...but does cache under its own descriptor key.
+        outcomes = run_orchestrated(
+            ["fakealpha"], scale="tiny", jobs=1, cache_dir=cache_dir,
+            metrics_window_us=50_000.0,
+        )
+        assert outcomes[0].cached_tasks == 1
+        assert _FAKE_CALLS == ["alpha", "alpha"]
 
 
 class TestWarmPlanTable:

@@ -1,0 +1,314 @@
+"""Tests for the observability subsystem (:mod:`repro.obs`).
+
+The invariants pinned here are the subsystem's whole contract:
+
+* **conservation** — summing any per-window counter over all windows equals
+  the end-of-run total the golden fingerprints pin, for every FTL design;
+* **non-interference** — running the golden workload with telemetry *and*
+  tracing enabled reproduces the pinned fingerprints bit-for-bit, and a run
+  with observability disabled never touches the observed code paths;
+* **mode equivalence** — the scalar and batched kernels produce bit-identical
+  window series (including the float busy-time/utilization columns);
+* **persistence** — a snapshot/restore between two run calls reproduces the
+  exact series of the same two calls without the interruption, and
+  ``reset_stats`` realigns the recorder with the new measurement interval.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from golden_workload import golden_geometry, run_golden_workload
+from repro import SSD
+from repro.nand.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER, NullTraceRecorder, TraceRecorder
+from repro.obs.windows import WindowedRecorder
+from repro.ssd.request import HostRequest, OpType
+from test_kernel_equivalence import GOLDEN
+
+WINDOW_US = 100_000.0
+SEED = 20240808
+
+
+def _mixed_workload(geometry) -> list[list[HostRequest]]:
+    """GC-forcing overwrites, a read storm and a mixed phase (scalar shapes)."""
+    rng = random.Random(SEED)
+    limit = geometry.num_logical_pages
+    overwrites = [
+        HostRequest(op=OpType.WRITE, lpn=rng.randint(0, limit - 4), npages=4)
+        for _ in range(120)
+    ]
+    reads = [
+        HostRequest(op=OpType.READ, lpn=rng.randint(0, limit - 1), npages=1)
+        for _ in range(300)
+    ]
+    mix = [
+        HostRequest(
+            op=OpType.READ if rng.random() < 0.6 else OpType.WRITE,
+            lpn=rng.randint(0, limit - 2),
+            npages=2,
+        )
+        for _ in range(150)
+    ]
+    return [overwrites, reads, mix]
+
+
+def _single_page_workload(geometry, count: int = 600) -> list[HostRequest]:
+    """Single-page random read/write mix: the batched kernel's fast-path diet."""
+    rng = random.Random(SEED + 1)
+    limit = geometry.num_logical_pages
+    return [
+        HostRequest(
+            op=OpType.READ if rng.random() < 0.7 else OpType.WRITE,
+            lpn=rng.randint(0, limit - 1),
+            npages=1,
+        )
+        for _ in range(count)
+    ]
+
+
+def _observed_device(ftl_name: str, *, tracer=None):
+    ssd = SSD.create(ftl_name, golden_geometry())
+    recorder = ssd.enable_observability(window_us=WINDOW_US, tracer=tracer)
+    return ssd, recorder
+
+
+class TestWindowConservation:
+    """Sum-of-windows must equal the end-of-run totals, counter for counter."""
+
+    def test_every_counter_sums_to_run_totals(self, ftl_name):
+        ssd, recorder = _observed_device(ftl_name)
+        ssd.fill_sequential(io_pages=16)
+        for phase in _mixed_workload(ssd.geometry):
+            ssd.run(phase, threads=2)
+        ssd.verify()
+
+        stats = ssd.stats
+        totals = recorder.totals()
+        assert totals["reads"] == stats.host_read_requests
+        assert totals["writes"] == stats.host_write_requests
+        assert totals["read_pages"] == stats.host_read_pages
+        assert totals["write_pages"] == stats.host_write_pages
+        hit_class = sum(stats.outcome_counts[:3])
+        miss_class = sum(stats.outcome_counts[3:])
+        assert totals["read_hits"] == hit_class
+        assert totals["read_misses"] == miss_class
+        assert totals["command_counts"] == list(stats.command_counts)
+        assert totals["read_latency_count"] == len(stats.read_latencies_us)
+        assert totals["write_latency_count"] == len(stats.write_latencies_us)
+        assert math.isclose(
+            totals["busy_time_us"], sum(stats.chip_busy_time_us), rel_tol=1e-12
+        )
+
+    def test_series_columns_sum_to_summary_totals(self, ftl_name):
+        ssd, recorder = _observed_device(ftl_name)
+        ssd.fill_sequential(io_pages=16)
+        for phase in _mixed_workload(ssd.geometry):
+            ssd.run(phase, threads=2)
+
+        stats = ssd.stats
+        series = recorder.series(stats)
+        assert series["num_windows"] >= 1
+        assert sum(series["reads"]) == stats.host_read_requests
+        assert sum(series["writes"]) == stats.host_write_requests
+        assert sum(series["flash_reads"]) == sum(stats.flash_reads.values())
+        assert sum(series["flash_programs"]) == sum(stats.flash_programs.values())
+        assert sum(series["flash_erases"]) == sum(stats.flash_erases.values())
+        assert sum(series["gc_count"]) == len(stats.gc_events)
+        assert sum(series["gc_pages_moved"]) == stats.gc_pages_moved
+        # Gap windows are emitted explicitly so the series plots directly.
+        assert series["index"] == list(range(series["num_windows"]))
+        assert series["start_us"] == [i * WINDOW_US for i in range(series["num_windows"])]
+
+
+class TestNonInterference:
+    """Observability on must not change any simulated result; off must be free."""
+
+    def test_golden_fingerprints_unchanged_with_tracing_on(self, ftl_name):
+        fingerprint = run_golden_workload(ftl_name, observe=True)
+        golden = GOLDEN[ftl_name]
+        assert set(fingerprint) == set(golden)
+        mismatches = {
+            key: (golden[key], fingerprint[key])
+            for key in golden
+            if fingerprint[key] != golden[key]
+        }
+        assert not mismatches, f"observability changed simulated results: {mismatches}"
+
+    def test_disabled_run_never_enters_observed_paths(self, monkeypatch, tiny_geometry):
+        def boom(*args, **kwargs):
+            raise AssertionError("observed code path entered with observability off")
+
+        monkeypatch.setattr(SSD, "_run_scalar_observed", boom)
+        monkeypatch.setattr(SSD, "_run_batched_observed", boom)
+        monkeypatch.setattr(SSD, "_replay_observed", boom)
+
+        ssd = SSD.create("dftl", tiny_geometry)
+        ssd.fill_sequential(io_pages=16)
+        requests = _single_page_workload(tiny_geometry, count=100)
+        ssd.run(requests[:50], threads=2)
+        ssd.run(requests[50:], threads=2, batch=16)
+
+    def test_null_tracer_is_shared_and_inert(self, tiny_geometry):
+        ssd = SSD.create("dftl", tiny_geometry)
+        assert ssd.tracer is NULL_TRACER
+        assert ssd.ftl.tracer is NULL_TRACER
+        assert not NullTraceRecorder.enabled
+        NULL_TRACER.instant("gc", 0.0, {"victim_block": 1})
+        NULL_TRACER.complete("gc", 0.0, 10.0)
+
+
+class TestModeEquivalence:
+    """Scalar and batched kernels must produce bit-identical window series."""
+
+    def test_scalar_and_batched_series_identical(self, ftl_name):
+        def run(batch):
+            ssd, recorder = _observed_device(ftl_name)
+            ssd.fill_sequential(io_pages=16)
+            ssd.run(_single_page_workload(ssd.geometry), threads=2, batch=batch)
+            return recorder.series(ssd.stats)
+
+        scalar = run(None)
+        batched = run(64)
+        assert scalar.keys() == batched.keys()
+        for column in scalar:
+            # Exact equality on purpose — including every float column.
+            assert scalar[column] == batched[column], f"column {column} diverged"
+
+
+class TestPersistence:
+    """state_dict/load_state round trips; reset_stats realigns the recorder."""
+
+    def test_snapshot_resume_reproduces_series(self, ftl_name):
+        requests = _single_page_workload(golden_geometry())
+        first, second = requests[:300], requests[300:]
+
+        reference, _ = _observed_device(ftl_name)
+        reference.fill_sequential(io_pages=16)
+        reference.run(first, threads=2)
+        reference.run(second, threads=2)
+        expected = reference.recorder.series(reference.stats)
+
+        source, _ = _observed_device(ftl_name)
+        source.fill_sequential(io_pages=16)
+        source.run(first, threads=2)
+        state = source.state_dict()
+
+        resumed = SSD.create(ftl_name, golden_geometry())
+        resumed.enable_observability(window_us=WINDOW_US)
+        resumed.load_state(state)
+        resumed.run(second, threads=2)
+        assert resumed.recorder.series(resumed.stats) == expected
+
+    def test_load_state_installs_recorder_when_missing(self, ftl_name):
+        source, _ = _observed_device(ftl_name)
+        source.fill_sequential(io_pages=16)
+        state = source.state_dict()
+
+        resumed = SSD.create(ftl_name, golden_geometry())
+        assert resumed.recorder is None
+        resumed.load_state(state)
+        assert resumed.recorder is not None
+        assert resumed.recorder.window_us == WINDOW_US
+        assert resumed.recorder.totals() == source.recorder.totals()
+
+    def test_load_state_rejects_mismatched_window(self):
+        recorder = WindowedRecorder(WINDOW_US)
+        state = recorder.state_dict()
+        other = WindowedRecorder(WINDOW_US * 2)
+        with pytest.raises(ConfigurationError):
+            other.load_state(state)
+
+    def test_reset_stats_realigns_recorder(self, tiny_geometry):
+        ssd = SSD.create("dftl", tiny_geometry)
+        recorder = ssd.enable_observability(window_us=WINDOW_US)
+        ssd.fill_sequential(io_pages=16)
+        ssd.run(_single_page_workload(tiny_geometry, count=200), threads=2)
+        assert recorder.window_count() > 0
+
+        ssd.reset_stats()
+        assert ssd.recorder is recorder
+        assert recorder.window_count() == 0
+
+        # The post-reset interval restarts at window 0 and its totals must
+        # match the fresh stats exactly (no warm-up leakage).
+        ssd.run(_single_page_workload(tiny_geometry, count=100), threads=2)
+        totals = recorder.totals()
+        assert totals["reads"] == ssd.stats.host_read_requests
+        assert totals["writes"] == ssd.stats.host_write_requests
+        assert totals["command_counts"] == list(ssd.stats.command_counts)
+        assert min(recorder._windows) == 0
+
+
+class TestWindowedRecorderUnit:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ConfigurationError):
+            WindowedRecorder(0.0)
+        with pytest.raises(ConfigurationError):
+            WindowedRecorder(-5.0)
+
+    def test_empty_recorder_series_and_totals(self):
+        recorder = WindowedRecorder(WINDOW_US)
+        assert recorder.window_count() == 0
+        series = recorder.series()
+        assert series["num_windows"] == 0
+        assert series["reads"] == []
+        totals = recorder.totals()
+        assert totals["reads"] == 0
+        assert totals["busy_time_us"] == 0.0
+
+
+class TestTraceRecorder:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(max_events_per_name=0)
+
+    def test_event_shapes(self):
+        tracer = TraceRecorder()
+        tracer.instant("cmt_evict", 12.5, {"tvpn": 3})
+        tracer.complete("gc", 100.0, 40.0, {"victim_block": 7, "pages_moved": 9})
+        export = tracer.export()
+        instant, complete = export["traceEvents"]
+        assert instant == {
+            "name": "cmt_evict", "ph": "i", "ts": 12.5, "pid": 0, "tid": 0,
+            "s": "t", "args": {"tvpn": 3},
+        }
+        assert complete["ph"] == "X"
+        assert complete["ts"] == 100.0
+        assert complete["dur"] == 40.0
+        assert export["otherData"]["clock"] == "simulated_us"
+
+    def test_per_name_sampling_cap(self):
+        tracer = TraceRecorder(max_events_per_name=3)
+        for i in range(10):
+            tracer.instant("translation_read", float(i))
+        tracer.instant("gc", 0.0)
+        assert len(tracer) == 4  # 3 admitted + 1 other name
+        assert tracer.dropped_counts() == {"translation_read": 7}
+        assert tracer.export()["otherData"]["dropped_events"] == {"translation_read": 7}
+
+    def test_write_produces_wellformed_chrome_trace(self, tmp_path):
+        tracer = TraceRecorder()
+        tracer.instant("snapshot_restore", 1.0, {"finish_time_us": 1.0})
+        path = tracer.write(tmp_path / "nested" / "out.trace.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"][0]["name"] == "snapshot_restore"
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_traced_run_emits_gc_and_eviction_events(self, ftl_name):
+        tracer = TraceRecorder()
+        ssd, _ = _observed_device(ftl_name, tracer=tracer)
+        ssd.fill_sequential(io_pages=16)
+        for phase in _mixed_workload(ssd.geometry):
+            ssd.run(phase, threads=2)
+        names = {event["name"] for event in tracer.export()["traceEvents"]}
+        # Every design GCs under this workload; the grouped design reports
+        # its grouped form, everything else the per-block form.
+        assert ("gc" in names) or ("gc_group" in names)
+        if ftl_name in ("dftl", "tpftl"):
+            assert "translation_read" in names

@@ -279,3 +279,50 @@ class TestSpeedupRatioMetrics:
         # the scalar loop for dftl.
         assert baseline["results"]["dftl"]["randwrite_batched_vs_scalar_speedup"] >= 2.0
         assert baseline["results"]["dftl"]["mixed_batched_vs_scalar_speedup"] >= 2.0
+
+
+class TestObsGate:
+    """The observability-disabled hot path gates at 0.98x of the same report's
+    plain dftl randread storm — intra-report, never machine-scaled."""
+
+    def _report_with_obs(self, ratio: float, cal: float | None = None) -> dict:
+        report = _report(1000.0, 5000.0)
+        report["obs"] = {
+            "obs_disabled_requests_per_second": 5000.0 * ratio,
+            "obs_enabled_requests_per_second": 4000.0,
+            "obs_enabled_vs_disabled_ratio": 0.8,
+            "obs_disabled_vs_baseline_ratio": ratio,
+        }
+        if cal is not None:
+            report["calibration_iters_per_second"] = cal
+        return report
+
+    def test_disabled_ratio_below_floor_fails(self):
+        baseline = _report(1000.0, 5000.0)
+        failures = perf_gate.compare(baseline, self._report_with_obs(0.9), max_slowdown=0.25)
+        assert any("obs_disabled_vs_baseline_ratio" in failure for failure in failures)
+
+    def test_disabled_ratio_at_or_above_floor_passes(self):
+        baseline = _report(1000.0, 5000.0)
+        assert perf_gate.compare(baseline, self._report_with_obs(0.98), max_slowdown=0.25) == []
+        assert perf_gate.compare(baseline, self._report_with_obs(1.05), max_slowdown=0.25) == []
+
+    def test_report_without_obs_section_is_skipped(self):
+        baseline = self._report_with_obs(1.0)
+        assert perf_gate.compare(baseline, _report(1000.0, 5000.0), max_slowdown=0.25) == []
+
+    def test_ratio_is_never_machine_scaled(self):
+        baseline = self._report_with_obs(1.0, cal=10_000_000.0)
+        fresh = self._report_with_obs(0.9, cal=1_000_000.0)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True)
+        assert any("obs_disabled_vs_baseline_ratio" in failure for failure in failures)
+
+    def test_merge_best_takes_the_best_obs_metrics(self):
+        merged = perf_gate.merge_best(
+            [self._report_with_obs(0.95), self._report_with_obs(1.02)]
+        )
+        assert merged["obs"]["obs_disabled_vs_baseline_ratio"] == 1.02
+
+    def test_committed_baseline_carries_obs_section(self):
+        baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
+        assert baseline["obs"]["obs_disabled_vs_baseline_ratio"] >= perf_gate.OBS_RATIO_FLOOR
