@@ -70,6 +70,11 @@ TRACKED_MICRO_METRICS = ("lookup_many_lpns_per_second", "probe_many_lpns_per_sec
 #: fresh value must not exceed the baseline by more than the allowed slowdown.
 TRACKED_MICRO_LOWER_IS_BETTER = ("orchestrator_dispatch_overhead_us",)
 
+#: Top-level ``replay`` metrics gated against the baseline (higher is better,
+#: machine-scaled like the per-FTL rates): the streaming checkpointed replay
+#: stack must not quietly get slower.
+TRACKED_REPLAY_METRICS = ("replay_requests_per_second",)
+
 #: Rate metrics of the top-level ``obs`` section merged best-of across fresh
 #: reports (the gated ratio rides along via :data:`OBS_RATIO_METRIC`).
 TRACKED_OBS_METRICS = (
@@ -154,6 +159,12 @@ def merge_best(reports: list[dict]) -> dict:
             obs[metric] = max(float(obs.get(metric, 0.0)), float(value))
     if obs:
         merged["obs"] = obs
+    replay: dict = {}
+    for report in reports:
+        for metric, value in report.get("replay", {}).items():
+            replay[metric] = max(float(replay.get(metric, 0.0)), float(value))
+    if replay:
+        merged["replay"] = replay
     return merged
 
 
@@ -225,6 +236,26 @@ def compare(baseline: dict, fresh: dict, *, max_slowdown: float, calibrate: bool
         if fresh_value < floor:
             failures.append(
                 f"micro.{metric} regressed to {fresh_value:.1f} lpns/s "
+                f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
+            )
+    baseline_replay = baseline.get("replay", {})
+    fresh_replay = fresh.get("replay", {})
+    for metric in TRACKED_REPLAY_METRICS:
+        # Baselines predating the replay section skip these (base_value 0.0).
+        base_value = float(baseline_replay.get(metric, 0.0)) * scale
+        if base_value <= 0.0:
+            continue
+        fresh_value = float(fresh_replay.get(metric, 0.0))
+        floor = base_value * (1.0 - max_slowdown)
+        ratio = fresh_value / base_value
+        status = "OK " if fresh_value >= floor else "FAIL"
+        print(
+            f"[perf-gate] {status} replay.{metric}: baseline {base_value:.1f}, "
+            f"fresh {fresh_value:.1f} ({ratio:.2f}x)"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"replay.{metric} regressed to {fresh_value:.1f} req/s "
                 f"({ratio:.2f}x of baseline {base_value:.1f}; floor {floor:.1f})"
             )
     fresh_obs = fresh.get("obs", {})

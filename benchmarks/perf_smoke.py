@@ -19,6 +19,12 @@ trajectory is tracked across PRs:
   transient.
 * **micro** — ``lookup_many``/``probe_many`` rates of the mapping layer's
   batch probes, and the orchestrator's per-task dispatch overhead.
+* **replay** — the streaming checkpointed trace-replay stack end to end: a
+  ~200k-record synthetic Systor trace written to a temp file, streamed through
+  :class:`repro.replay.ReplaySession` (line parsing, request chunking,
+  ``SSD.replay``, one mid-run checkpoint) on a fresh medium dftl device.
+  Gated higher-is-better like the per-FTL rates so the replay path cannot
+  quietly get slower.
 * **obs** — the dftl randread storm with observability left disabled vs with
   windowed telemetry + tracing enabled (see :mod:`repro.obs`).  The gate
   holds the disabled-mode rate within 2 % of the report's own dftl randread
@@ -79,6 +85,12 @@ SEED = 42
 #: average out the CMT warm-up transient of the first storm for both modes.
 OBS_REPEATS = 3
 OBS_WINDOW_US = 1_000_000.0
+#: Replay phase: trace length, chunk size and checkpoint cadence.  One
+#: checkpoint lands mid-run so the measured rate includes the snapshot cost a
+#: real checkpointed replay pays.
+REPLAY_RECORDS = 200_000
+REPLAY_CHUNK_REQUESTS = 20_000
+REPLAY_CHECKPOINT_EVERY = 120_000
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -244,6 +256,55 @@ def bench_obs() -> dict:
     }
 
 
+def bench_replay() -> dict:
+    """Time the streaming checkpointed replay stack end to end.
+
+    Synthesizes a ~200k-record Systor trace, writes it to a temp CSV, then
+    streams it through :class:`~repro.replay.ReplaySession` on a fresh medium
+    dftl device — so the measured rate covers line parsing, request chunking,
+    the scalar ``SSD.replay`` loop and one mid-run checkpoint write, i.e.
+    exactly what the ``replay`` CLI verb pays per request.
+    """
+    import tempfile
+
+    from repro.replay import ReplayPlan, ReplaySession
+    from repro.workloads import synthesize_systor
+
+    geometry = SSDGeometry.medium()
+    records = synthesize_systor(num_ios=REPLAY_RECORDS, seed=SEED)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "bench.csv"
+        with trace.open("w", encoding="utf-8") as handle:
+            handle.write("timestamp,response,iotype,lun,offset,size\n")
+            for record in records:
+                handle.write(
+                    f"{record.timestamp_s!r},0.0,{'R' if record.is_read else 'W'},"
+                    f"{record.stream_id},{record.offset_bytes},{record.size_bytes}\n"
+                )
+        plan = ReplayPlan(
+            trace_path=str(trace),
+            trace_format="systor",
+            ftl_name="dftl",
+            geometry=geometry,
+            chunk_requests=REPLAY_CHUNK_REQUESTS,
+            checkpoint_every_requests=REPLAY_CHECKPOINT_EVERY,
+            preserve_timing=False,
+        )
+        session = ReplaySession(plan, Path(tmp) / "run")
+        t0 = time.perf_counter()
+        result = session.run()
+        seconds = time.perf_counter() - t0
+    assert result.finished and result.requests >= REPLAY_RECORDS
+    return {
+        "replay_records": result.records,
+        "replay_requests": result.requests,
+        "replay_chunks": result.chunks,
+        "replay_checkpoints": result.checkpoints_written,
+        "replay_seconds": round(seconds, 3),
+        "replay_requests_per_second": round(result.requests / max(seconds, 1e-9), 1),
+    }
+
+
 def micro_benchmark() -> dict:
     """Rates of the mapping layer's batch probes (the planner building blocks).
 
@@ -326,6 +387,13 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         f"probe_many {micro['probe_many_lpns_per_second']:.3g} lpns/s, "
         f"dispatch {micro['orchestrator_dispatch_overhead_us']:.3g} us/task"
     )
+    replay = bench_replay()
+    print(
+        f"[perf_smoke] replay: {replay['replay_requests']} requests in "
+        f"{replay['replay_seconds']}s "
+        f"({replay['replay_requests_per_second']:.3g} req/s, "
+        f"{replay['replay_checkpoints']} checkpoints)"
+    )
     obs = bench_obs()
     # Both sides of this ratio come from the same report on the same machine:
     # the observability-disabled storm vs the plain dftl randread storm above.
@@ -355,6 +423,7 @@ def run_benchmark(output: Path = DEFAULT_OUTPUT) -> dict:
         "calibration_iters_per_second": round(calibration_score(), 1),
         "micro": micro,
         "obs": obs,
+        "replay": replay,
         "results": results,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -381,6 +450,8 @@ def test_perf_smoke(tmp_path):
     assert report["obs"]["obs_disabled_requests_per_second"] > 0
     assert report["obs"]["obs_enabled_requests_per_second"] > 0
     assert report["obs"]["obs_disabled_vs_baseline_ratio"] > 0
+    assert report["replay"]["replay_requests_per_second"] > 0
+    assert report["replay"]["replay_checkpoints"] >= 2
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -96,6 +96,17 @@ PAGES: list[tuple[str, str, str, list[str]]] = [
         ],
     ),
     (
+        "replay",
+        "Streaming trace replay",
+        "Bounded-memory replay of full trace files with checkpointed, "
+        "bit-identical resume: record-boundary request chunking and the "
+        "checkpoint/manifest session driver (see docs/replay.md).",
+        [
+            "repro.replay.stream",
+            "repro.replay.engine",
+        ],
+    ),
+    (
         "execution",
         "Execution backends",
         "The pluggable executor layer: the backend interface and wire format, "

@@ -15,6 +15,9 @@ Examples::
     python -m repro.experiments study my_sweep.yaml --backend thread --workers 0
     python -m repro.experiments worker shared/queue &          # on any host
     python -m repro.experiments all --backend file-queue --queue-dir shared/queue
+    python -m repro.experiments replay trace.csv.gz --run-dir runs/r1 \\
+        --chunk-requests 10000 --checkpoint-every 100000
+    python -m repro.experiments replay --resume --run-dir runs/r1
 
 ``all`` (or several experiment names) runs through the orchestrator: the
 multi-FTL figures are split into per-(FTL, workload) tasks, ``--backend``
@@ -35,6 +38,10 @@ study.
 executes tasks until the coordinating run writes its stop sentinel — start
 any number of these, on any hosts sharing the directory, before or during a
 ``--backend file-queue`` run.
+
+``replay <trace>`` streams a SPC/Systor trace file (optionally ``.gz``)
+through one FTL with bounded memory, checkpointing periodically so a killed
+replay resumes bit-identical via ``--resume`` (see ``docs/replay.md``).
 """
 
 from __future__ import annotations
@@ -353,20 +360,269 @@ def _run_worker_verb(argv: list[str]) -> int:
     return 0
 
 
+def _run_replay_verb(argv: list[str]) -> int:
+    """The ``replay`` verb: checkpointed streaming replay of a trace file."""
+    import json
+
+    from repro.experiments.runner import ScaleSpec
+    from repro.execution.atomic import publish_json
+    from repro.nand.errors import TraceFormatError
+    from repro.replay import ReplayError, ReplayPlan, ReplaySession
+    from repro.snapshot.store import SnapshotStore
+    from repro.snapshot.warm import WARMUP_MODES
+    from repro.workloads.traces import trace_format_for
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments replay",
+        description="Stream a SPC/Systor trace file (optionally .gz) through one "
+        "FTL with bounded memory, writing periodic checkpoints so a killed "
+        "replay resumes bit-identical from --run-dir (see docs/replay.md).",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="trace file to replay (.spc/.csv, optionally .gz); omitted with --resume",
+    )
+    parser.add_argument(
+        "--run-dir",
+        type=Path,
+        required=True,
+        help="run directory holding manifest.json and checkpoints/",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the run pinned by --run-dir's manifest from its latest checkpoint",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["spc", "systor"],
+        default=None,
+        help="trace format (default: inferred from the file suffix)",
+    )
+    parser.add_argument("--ftl", default="dftl", help="FTL design to replay onto (default: dftl)")
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in Scale],
+        default=Scale.TINY.value,
+        help="device geometry: tiny (small), default (medium) or full (paper)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent open-loop submission streams (stream_id maps modulo N)",
+    )
+    parser.add_argument(
+        "--chunk-requests",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="requests replayed per bounded chunk (memory stays O(chunk); default: 10000)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a checkpoint every N replayed requests",
+    )
+    parser.add_argument(
+        "--checkpoint-every-sim-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="write a checkpoint every S simulated seconds",
+    )
+    parser.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retain the newest N checkpoints (default: 2, so a corrupt newest "
+        "checkpoint still leaves a fallback)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="replay only the first N records"
+    )
+    parser.add_argument(
+        "--max-errors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="tolerate up to N malformed trace lines (counted and skipped; default: 0)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="multiply trace inter-arrival times by F (default: 1.0)",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="ignore trace timestamps and replay closed-loop per stream",
+    )
+    parser.add_argument(
+        "--warmup",
+        choices=list(WARMUP_MODES),
+        default="none",
+        help="precondition the device before replaying (default: none)",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        help="warm-device snapshot store (warm-up restored instead of recomputed)",
+    )
+    parser.add_argument(
+        "--metrics-window-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="record per-window telemetry in simulated-time buckets of this width",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write a Chrome trace-event JSON file for the replayed device here "
+        "(best-effort: covers events since the last resume)",
+    )
+    parser.add_argument(
+        "--stop-after-checkpoints",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pause cleanly right after the Nth checkpoint written by this invocation",
+    )
+    parser.add_argument(
+        "--stop-after-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort (no checkpoint) once the total replayed request count reaches N — "
+        "models a crash between checkpoints",
+    )
+    parser.add_argument(
+        "--stats-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the run result (summary, counters, state sha256, telemetry) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.resume:
+            manifest_path = args.run_dir / "manifest.json"
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                print(f"cannot read {manifest_path}: {exc}", file=sys.stderr)
+                return 2
+            plan = ReplayPlan.from_manifest(manifest)
+        else:
+            if args.trace is None:
+                print("a trace file is required unless --resume is given", file=sys.stderr)
+                return 2
+            if not args.trace.is_file():
+                print(f"trace file not found: {args.trace}", file=sys.stderr)
+                return 2
+            plan = ReplayPlan(
+                trace_path=str(args.trace),
+                trace_format=args.format or trace_format_for(args.trace),
+                ftl_name=args.ftl,
+                geometry=ScaleSpec.for_scale(args.scale).geometry,
+                streams=args.streams,
+                chunk_requests=args.chunk_requests,
+                checkpoint_every_requests=args.checkpoint_every,
+                checkpoint_every_sim_s=args.checkpoint_every_sim_s,
+                preserve_timing=not args.no_timing,
+                time_scale=args.time_scale,
+                limit=args.limit,
+                max_errors=args.max_errors,
+                warmup=args.warmup,
+                metrics_window_us=args.metrics_window_us,
+                keep_checkpoints=args.keep_checkpoints,
+            )
+        tracer = None
+        if args.trace_out is not None:
+            from repro.obs.trace import TraceRecorder
+
+            tracer = TraceRecorder()
+        store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir is not None else None
+        session = ReplaySession(
+            plan,
+            args.run_dir,
+            snapshot_store=store,
+            log=lambda line: print(line, file=sys.stderr, flush=True),
+            tracer=tracer,
+        )
+        result = session.run(
+            resume=args.resume,
+            stop_after_checkpoints=args.stop_after_checkpoints,
+            stop_after_requests=args.stop_after_requests,
+        )
+    except (ReplayError, TraceFormatError, ConfigurationError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+
+    status = "finished" if result.finished else "paused"
+    print(
+        f"[replay {status}: {result.requests} requests from {result.records} records "
+        f"on {plan.ftl_name}, sim time {result.sim_time_us / 1e6:.3f}s, "
+        f"{result.checkpoints_written} checkpoint(s) written"
+        + (f", resumed from checkpoint {result.resumed_from}" if result.resumed_from else "")
+        + "]"
+    )
+    for key in ("throughput_mb_s", "read_p99_us", "write_p99_us", "write_amplification"):
+        if key in result.summary:
+            print(f"  {key} = {result.summary[key]:.4g}")
+    if result.telemetry:
+        from repro.analysis.windows import format_window_table
+
+        print(f"[windowed telemetry: replay / {plan.ftl_name}]")
+        print(format_window_table(result.telemetry))
+    if tracer is not None:
+        args.trace_out.mkdir(parents=True, exist_ok=True)
+        trace_file = args.trace_out / f"replay-{plan.ftl_name}.trace.json"
+        tracer.write(trace_file)
+        print(f"[trace written to {trace_file}]")
+    if args.stats_out is not None:
+        args.stats_out.parent.mkdir(parents=True, exist_ok=True)
+        publish_json(args.stats_out, result.as_dict(), indent=2)
+        print(f"[stats written to {args.stats_out}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-experiments`` console script)."""
     if argv is None:
         argv = sys.argv[1:]
-    # The worker verb has its own option set; dispatch before the main parser
-    # can trip over it.
+    # The worker and replay verbs have their own option sets; dispatch before
+    # the main parser can trip over them.
     if argv and argv[0] == "worker":
         return _run_worker_verb(list(argv[1:]))
+    if argv and argv[0] == "replay":
+        return _run_replay_verb(list(argv[1:]))
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list or not args.experiments:
         study_verb = "study <spec>..."
         worker_verb = "worker <queue-dir>"
-        width = max(max(len(name) for name in EXPERIMENTS), len(study_verb), len(worker_verb))
+        replay_verb = "replay <trace>"
+        width = max(
+            max(len(name) for name in EXPERIMENTS),
+            len(study_verb),
+            len(worker_verb),
+            len(replay_verb),
+        )
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
         print(
@@ -376,6 +632,10 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{worker_verb.ljust(width)}  Attach to a file-queue directory and execute "
             "tasks (multi-host runs)"
+        )
+        print(
+            f"{replay_verb.ljust(width)}  Checkpointed streaming replay of a SPC/Systor "
+            "trace file (see docs/replay.md)"
         )
         return 0
     if args.jobs < 0:

@@ -1,0 +1,36 @@
+"""Bounded-memory streaming trace replay with checkpointed, bit-identical resume.
+
+The package turns a multi-GB SPC/Systor trace file into a resumable replay:
+
+* :mod:`repro.replay.stream` — :func:`iter_trace_requests` adapts a streaming
+  record iterator into bounded request chunks (record-boundary aligned);
+* :mod:`repro.replay.engine` — :class:`ReplaySession` drives the chunks
+  through :meth:`repro.ssd.device.SSD.replay`, writing periodic checkpoints
+  (device state + parser cursor + stream clocks) and a run manifest pinning
+  the trace hash, plan and code fingerprint.
+
+A replay killed at any point and resumed from its last checkpoint finishes
+bit-identical to an uninterrupted run (``tests/test_replay.py``).
+"""
+
+from repro.replay.engine import (
+    REPLAY_MANIFEST_VERSION,
+    ReplayError,
+    ReplayPlan,
+    ReplayResult,
+    ReplaySession,
+    state_fingerprint,
+    trace_sha256,
+)
+from repro.replay.stream import iter_trace_requests
+
+__all__ = [
+    "REPLAY_MANIFEST_VERSION",
+    "ReplayError",
+    "ReplayPlan",
+    "ReplayResult",
+    "ReplaySession",
+    "iter_trace_requests",
+    "state_fingerprint",
+    "trace_sha256",
+]

@@ -1,0 +1,644 @@
+"""Checkpointed streaming trace replay.
+
+A :class:`ReplaySession` drives a trace file through
+:meth:`~repro.ssd.device.SSD.replay` in bounded chunks
+(:func:`~repro.replay.stream.iter_trace_requests`), writing periodic
+checkpoints through the snapshot serialization layer so a killed replay can
+resume from its last checkpoint and finish **bit-identical** to an
+uninterrupted run — same stats fingerprint, same telemetry window series,
+same device ``state_dict``.
+
+On-disk layout of a run directory::
+
+    run_dir/
+      manifest.json            # pins trace path+sha256, device+replay config,
+                               # code fingerprint (REPLAY_MANIFEST_VERSION)
+      checkpoints/
+        ckpt-000001/           # snapshot dir: manifest.json + arrays.npz
+        ckpt-000002/           # (the newest ``keep_checkpoints`` are retained)
+
+Each checkpoint is one snapshot-format directory holding the device
+``state_dict`` (including windowed-telemetry state) plus the replay's own
+state: the parser :class:`~repro.workloads.traces.TraceCursor`, the
+per-stream ``stream_free`` clocks, the arrival-time origin and the running
+request/chunk counters.  Checkpoints are published atomically (write to a
+temp sibling, rename), so a kill during a checkpoint write can never corrupt
+an existing one; a corrupt checkpoint found at resume time is skipped with a
+warning in favour of the previous one.
+
+What is *not* checkpointed: event-tracer buffers (a resumed run's Chrome
+trace covers events since the resume) and wall-clock timings.  Everything
+that feeds simulated results is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.base import FTLConfig
+from repro.execution.atomic import publish_dir, publish_json
+from repro.nand.geometry import SSDGeometry
+from repro.nand.timing import TimingModel
+from repro.replay.stream import iter_trace_requests
+from repro.snapshot.fingerprint import source_fingerprint
+from repro.snapshot.serialization import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    _flatten,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.snapshot.store import SnapshotStore
+from repro.snapshot.warm import warm_device, warmup_recipe
+from repro.ssd.device import SSD
+from repro.workloads.traces import RecordStream, TraceCursor
+
+__all__ = [
+    "REPLAY_MANIFEST_VERSION",
+    "ReplayError",
+    "ReplayPlan",
+    "ReplayResult",
+    "ReplaySession",
+    "state_fingerprint",
+    "trace_sha256",
+]
+
+#: Version of the run-directory manifest schema and checkpoint replay-state
+#: schema.  Bump on any incompatible change.
+REPLAY_MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_CHECKPOINT_DIR = "checkpoints"
+_CHECKPOINT_PREFIX = "ckpt-"
+
+
+class ReplayError(RuntimeError):
+    """A replay run could not be started, checkpointed or resumed."""
+
+
+def trace_sha256(path: str | Path) -> str:
+    """Streaming sha256 of the trace file's on-disk bytes (as stored, so a
+    ``.gz`` trace is hashed compressed — the hash pins the exact artifact)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def state_fingerprint(state: dict[str, Any]) -> str:
+    """Order-independent sha256 of a nested ``state_dict`` structure.
+
+    Hashes the JSON skeleton (sorted keys) plus every ndarray leaf's dtype,
+    shape and raw bytes — two states fingerprint equal iff they are
+    bit-identical, which is what the crash/resume tests pin.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    skeleton = _flatten(state, arrays)
+    digest = hashlib.sha256(json.dumps(skeleton, sort_keys=True).encode("utf-8"))
+    for key in sorted(arrays):
+        column = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(column.dtype).encode("utf-8"))
+        digest.update(str(column.shape).encode("utf-8"))
+        digest.update(column.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Everything that determines a replay run's simulated results.
+
+    The plan is pinned verbatim (plus the trace's sha256 and the code
+    fingerprint) in the run directory's ``manifest.json``; a resume refuses to
+    continue under a different plan, trace file or source tree, because any of
+    those could silently break bit-identity with the original run.
+    """
+
+    trace_path: str
+    trace_format: str
+    ftl_name: str
+    geometry: SSDGeometry
+    config: FTLConfig | None = None
+    timing: TimingModel | None = None
+    streams: int = 1
+    chunk_requests: int = 10_000
+    checkpoint_every_requests: int | None = None
+    checkpoint_every_sim_s: float | None = None
+    preserve_timing: bool = True
+    time_scale: float = 1.0
+    limit: int | None = None
+    max_errors: int = 0
+    warmup: str = "none"
+    io_pages: int = 128
+    overwrite_factor: float = 1.0
+    warmup_threads: int = 1
+    warmup_seed: int = 7
+    metrics_window_us: float | None = None
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.streams <= 0:
+            raise ReplayError(f"streams must be positive, got {self.streams}")
+        if self.chunk_requests <= 0:
+            raise ReplayError(f"chunk_requests must be positive, got {self.chunk_requests}")
+        if self.checkpoint_every_requests is not None and self.checkpoint_every_requests <= 0:
+            raise ReplayError("checkpoint_every_requests must be positive when given")
+        if self.checkpoint_every_sim_s is not None and self.checkpoint_every_sim_s <= 0:
+            raise ReplayError("checkpoint_every_sim_s must be positive when given")
+        if self.keep_checkpoints < 1:
+            raise ReplayError(f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}")
+
+    def manifest(self) -> dict[str, Any]:
+        """The run manifest: plan + trace hash + code fingerprint, all pinned."""
+        return {
+            "replay_manifest_version": REPLAY_MANIFEST_VERSION,
+            "snapshot_format": SNAPSHOT_FORMAT_VERSION,
+            "source_fingerprint": source_fingerprint(),
+            "trace": {
+                "path": str(self.trace_path),
+                "sha256": trace_sha256(self.trace_path),
+                "format": self.trace_format,
+                "limit": self.limit,
+                "max_errors": self.max_errors,
+            },
+            "device": {
+                "ftl": self.ftl_name,
+                "geometry": asdict(self.geometry),
+                "config": asdict(self.config if self.config is not None else FTLConfig()),
+                "timing": asdict(
+                    self.timing if self.timing is not None else TimingModel.femu_default()
+                ),
+            },
+            "replay": {
+                "streams": self.streams,
+                "chunk_requests": self.chunk_requests,
+                "checkpoint_every_requests": self.checkpoint_every_requests,
+                "checkpoint_every_sim_s": self.checkpoint_every_sim_s,
+                "preserve_timing": self.preserve_timing,
+                "time_scale": self.time_scale,
+                "keep_checkpoints": self.keep_checkpoints,
+            },
+            "warmup": warmup_recipe(
+                warmup=self.warmup,
+                io_pages=self.io_pages,
+                overwrite_factor=self.overwrite_factor,
+                threads=self.warmup_threads,
+                seed=self.warmup_seed,
+            ),
+            "obs": {"metrics_window_us": self.metrics_window_us},
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: dict[str, Any]) -> "ReplayPlan":
+        """Rebuild the plan pinned by a run directory's ``manifest.json``.
+
+        This is what lets ``replay --resume --run-dir X`` need no other flags:
+        the stored manifest is the single source of truth for the plan.
+        """
+        version = manifest.get("replay_manifest_version")
+        if version != REPLAY_MANIFEST_VERSION:
+            raise ReplayError(
+                f"run manifest has version {version!r}; "
+                f"this build reads version {REPLAY_MANIFEST_VERSION}"
+            )
+        trace = manifest["trace"]
+        device = manifest["device"]
+        replay = manifest["replay"]
+        warm = manifest["warmup"]
+        return cls(
+            trace_path=trace["path"],
+            trace_format=trace["format"],
+            limit=trace["limit"],
+            max_errors=trace["max_errors"],
+            ftl_name=device["ftl"],
+            geometry=SSDGeometry(**device["geometry"]),
+            config=FTLConfig(**device["config"]),
+            timing=TimingModel(**device["timing"]),
+            streams=replay["streams"],
+            chunk_requests=replay["chunk_requests"],
+            checkpoint_every_requests=replay["checkpoint_every_requests"],
+            checkpoint_every_sim_s=replay["checkpoint_every_sim_s"],
+            preserve_timing=replay["preserve_timing"],
+            time_scale=replay["time_scale"],
+            keep_checkpoints=replay["keep_checkpoints"],
+            warmup=warm["warmup"],
+            io_pages=warm["io_pages"],
+            overwrite_factor=warm["overwrite_factor"],
+            warmup_threads=warm["threads"],
+            warmup_seed=warm["seed"],
+            metrics_window_us=manifest["obs"]["metrics_window_us"],
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one :meth:`ReplaySession.run` call."""
+
+    finished: bool
+    requests: int
+    records: int
+    skipped_lines: int
+    chunks: int
+    checkpoints_written: int
+    resumed_from: int | None
+    sim_time_us: float
+    summary: dict[str, float]
+    state_sha: str
+    telemetry: dict[str, Any] | None = None
+    device: SSD | None = field(default=None, repr=False, compare=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (``--stats-out``; the device is omitted)."""
+        return {
+            "finished": self.finished,
+            "requests": self.requests,
+            "records": self.records,
+            "skipped_lines": self.skipped_lines,
+            "chunks": self.chunks,
+            "checkpoints_written": self.checkpoints_written,
+            "resumed_from": self.resumed_from,
+            "sim_time_us": self.sim_time_us,
+            "summary": self.summary,
+            "state_sha": self.state_sha,
+            "telemetry": self.telemetry,
+        }
+
+
+class ReplaySession:
+    """One replay run directory: manifest, checkpoints, streaming drive loop.
+
+    ``log`` (optional) receives one-line progress strings — the CLI passes
+    ``print``; tests pass a collector.  ``snapshot_store`` (optional) lets a
+    warm-up-enabled plan restore its preconditioned image from the shared
+    snapshot store instead of re-warming.
+    """
+
+    def __init__(
+        self,
+        plan: ReplayPlan,
+        run_dir: str | Path,
+        *,
+        snapshot_store: SnapshotStore | None = None,
+        log: Callable[[str], None] | None = None,
+        tracer: Any = None,
+    ) -> None:
+        self.plan = plan
+        self.run_dir = Path(run_dir)
+        self.snapshot_store = snapshot_store
+        self._log = log or (lambda message: None)
+        # Event tracing is best-effort: tracer buffers are in-memory only, so
+        # a resumed run's trace covers events since the resume (the windowed
+        # telemetry, by contrast, is checkpointed and bit-identical).
+        self._tracer = tracer
+
+    # ----------------------------------------------------------- layout
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / _MANIFEST_NAME
+
+    @property
+    def checkpoints_dir(self) -> Path:
+        return self.run_dir / _CHECKPOINT_DIR
+
+    def checkpoint_paths(self) -> list[Path]:
+        """Existing checkpoint directories, oldest first."""
+        if not self.checkpoints_dir.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.checkpoints_dir.iterdir()
+            if path.is_dir() and path.name.startswith(_CHECKPOINT_PREFIX)
+        )
+
+    # ------------------------------------------------------------ devices
+    def _build_device(self) -> SSD:
+        """Fresh preconditioned device with a zeroed measurement interval."""
+        plan = self.plan
+        if plan.warmup == "none":
+            device = SSD.create(
+                plan.ftl_name, plan.geometry, timing=plan.timing, config=plan.config
+            )
+        else:
+            device = warm_device(
+                plan.ftl_name,
+                plan.geometry,
+                warmup=plan.warmup,
+                io_pages=plan.io_pages,
+                overwrite_factor=plan.overwrite_factor,
+                threads=plan.warmup_threads,
+                seed=plan.warmup_seed,
+                config=plan.config,
+                timing=plan.timing,
+                store=self.snapshot_store,
+            )
+            device.reset_stats()
+        if plan.metrics_window_us is not None:
+            device.enable_observability(window_us=plan.metrics_window_us)
+        return device
+
+    # -------------------------------------------------------- checkpoints
+    def _write_checkpoint(
+        self,
+        seq: int,
+        device: SSD,
+        cursor: TraceCursor,
+        stream_free: list[float],
+        origin_us: float,
+        requests: int,
+        chunks: int,
+        *,
+        completed: bool,
+    ) -> Path:
+        state = {
+            "replay_state": {
+                "seq": seq,
+                "cursor": cursor.as_dict(),
+                "stream_free": list(stream_free),
+                "origin_us": origin_us,
+                "requests": requests,
+                "chunks": chunks,
+                "completed": completed,
+            },
+            "device": device.state_dict(),
+        }
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        final = self.checkpoints_dir / f"{_CHECKPOINT_PREFIX}{seq:06d}"
+        temp = self.checkpoints_dir / f".{final.name}.tmp"
+        shutil.rmtree(temp, ignore_errors=True)
+        save_snapshot(temp, state)
+        publish_dir(temp, final)
+        self._prune_checkpoints()
+        return final
+
+    def _prune_checkpoints(self) -> None:
+        """Drop all but the newest ``keep_checkpoints`` checkpoint dirs."""
+        paths = self.checkpoint_paths()
+        for stale in paths[: max(0, len(paths) - self.plan.keep_checkpoints)]:
+            shutil.rmtree(stale, ignore_errors=True)
+
+    def _load_latest_checkpoint(self) -> dict[str, Any] | None:
+        """Newest loadable checkpoint state, skipping corrupt ones with a warning."""
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return load_snapshot(path)
+            except SnapshotError as exc:
+                message = f"skipping corrupt replay checkpoint {path.name}: {exc}"
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+                self._log(message)
+        return None
+
+    # --------------------------------------------------------------- run
+    def _verify_manifest(self, manifest: dict[str, Any]) -> None:
+        """A resume must run under the exact manifest the run started with."""
+        try:
+            stored = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ReplayError(
+                f"cannot read run manifest at {self.manifest_path}: {exc}"
+            ) from exc
+        if stored != manifest:
+            mismatched = sorted(
+                key
+                for key in set(stored) | set(manifest)
+                if stored.get(key) != manifest.get(key)
+            )
+            raise ReplayError(
+                f"resume manifest mismatch in {mismatched}: the trace file, plan "
+                f"or source tree changed since this run started; bit-identical "
+                f"resume is impossible (start a fresh run directory instead)"
+            )
+
+    def run(
+        self,
+        *,
+        resume: bool = False,
+        stop_after_checkpoints: int | None = None,
+        stop_after_requests: int | None = None,
+    ) -> ReplayResult:
+        """Drive the trace through the device, checkpointing on cadence.
+
+        ``stop_after_checkpoints`` pauses the run right after the Nth
+        checkpoint written *by this call* (a clean kill: nothing is lost).
+        ``stop_after_requests`` aborts once the *total* replayed request count
+        reaches the threshold, without writing a checkpoint — modelling a
+        crash between checkpoints; the work since the last checkpoint is
+        rolled back on resume.  Both return ``finished=False``.
+        """
+        plan = self.plan
+        manifest = plan.manifest()
+        resumed_from: int | None = None
+        if resume:
+            self._verify_manifest(manifest)
+            state = self._load_latest_checkpoint()
+            if state is None:
+                warnings.warn(
+                    f"no usable checkpoint under {self.checkpoints_dir}; "
+                    f"restarting the replay from the beginning",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                state = None
+        else:
+            if self.manifest_path.exists():
+                raise ReplayError(
+                    f"{self.run_dir} already holds a replay run; pass resume=True "
+                    f"(--resume) to continue it or use a fresh run directory"
+                )
+            state = None
+
+        if state is not None:
+            replay_state = state["replay_state"]
+            device = SSD.create(
+                plan.ftl_name, plan.geometry, timing=plan.timing, config=plan.config
+            )
+            device.load_state(state["device"])
+            cursor = TraceCursor.from_dict(replay_state["cursor"])
+            stream_free = [float(value) for value in replay_state["stream_free"]]
+            origin_us = float(replay_state["origin_us"])
+            seq = int(replay_state["seq"])
+            requests_done = int(replay_state["requests"])
+            chunks_done = int(replay_state["chunks"])
+            resumed_from = seq
+            if replay_state["completed"]:
+                # The run already finished; resuming is a no-op.
+                self._log(f"replay already completed at checkpoint {seq}; nothing to do")
+                return self._result(
+                    device,
+                    finished=True,
+                    requests=requests_done,
+                    cursor=cursor,
+                    chunks=chunks_done,
+                    checkpoints_written=0,
+                    resumed_from=resumed_from,
+                    origin_us=origin_us,
+                )
+            self._log(
+                f"resuming from checkpoint {seq}: {requests_done} requests, "
+                f"record {cursor.record_index}, byte offset {cursor.byte_offset}"
+            )
+        else:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            publish_json(self.manifest_path, manifest, indent=2)
+            device = self._build_device()
+            origin_us = device.now_us
+            stream_free = [origin_us] * plan.streams
+            cursor = TraceCursor()
+            seq = 0
+            requests_done = 0
+            chunks_done = 0
+
+        if self._tracer is not None:
+            device.enable_observability(tracer=self._tracer)
+
+        last_ckpt_requests = requests_done
+        last_ckpt_clock_us = device.now_us
+        checkpoints_written = 0
+        finished = True
+
+        stream = RecordStream(
+            plan.trace_path,
+            plan.trace_format,
+            limit=plan.limit,
+            max_errors=plan.max_errors,
+            cursor=cursor,
+        )
+        with stream:
+            chunk_iter = iter_trace_requests(
+                stream,
+                plan.geometry,
+                chunk_requests=plan.chunk_requests,
+                preserve_timing=plan.preserve_timing,
+                time_scale=plan.time_scale,
+            )
+            for chunk in chunk_iter:
+                device.replay(chunk, stream_free=stream_free, origin_us=origin_us)
+                requests_done += len(chunk)
+                chunks_done += 1
+                cursor = stream.cursor
+                due = False
+                if plan.checkpoint_every_requests is not None:
+                    due = requests_done - last_ckpt_requests >= plan.checkpoint_every_requests
+                if not due and plan.checkpoint_every_sim_s is not None:
+                    due = (
+                        device.now_us - last_ckpt_clock_us
+                        >= plan.checkpoint_every_sim_s * 1e6
+                    )
+                if due:
+                    seq += 1
+                    self._write_checkpoint(
+                        seq,
+                        device,
+                        cursor,
+                        stream_free,
+                        origin_us,
+                        requests_done,
+                        chunks_done,
+                        completed=False,
+                    )
+                    checkpoints_written += 1
+                    last_ckpt_requests = requests_done
+                    last_ckpt_clock_us = device.now_us
+                    self._progress(device, seq, requests_done, cursor)
+                    if (
+                        stop_after_checkpoints is not None
+                        and checkpoints_written >= stop_after_checkpoints
+                    ):
+                        finished = False
+                        self._log(
+                            f"pausing after checkpoint {seq} (stop_after_checkpoints)"
+                        )
+                        break
+                if stop_after_requests is not None and requests_done >= stop_after_requests:
+                    finished = False
+                    self._log(
+                        f"aborting at {requests_done} requests without a checkpoint "
+                        f"(stop_after_requests): work since checkpoint {seq} will "
+                        f"be rolled back on resume"
+                    )
+                    break
+            final_cursor = stream.cursor
+
+        if finished:
+            cursor = final_cursor
+            seq += 1
+            self._write_checkpoint(
+                seq,
+                device,
+                cursor,
+                stream_free,
+                origin_us,
+                requests_done,
+                chunks_done,
+                completed=True,
+            )
+            checkpoints_written += 1
+            self._log(
+                f"replay finished: {requests_done} requests from "
+                f"{cursor.record_index} records "
+                f"({cursor.skipped_lines} malformed lines skipped), "
+                f"sim time {(device.now_us - origin_us) / 1e6:.3f}s, "
+                f"final checkpoint {seq}"
+            )
+        return self._result(
+            device,
+            finished=finished,
+            requests=requests_done,
+            cursor=cursor,
+            chunks=chunks_done,
+            checkpoints_written=checkpoints_written,
+            resumed_from=resumed_from,
+            origin_us=origin_us,
+        )
+
+    def _progress(self, device: SSD, seq: int, requests: int, cursor: TraceCursor) -> None:
+        line = (
+            f"checkpoint {seq}: {requests} requests, record {cursor.record_index}, "
+            f"sim time {device.now_us / 1e6:.3f}s"
+        )
+        if device.recorder is not None:
+            series = device.recorder.series(device.stats)
+            if series["num_windows"]:
+                line += (
+                    f", window {series['num_windows'] - 1}: "
+                    f"{series['iops'][-1]:.0f} iops"
+                )
+        self._log(line)
+
+    def _result(
+        self,
+        device: SSD,
+        *,
+        finished: bool,
+        requests: int,
+        cursor: TraceCursor,
+        chunks: int,
+        checkpoints_written: int,
+        resumed_from: int | None,
+        origin_us: float,
+    ) -> ReplayResult:
+        telemetry = None
+        if device.recorder is not None:
+            telemetry = device.recorder.series(device.stats)
+        return ReplayResult(
+            finished=finished,
+            requests=requests,
+            records=cursor.record_index,
+            skipped_lines=cursor.skipped_lines,
+            chunks=chunks,
+            checkpoints_written=checkpoints_written,
+            resumed_from=resumed_from,
+            sim_time_us=device.now_us - origin_us,
+            summary=dict(device.stats.summary()),
+            state_sha=state_fingerprint(device.state_dict()),
+            telemetry=telemetry,
+            device=device,
+        )

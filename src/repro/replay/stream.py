@@ -1,0 +1,61 @@
+"""Chunked request streaming for bounded-memory trace replay.
+
+:func:`iter_trace_requests` adapts a record iterator (typically a
+:class:`~repro.workloads.traces.RecordStream`) into bounded
+:class:`~repro.ssd.request.HostRequest` chunks, reusing the exact
+wrap-to-LPN-0 page-splitting of
+:func:`~repro.workloads.traces.trace_to_requests` — the concatenation of all
+chunks is the same request sequence the monolithic converter produces.
+
+Chunk boundaries always fall on **record** boundaries: a record whose I/O
+splits into several page-granular requests (large transfers, wrap-around)
+never straddles two chunks.  A chunk is yielded the moment it reaches
+``chunk_requests`` requests, *before* the next record is pulled from the
+source iterator — so a caller that reads ``RecordStream.cursor`` between
+chunks sees a cursor that accounts for exactly the records already delivered,
+which is what makes mid-replay checkpoints exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nand.errors import ConfigurationError
+from repro.nand.geometry import SSDGeometry
+from repro.ssd.request import HostRequest
+from repro.workloads.traces import TraceRecord, _record_to_requests
+
+__all__ = ["iter_trace_requests"]
+
+
+def iter_trace_requests(
+    records: Iterable[TraceRecord],
+    geometry: SSDGeometry,
+    *,
+    chunk_requests: int,
+    preserve_timing: bool = True,
+    time_scale: float = 1.0,
+) -> Iterator[list[HostRequest]]:
+    """Yield bounded chunks of page-granular host requests from trace records.
+
+    Each chunk holds at least ``chunk_requests`` requests (except the final
+    one) and ends on a record boundary, so it may exceed ``chunk_requests`` by
+    at most the split requests of its last record.  Memory stays O(chunk)
+    regardless of trace length.
+    """
+    if chunk_requests <= 0:
+        raise ConfigurationError(f"chunk_requests must be positive, got {chunk_requests}")
+    page = geometry.page_size
+    logical_pages = geometry.num_logical_pages
+    chunk: list[HostRequest] = []
+    for record in records:
+        chunk.extend(
+            _record_to_requests(
+                record, page, logical_pages, preserve_timing=preserve_timing, time_scale=time_scale
+            )
+        )
+        if len(chunk) >= chunk_requests:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

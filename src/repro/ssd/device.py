@@ -698,7 +698,14 @@ class SSD:
         self.stats.finish_time_us = self._clock_us
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 
-    def _replay_observed(self, requests: Iterable[HostRequest], *, streams: int) -> RunResult:
+    def _replay_observed(
+        self,
+        requests: Iterable[HostRequest],
+        *,
+        streams: int,
+        stream_free: "list[float] | None" = None,
+        origin_us: "float | None" = None,
+    ) -> RunResult:
         """:meth:`replay` with observability hooks (see :meth:`_run_scalar_observed`).
 
         Streams issue out of global time order, so windows are attributed by
@@ -706,7 +713,9 @@ class SSD:
         absorb the non-monotone arrivals.
         """
         start = self._clock_us
-        stream_free = [start] * streams
+        origin = start if origin_us is None else origin_us
+        if stream_free is None:
+            stream_free = [origin] * streams
         completed = 0
         engine_execute = self.engine.execute_buffer
         ftl_encode = self.ftl.encode
@@ -714,9 +723,10 @@ class SSD:
         record_observed = self._record_scalar_observed
         tracer = self.tracer
         trace = tracer.enabled
+        streams = len(stream_free)
         for request in requests:
             slot = request.stream_id % streams
-            arrival = start + (request.issue_time_us or 0.0)
+            arrival = origin + (request.issue_time_us or 0.0)
             issue = max(arrival, stream_free[slot])
             if trace:
                 tracer.now_us = issue
@@ -730,27 +740,48 @@ class SSD:
         self.stats.finish_time_us = self._clock_us
         return RunResult(stats=self.stats, elapsed_us=self._clock_us - start, requests=completed)
 
-    def replay(self, requests: Iterable[HostRequest], *, streams: int = 1) -> RunResult:
+    def replay(
+        self,
+        requests: Iterable[HostRequest],
+        *,
+        streams: int = 1,
+        stream_free: "list[float] | None" = None,
+        origin_us: "float | None" = None,
+    ) -> RunResult:
         """Open-loop trace replay honouring per-request arrival timestamps.
 
         A request is issued at ``max(arrival, previous completion of its
         stream)``; ``stream_id`` values beyond ``streams`` wrap around
         (``stream_id % streams``), so traces recorded with more jobs than the
         replay is configured for still make progress.
+
+        ``stream_free`` and ``origin_us`` exist for chunked streaming replay
+        (``repro.replay``): passing the same ``stream_free`` list (mutated in
+        place; its length overrides ``streams``) and the same ``origin_us``
+        arrival base across consecutive calls makes N chunked calls
+        bit-identical to one monolithic call over the concatenated requests.
+        Leave both ``None`` for the classic single-shot behaviour.
         """
         if streams <= 0:
             raise ConfigurationError("streams must be positive")
+        if stream_free is not None and not stream_free:
+            raise ConfigurationError("stream_free must be non-empty when given")
         if self._observing:
-            return self._replay_observed(requests, streams=streams)
+            return self._replay_observed(
+                requests, streams=streams, stream_free=stream_free, origin_us=origin_us
+            )
         start = self._clock_us
-        stream_free = [start] * streams
+        origin = start if origin_us is None else origin_us
+        if stream_free is None:
+            stream_free = [origin] * streams
         completed = 0
         engine_execute = self.engine.execute_buffer
         ftl_encode = self.ftl.encode
         record_latency = self.stats.record_latency
+        streams = len(stream_free)
         for request in requests:
             slot = request.stream_id % streams
-            arrival = start + (request.issue_time_us or 0.0)
+            arrival = origin + (request.issue_time_us or 0.0)
             issue = max(arrival, stream_free[slot])
             buffer = ftl_encode(request, issue)
             finish = engine_execute(buffer, issue)

@@ -12,14 +12,22 @@ from repro.workloads.synthetic import (
     zipf_reads,
 )
 from repro.workloads.traces import (
+    TRACE_FORMATS,
     TRACE_PRESETS,
+    RecordStream,
     TraceCharacteristics,
+    TraceCursor,
     TraceRecord,
     characterize,
+    iter_spc,
+    iter_systor_csv,
+    iter_trace_records,
+    open_trace,
     parse_spc,
     parse_systor_csv,
     synthesize_systor,
     synthesize_websearch,
+    trace_format_for,
     trace_to_requests,
 )
 from repro.workloads.zipf import HotspotGenerator, ZipfGenerator
@@ -37,6 +45,14 @@ __all__ = [
     "ExtentAllocator",
     "TraceRecord",
     "TraceCharacteristics",
+    "TraceCursor",
+    "RecordStream",
+    "TRACE_FORMATS",
+    "trace_format_for",
+    "open_trace",
+    "iter_spc",
+    "iter_systor_csv",
+    "iter_trace_records",
     "parse_spc",
     "parse_systor_csv",
     "synthesize_websearch",

@@ -19,9 +19,10 @@ does when it "scales up" the old WebSearch traces to modern SSD sizes).
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import BinaryIO, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -33,6 +34,14 @@ from repro.workloads.zipf import HotspotGenerator
 __all__ = [
     "TraceRecord",
     "TraceCharacteristics",
+    "TraceCursor",
+    "RecordStream",
+    "TRACE_FORMATS",
+    "trace_format_for",
+    "open_trace",
+    "iter_spc",
+    "iter_systor_csv",
+    "iter_trace_records",
     "parse_spc",
     "parse_systor_csv",
     "synthesize_websearch",
@@ -74,76 +83,301 @@ class TraceCharacteristics:
 
 
 # --------------------------------------------------------------------- parsing
-def parse_spc(path: str | Path, *, limit: int | None = None) -> list[TraceRecord]:
-    """Parse an SPC-format trace (``ASU,LBA,size,opcode,timestamp``).
+#: Longest slice of an offending line quoted in a :class:`TraceFormatError`.
+_ERROR_LINE_LIMIT = 120
 
-    This is the format of the UMass WebSearch traces; the LBA unit is a 512-byte
-    sector.
+
+def _offending(line: str) -> str:
+    """The offending line text, truncated, as quoted in parse errors."""
+    if len(line) > _ERROR_LINE_LIMIT:
+        return repr(line[:_ERROR_LINE_LIMIT]) + "..."
+    return repr(line)
+
+
+def _parse_spc_line(line: str, path: "str | Path", line_no: int) -> TraceRecord | None:
+    """Parse one SPC line (``ASU,LBA,size,opcode,timestamp``); ``None`` skips it.
+
+    The LBA unit is a 512-byte sector (the UMass WebSearch convention).
     """
-    records: list[TraceRecord] = []
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split(",")
-            if len(parts) < 5:
-                raise TraceFormatError(f"{path}:{line_no}: expected 5 SPC fields, got {len(parts)}")
-            try:
-                asu = int(parts[0])
-                lba = int(parts[1])
-                size = int(parts[2])
-                opcode = parts[3].strip().lower()
-                timestamp = float(parts[4])
-            except ValueError as exc:
-                raise TraceFormatError(f"{path}:{line_no}: malformed SPC record") from exc
-            records.append(
-                TraceRecord(
-                    timestamp_s=timestamp,
-                    offset_bytes=lba * 512,
-                    size_bytes=size,
-                    is_read=opcode.startswith("r"),
-                    stream_id=asu,
-                )
-            )
-            if limit is not None and len(records) >= limit:
-                break
-    return records
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split(",")
+    if len(parts) < 5:
+        raise TraceFormatError(
+            f"{path}:{line_no}: expected 5 SPC fields, got {len(parts)}: {_offending(line)}"
+        )
+    try:
+        asu = int(parts[0])
+        lba = int(parts[1])
+        size = int(parts[2])
+        opcode = parts[3].strip().lower()
+        timestamp = float(parts[4])
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"{path}:{line_no}: malformed SPC record: {_offending(line)}"
+        ) from exc
+    return TraceRecord(
+        timestamp_s=timestamp,
+        offset_bytes=lba * 512,
+        size_bytes=size,
+        is_read=opcode.startswith("r"),
+        stream_id=asu,
+    )
 
 
-def parse_systor_csv(path: str | Path, *, limit: int | None = None) -> list[TraceRecord]:
-    """Parse a Systor '17 style CSV trace (``timestamp,response,iotype,lun,offset,size``)."""
-    records: list[TraceRecord] = []
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.lower().startswith("timestamp"):
-                continue
-            parts = line.split(",")
-            if len(parts) < 6:
-                raise TraceFormatError(
-                    f"{path}:{line_no}: expected 6 Systor fields, got {len(parts)}"
-                )
+def _parse_systor_line(line: str, path: "str | Path", line_no: int) -> TraceRecord | None:
+    """Parse one Systor '17 CSV line (``timestamp,response,iotype,lun,offset,size``)."""
+    if not line or line.lower().startswith("timestamp"):
+        return None
+    parts = line.split(",")
+    if len(parts) < 6:
+        raise TraceFormatError(
+            f"{path}:{line_no}: expected 6 Systor fields, got {len(parts)}: {_offending(line)}"
+        )
+    try:
+        timestamp = float(parts[0])
+        iotype = parts[2].strip().upper()
+        lun = int(parts[3]) if parts[3].strip() else 0
+        offset = int(parts[4])
+        size = int(parts[5])
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"{path}:{line_no}: malformed Systor record: {_offending(line)}"
+        ) from exc
+    return TraceRecord(
+        timestamp_s=timestamp,
+        offset_bytes=offset,
+        size_bytes=size,
+        is_read=iotype in ("R", "READ"),
+        stream_id=lun,
+    )
+
+
+#: Per-line parsers by format name.  A parser takes ``(line, path, line_no)``
+#: and returns a :class:`TraceRecord` or ``None`` for skippable lines (blanks,
+#: comments, headers); malformed lines raise :class:`TraceFormatError` naming
+#: ``path:line_no`` and quoting the offending text (truncated).
+TRACE_FORMATS: dict[str, Callable[[str, "str | Path", int], TraceRecord | None]] = {
+    "spc": _parse_spc_line,
+    "systor": _parse_systor_line,
+}
+
+
+def trace_format_for(path: str | Path) -> str:
+    """Guess the trace format from a file name (``.spc`` vs ``.csv``, ``.gz``-aware)."""
+    name = Path(path).name.lower()
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    if name.endswith(".spc"):
+        return "spc"
+    if name.endswith(".csv"):
+        return "systor"
+    raise TraceFormatError(
+        f"cannot infer the trace format of {path!r} (expected a .spc or .csv "
+        f"suffix, optionally .gz-compressed); pass the format explicitly"
+    )
+
+
+def open_trace(path: str | Path) -> BinaryIO:
+    """Open a trace file for binary streaming, transparently decompressing ``.gz``.
+
+    The returned handle reads *uncompressed* bytes either way, so byte offsets
+    (``TraceCursor.byte_offset``) always count uncompressed trace text and a
+    cursor taken on a compressed file stays valid.  Seeking forward in a
+    ``.gz`` file decompresses through the skipped span — still a single pass,
+    never a full re-parse.
+    """
+    path = Path(path)
+    if path.name.lower().endswith(".gz"):
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+@dataclass(frozen=True)
+class TraceCursor:
+    """Resumable position inside a trace file.
+
+    ``byte_offset`` counts *uncompressed* bytes consumed (the position of the
+    next unread line), ``line_no`` the lines consumed, ``record_index`` the
+    records yielded and ``skipped_lines`` the malformed lines tolerated so far
+    (``max_errors`` mode).  A cursor captured from one :class:`RecordStream`
+    and handed to a new one resumes the record sequence exactly.
+    """
+
+    byte_offset: int = 0
+    line_no: int = 0
+    record_index: int = 0
+    skipped_lines: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-serializable form (stored inside replay checkpoints)."""
+        return {
+            "byte_offset": self.byte_offset,
+            "line_no": self.line_no,
+            "record_index": self.record_index,
+            "skipped_lines": self.skipped_lines,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceCursor":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            byte_offset=int(payload["byte_offset"]),
+            line_no=int(payload["line_no"]),
+            record_index=int(payload["record_index"]),
+            skipped_lines=int(payload["skipped_lines"]),
+        )
+
+
+class RecordStream:
+    """Streaming :class:`TraceRecord` iterator with a resumable cursor.
+
+    Reads one line at a time (never materializing the trace), parses it with
+    the named format's line parser and tracks an exact :class:`TraceCursor`
+    after every yielded record.  ``limit`` counts records from the *start of
+    the file* (cursor included), matching ``parse_*``'s limit semantics; with
+    ``max_errors > 0`` up to that many malformed lines are counted and skipped
+    instead of aborting the stream — the first line beyond the budget raises.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        format: str,
+        *,
+        limit: int | None = None,
+        max_errors: int = 0,
+        cursor: TraceCursor | None = None,
+    ) -> None:
+        try:
+            self._parse_line = TRACE_FORMATS[format]
+        except KeyError:
+            raise TraceFormatError(
+                f"unknown trace format {format!r}; choose one of {sorted(TRACE_FORMATS)}"
+            ) from None
+        if max_errors < 0:
+            raise TraceFormatError(f"max_errors must be >= 0, got {max_errors}")
+        self.path = Path(path)
+        self.format = format
+        self.limit = limit
+        self.max_errors = max_errors
+        cursor = cursor or TraceCursor()
+        self._offset = cursor.byte_offset
+        self._line_no = cursor.line_no
+        self._records = cursor.record_index
+        self._skipped = cursor.skipped_lines
+        self._handle: BinaryIO | None = open_trace(self.path)
+        if cursor.byte_offset:
+            self._handle.seek(cursor.byte_offset)
+
+    @property
+    def cursor(self) -> TraceCursor:
+        """Position *after* the last yielded record (checkpoint-safe)."""
+        return TraceCursor(
+            byte_offset=self._offset,
+            line_no=self._line_no,
+            record_index=self._records,
+            skipped_lines=self._skipped,
+        )
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RecordStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __iter__(self) -> "RecordStream":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        handle = self._handle
+        if handle is None:
+            raise StopIteration
+        limit = self.limit
+        parse_line = self._parse_line
+        while True:
+            if limit is not None and self._records >= limit:
+                self.close()
+                raise StopIteration
+            raw = handle.readline()
+            if not raw:
+                self.close()
+                raise StopIteration
+            self._offset += len(raw)
+            self._line_no += 1
+            line = raw.decode("utf-8", errors="replace").strip()
             try:
-                timestamp = float(parts[0])
-                iotype = parts[2].strip().upper()
-                lun = int(parts[3]) if parts[3].strip() else 0
-                offset = int(parts[4])
-                size = int(parts[5])
-            except ValueError as exc:
-                raise TraceFormatError(f"{path}:{line_no}: malformed Systor record") from exc
-            records.append(
-                TraceRecord(
-                    timestamp_s=timestamp,
-                    offset_bytes=offset,
-                    size_bytes=size,
-                    is_read=iotype in ("R", "READ"),
-                    stream_id=lun,
-                )
-            )
-            if limit is not None and len(records) >= limit:
-                break
-    return records
+                record = parse_line(line, self.path, self._line_no)
+            except TraceFormatError:
+                if self._skipped < self.max_errors:
+                    self._skipped += 1
+                    continue
+                self.close()
+                raise
+            if record is None:
+                continue
+            self._records += 1
+            return record
+
+
+def iter_trace_records(
+    path: str | Path,
+    format: str,
+    *,
+    limit: int | None = None,
+    max_errors: int = 0,
+) -> Iterator[TraceRecord]:
+    """Stream the records of a trace file (gzip-transparent, bounded memory).
+
+    The streaming counterpart of :func:`parse_spc` / :func:`parse_systor_csv`:
+    yields records one at a time without ever materializing the trace.  With
+    ``max_errors > 0`` up to that many malformed lines are skipped (counted)
+    instead of aborting; use :class:`RecordStream` directly to read the skip
+    count or to resume from a :class:`TraceCursor`.
+    """
+    stream = RecordStream(path, format, limit=limit, max_errors=max_errors)
+    try:
+        yield from stream
+    finally:
+        stream.close()
+
+
+def iter_spc(
+    path: str | Path, *, limit: int | None = None, max_errors: int = 0
+) -> Iterator[TraceRecord]:
+    """Stream an SPC-format trace (``ASU,LBA,size,opcode,timestamp``).
+
+    This is the format of the UMass WebSearch traces; the LBA unit is a
+    512-byte sector.  ``.gz`` files are decompressed transparently.
+    """
+    return iter_trace_records(path, "spc", limit=limit, max_errors=max_errors)
+
+
+def iter_systor_csv(
+    path: str | Path, *, limit: int | None = None, max_errors: int = 0
+) -> Iterator[TraceRecord]:
+    """Stream a Systor '17 style CSV trace (``timestamp,response,iotype,lun,offset,size``)."""
+    return iter_trace_records(path, "systor", limit=limit, max_errors=max_errors)
+
+
+def parse_spc(
+    path: str | Path, *, limit: int | None = None, max_errors: int = 0
+) -> list[TraceRecord]:
+    """Parse an SPC-format trace into a list (thin wrapper over :func:`iter_spc`)."""
+    return list(iter_spc(path, limit=limit, max_errors=max_errors))
+
+
+def parse_systor_csv(
+    path: str | Path, *, limit: int | None = None, max_errors: int = 0
+) -> list[TraceRecord]:
+    """Parse a Systor '17 CSV trace into a list (thin wrapper over :func:`iter_systor_csv`)."""
+    return list(iter_systor_csv(path, limit=limit, max_errors=max_errors))
 
 
 # -------------------------------------------------------------------- synthesis
@@ -261,21 +495,40 @@ def trace_to_requests(
     page = geometry.page_size
     logical_pages = geometry.num_logical_pages
     for record in records:
-        start_page = (record.offset_bytes // page) % logical_pages
-        remaining = max(1, -(-record.size_bytes // page))
-        issue_time = (record.timestamp_s * 1e6 * time_scale) if preserve_timing else None
-        op = OpType.READ if record.is_read else OpType.WRITE
-        while remaining > 0:
-            npages = min(remaining, logical_pages - start_page)
-            yield HostRequest(
-                op=op,
-                lpn=start_page,
-                npages=npages,
-                issue_time_us=issue_time,
-                stream_id=record.stream_id,
-            )
-            remaining -= npages
-            start_page = 0
+        yield from _record_to_requests(
+            record, page, logical_pages, preserve_timing=preserve_timing, time_scale=time_scale
+        )
+
+
+def _record_to_requests(
+    record: TraceRecord,
+    page: int,
+    logical_pages: int,
+    *,
+    preserve_timing: bool,
+    time_scale: float,
+) -> Iterator[HostRequest]:
+    """Expand one trace record into its page-granular host requests.
+
+    Shared by :func:`trace_to_requests` and the streaming chunker
+    (``repro.replay.stream.iter_trace_requests``) so both paths produce the
+    same request sequence per record — including the wrap-to-LPN-0 split.
+    """
+    start_page = (record.offset_bytes // page) % logical_pages
+    remaining = max(1, -(-record.size_bytes // page))
+    issue_time = (record.timestamp_s * 1e6 * time_scale) if preserve_timing else None
+    op = OpType.READ if record.is_read else OpType.WRITE
+    while remaining > 0:
+        npages = min(remaining, logical_pages - start_page)
+        yield HostRequest(
+            op=op,
+            lpn=start_page,
+            npages=npages,
+            issue_time_us=issue_time,
+            stream_id=record.stream_id,
+        )
+        remaining -= npages
+        start_page = 0
 
 
 def characterize(name: str, records: list[TraceRecord]) -> TraceCharacteristics:

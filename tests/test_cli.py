@@ -99,6 +99,9 @@ class TestCLIBasics:
         study_lines = [line for line in lines if line.startswith("study <spec>...")]
         assert len(study_lines) == 1
         assert "docs/studies.md" in study_lines[0]
+        replay_lines = [line for line in lines if line.startswith("replay <trace>")]
+        assert len(replay_lines) == 1
+        assert "docs/replay.md" in replay_lines[0]
 
     def test_all_excludes_internal_experiments(self, capsys):
         # 'all' must not try to run the study-cell execution unit (it needs
@@ -610,3 +613,103 @@ class TestStudyVerb:
         csv_lines = (csv_dir / "cli-study.csv").read_text().strip().splitlines()
         assert csv_lines[0].startswith("ftl,cmt_ratio,geometry,workload,threads,")
         assert len(csv_lines) == 3
+
+
+class TestReplayVerb:
+    """The ``replay`` CLI verb (see tests/test_replay.py for the subsystem).
+
+    These run in-process through ``cli_main`` on a ~120-record synthetic
+    Systor trace at tiny scale, covering the fresh-run artifacts, the
+    kill/resume identity contract at the CLI surface, and the error paths.
+    """
+
+    @pytest.fixture
+    def trace(self, tmp_path):
+        from repro.workloads.traces import synthesize_systor
+
+        path = tmp_path / "tiny.csv"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("timestamp,response,iotype,lun,offset,size\n")
+            for r in synthesize_systor(num_ios=120, seed=11):
+                handle.write(
+                    f"{r.timestamp_s!r},0.0,{'R' if r.is_read else 'W'},"
+                    f"{r.stream_id},{r.offset_bytes},{r.size_bytes}\n"
+                )
+        return path
+
+    def _replay(self, *argv):
+        return cli_main(["replay", *argv])
+
+    FLAGS = ("--chunk-requests", "25", "--checkpoint-every", "40",
+             "--time-scale", "1e-4", "--metrics-window-us", "2000")
+
+    def test_fresh_run_writes_manifest_and_stats(self, trace, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        stats = tmp_path / "stats.json"
+        code = self._replay(str(trace), "--run-dir", str(run_dir),
+                            "--stats-out", str(stats), *self.FLAGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[replay finished:" in out
+        assert "throughput_mb_s" in out
+        assert "windowed telemetry" in out
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["trace"]["sha256"]
+        assert manifest["device"]["ftl"] == "dftl"
+        payload = json.loads(stats.read_text())
+        assert payload["finished"] is True
+        assert payload["requests"] > 0
+        assert payload["state_sha"]
+        assert payload["telemetry"]["num_windows"] > 0
+        assert (run_dir / "checkpoints").is_dir()
+
+    def test_kill_then_resume_matches_uninterrupted_run(self, trace, tmp_path, capsys):
+        full_stats = tmp_path / "full.json"
+        assert self._replay(str(trace), "--run-dir", str(tmp_path / "full"),
+                            "--stats-out", str(full_stats), *self.FLAGS) == 0
+        killed_dir = tmp_path / "killed"
+        assert self._replay(str(trace), "--run-dir", str(killed_dir),
+                            "--stop-after-checkpoints", "1", *self.FLAGS) == 0
+        assert "[replay paused:" in capsys.readouterr().out
+        resumed_stats = tmp_path / "resumed.json"
+        # --resume rebuilds the whole plan from the stored manifest: no other
+        # flags are needed (or allowed to matter).
+        assert self._replay("--resume", "--run-dir", str(killed_dir),
+                            "--stats-out", str(resumed_stats)) == 0
+        full = json.loads(full_stats.read_text())
+        resumed = json.loads(resumed_stats.read_text())
+        assert resumed["resumed_from"] == 1
+        for key in ("summary", "state_sha", "telemetry", "requests", "records"):
+            assert resumed[key] == full[key], key
+
+    def test_trace_out_writes_chrome_trace(self, trace, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert self._replay(str(trace), "--run-dir", str(tmp_path / "run"),
+                            "--trace-out", str(trace_dir), *self.FLAGS) == 0
+        events = json.loads((trace_dir / "replay-dftl.trace.json").read_text())
+        assert events["traceEvents"]
+
+    def test_trace_required_without_resume(self, tmp_path, capsys):
+        assert self._replay("--run-dir", str(tmp_path / "run")) == 2
+        assert "trace file is required" in capsys.readouterr().err
+
+    def test_missing_trace_file_errors(self, tmp_path, capsys):
+        assert self._replay(str(tmp_path / "nope.csv"),
+                            "--run-dir", str(tmp_path / "run")) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_resume_without_manifest_errors(self, tmp_path, capsys):
+        assert self._replay("--resume", "--run-dir", str(tmp_path / "empty")) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_fresh_run_refuses_existing_run_dir(self, trace, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert self._replay(str(trace), "--run-dir", str(run_dir), *self.FLAGS) == 0
+        assert self._replay(str(trace), "--run-dir", str(run_dir), *self.FLAGS) == 2
+        assert "already holds a replay run" in capsys.readouterr().err
+
+    def test_unknown_suffix_needs_explicit_format(self, tmp_path, capsys):
+        odd = tmp_path / "trace.dat"
+        odd.write_text("0.0 0 0 4096 r\n")
+        assert self._replay(str(odd), "--run-dir", str(tmp_path / "run")) == 2
+        assert "cannot infer" in capsys.readouterr().err

@@ -281,6 +281,59 @@ class TestSpeedupRatioMetrics:
         assert baseline["results"]["dftl"]["mixed_batched_vs_scalar_speedup"] >= 2.0
 
 
+class TestReplayGate:
+    """The streaming replay rate gates against the baseline like the per-FTL
+    rates: higher is better, machine-scaled."""
+
+    def _report_with_replay(self, rps: float, cal: float | None = None) -> dict:
+        report = _report(1000.0, 5000.0)
+        report["replay"] = {
+            "replay_requests_per_second": rps,
+            "replay_seconds": 4.0,
+            "replay_requests": 200_000.0,
+        }
+        if cal is not None:
+            report["calibration_iters_per_second"] = cal
+        return report
+
+    def test_replay_rate_is_tracked(self):
+        assert "replay_requests_per_second" in perf_gate.TRACKED_REPLAY_METRICS
+
+    def test_replay_regression_fails(self):
+        baseline = self._report_with_replay(50_000.0)
+        fresh = self._report_with_replay(30_000.0)
+        failures = perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert any("replay.replay_requests_per_second" in failure for failure in failures)
+
+    def test_replay_within_slowdown_passes(self):
+        baseline = self._report_with_replay(50_000.0)
+        fresh = self._report_with_replay(45_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_baseline_without_replay_section_is_skipped(self):
+        baseline = _report(1000.0, 5000.0)
+        fresh = self._report_with_replay(1.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25) == []
+
+    def test_replay_rate_is_machine_scaled(self):
+        # Fresh machine at half speed replaying at half the rate: raw fails,
+        # calibrated passes.
+        baseline = self._report_with_replay(50_000.0, cal=10_000_000.0)
+        fresh = self._report_with_replay(25_000.0, cal=5_000_000.0)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25)
+        assert perf_gate.compare(baseline, fresh, max_slowdown=0.25, calibrate=True) == []
+
+    def test_merge_best_takes_the_best_replay_rate(self):
+        merged = perf_gate.merge_best(
+            [self._report_with_replay(40_000.0), self._report_with_replay(55_000.0)]
+        )
+        assert merged["replay"]["replay_requests_per_second"] == 55_000.0
+
+    def test_committed_baseline_carries_replay_section(self):
+        baseline = json.loads(perf_gate.DEFAULT_BASELINE.read_text())
+        assert baseline["replay"]["replay_requests_per_second"] > 0.0
+
+
 class TestObsGate:
     """The observability-disabled hot path gates at 0.98x of the same report's
     plain dftl randread storm — intra-report, never machine-scaled."""

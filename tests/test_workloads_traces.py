@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import gzip
+import random
 from pathlib import Path
 
 import pytest
@@ -16,12 +18,19 @@ from repro.nand.geometry import SSDGeometry
 from repro.ssd.request import OpType
 from repro.workloads.traces import (
     TRACE_PRESETS,
+    RecordStream,
+    TraceCursor,
     TraceRecord,
     characterize,
+    iter_spc,
+    iter_systor_csv,
+    iter_trace_records,
+    open_trace,
     parse_spc,
     parse_systor_csv,
     synthesize_systor,
     synthesize_websearch,
+    trace_format_for,
     trace_to_requests,
 )
 
@@ -237,3 +246,176 @@ class TestConversion:
     def test_characterize_row_shape(self):
         row = characterize("x", synthesize_systor(num_ios=50)).as_row()
         assert set(row) == {"trace", "num_ios", "avg_io_kb", "read_ratio"}
+
+
+# ------------------------------------------------------- streaming machinery
+def _random_records(rng: random.Random, count: int, *, spc: bool) -> list[TraceRecord]:
+    """Random valid records; SPC offsets are sector-aligned (LBA * 512)."""
+    records = []
+    for _ in range(count):
+        offset = rng.randrange(0, 1 << 30) * 512 if spc else rng.randrange(0, 1 << 36)
+        records.append(
+            TraceRecord(
+                timestamp_s=float(round(rng.uniform(0.0, 100.0), 6)),
+                offset_bytes=offset,
+                size_bytes=rng.randrange(1, 1 << 18),
+                is_read=rng.random() < 0.6,
+                stream_id=rng.randrange(0, 4),
+            )
+        )
+    return records
+
+
+def _spc_line(record: TraceRecord) -> str:
+    opcode = "R" if record.is_read else "W"
+    return (
+        f"{record.stream_id},{record.offset_bytes // 512},{record.size_bytes},"
+        f"{opcode},{record.timestamp_s!r}"
+    )
+
+
+def _systor_line(record: TraceRecord) -> str:
+    iotype = "R" if record.is_read else "W"
+    return (
+        f"{record.timestamp_s!r},0.001,{iotype},{record.stream_id},"
+        f"{record.offset_bytes},{record.size_bytes}"
+    )
+
+
+def _serialize(records: list[TraceRecord], fmt: str, rng: random.Random) -> str:
+    """Trace text with random blank/comment/header interleavings."""
+    junk = ["", "# comment"] if fmt == "spc" else ["", "Timestamp,Response,IOType,LUN,Offset,Size"]
+    line_for = _spc_line if fmt == "spc" else _systor_line
+    lines = []
+    for record in records:
+        while rng.random() < 0.2:
+            lines.append(rng.choice(junk))
+        lines.append(line_for(record))
+    return "\n".join(lines) + "\n"
+
+
+def _write_trace(path: Path, text: str, *, compress: bool) -> Path:
+    if compress:
+        path = path.with_name(path.name + ".gz")
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestStreamingRoundTrip:
+    """Property-based: random records -> text (plain/gzip) -> parse round-trips."""
+
+    @pytest.mark.parametrize("fmt,suffix", [("spc", "t.spc"), ("systor", "t.csv")])
+    @pytest.mark.parametrize("compress", [False, True], ids=["plain", "gzip"])
+    def test_iterator_list_and_original_agree(self, tmp_path, fmt, suffix, compress):
+        parse = parse_spc if fmt == "spc" else parse_systor_csv
+        for seed in range(5):
+            rng = random.Random(seed)
+            records = _random_records(rng, 40, spc=(fmt == "spc"))
+            path = _write_trace(
+                tmp_path / f"{seed}-{suffix}", _serialize(records, fmt, rng), compress=compress
+            )
+            streamed = list(iter_trace_records(path, fmt))
+            listed = parse(path)
+            assert streamed == listed == records
+            # limit counts records, not lines, and prefixes agree with the full parse.
+            k = rng.randrange(0, len(records) + 1)
+            assert parse(path, limit=k) == records[:k]
+            assert list(iter_trace_records(path, fmt, limit=k)) == records[:k]
+
+    @pytest.mark.parametrize("compress", [False, True], ids=["plain", "gzip"])
+    def test_cursor_resumes_record_sequence_exactly(self, tmp_path, compress):
+        rng = random.Random(99)
+        records = _random_records(rng, 60, spc=False)
+        path = _write_trace(tmp_path / "t.csv", _serialize(records, "systor", rng), compress=compress)
+        for split in (0, 1, 17, 59, 60):
+            first = RecordStream(path, "systor")
+            head = [next(first) for _ in range(split)]
+            cursor = first.cursor
+            first.close()
+            assert cursor.record_index == split
+            with RecordStream(path, "systor", cursor=cursor) as second:
+                tail = list(second)
+            assert head + tail == records
+
+    def test_iterators_are_thin_wrappers(self, tmp_path):
+        rng = random.Random(3)
+        records = _random_records(rng, 20, spc=True)
+        path = _write_trace(tmp_path / "t.spc", _serialize(records, "spc", rng), compress=False)
+        assert list(iter_spc(path)) == parse_spc(path) == records
+        systor = _random_records(rng, 20, spc=False)
+        spath = _write_trace(tmp_path / "t.csv", _serialize(systor, "systor", rng), compress=False)
+        assert list(iter_systor_csv(spath)) == parse_systor_csv(spath) == systor
+
+
+class TestStreamingErrors:
+    def test_error_message_quotes_offending_line(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text("0,1,512,R,0.0\n0,oops,512,R,0.1\n")
+        with pytest.raises(TraceFormatError, match=r"trace\.spc:2.*'0,oops,512,R,0\.1'"):
+            parse_spc(path)
+
+    def test_error_message_truncates_long_lines(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        long_line = "garbage" * 100
+        path.write_text(long_line + "\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_systor_csv(path)
+        message = str(excinfo.value)
+        assert message.endswith("...")
+        assert long_line not in message  # truncated, not echoed wholesale
+
+    def test_max_errors_counts_and_skips(self, tmp_path):
+        rng = random.Random(4)
+        records = _random_records(rng, 10, spc=True)
+        lines = [_spc_line(record) for record in records]
+        for position in (2, 5, 9):
+            lines.insert(position, "this,is,not,valid,x")
+        path = tmp_path / "t.spc"
+        path.write_text("\n".join(lines) + "\n")
+        with RecordStream(path, "spc", max_errors=3) as stream:
+            assert list(stream) == records
+            assert stream.cursor.skipped_lines == 3
+        assert parse_spc(path, max_errors=3) == records
+        with pytest.raises(TraceFormatError):
+            parse_spc(path, max_errors=2)
+        with pytest.raises(TraceFormatError):
+            parse_spc(path)  # strict by default
+
+    def test_max_errors_must_be_non_negative(self, tmp_path):
+        path = tmp_path / "t.spc"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            RecordStream(path, "spc", max_errors=-1)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "t.spc"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            RecordStream(path, "nope")
+
+
+class TestFormatDetection:
+    def test_suffix_detection_including_gz(self):
+        assert trace_format_for("a/websearch.spc") == "spc"
+        assert trace_format_for("a/websearch.SPC.gz") == "spc"
+        assert trace_format_for("b/systor17.csv") == "systor"
+        assert trace_format_for("b/systor17.csv.gz") == "systor"
+        with pytest.raises(TraceFormatError):
+            trace_format_for("trace.bin")
+
+    def test_open_trace_is_gzip_transparent(self, tmp_path):
+        plain = tmp_path / "t.csv"
+        plain.write_bytes(b"hello\nworld\n")
+        compressed = tmp_path / "t.csv.gz"
+        with gzip.open(compressed, "wb") as handle:
+            handle.write(b"hello\nworld\n")
+        for path in (plain, compressed):
+            with open_trace(path) as handle:
+                assert handle.read() == b"hello\nworld\n"
+
+    def test_cursor_dict_round_trip(self):
+        cursor = TraceCursor(byte_offset=123, line_no=7, record_index=5, skipped_lines=1)
+        assert TraceCursor.from_dict(cursor.as_dict()) == cursor
